@@ -1,0 +1,137 @@
+//! LP-top — the "demand pinning" heuristic (§5.1, citing Namyar et al.).
+//!
+//! "It allocates the top α% of demands using an LP solver and assigns the
+//! remaining demands to the shortest paths. ... we set α = 10 after testing
+//! multiple values. In our traffic trace, the top 10% of demands account
+//! for a vast majority (88.4%) of the total volume."
+//!
+//! The LP model must be rebuilt every interval because the top-decile set
+//! changes with the traffic matrix — the "model rebuilding time" charged to
+//! LP-top in Table 2 (and the reason LP-all can be *faster* than LP-top on
+//! the MLU objective, §5.5).
+
+use teal_lp::{solve_lp, Allocation, LpConfig, Objective, TeInstance};
+use teal_traffic::TrafficMatrix;
+
+/// Compute the LP-top allocation: LP over the top `alpha` fraction of
+/// demands (with everything else pinned to its shortest path and consuming
+/// capacity there), shortest path for the rest.
+pub fn solve_lp_top(
+    inst: &TeInstance,
+    obj: Objective,
+    alpha: f64,
+    cfg: &LpConfig,
+) -> Allocation {
+    let k = inst.k();
+    let nd = inst.num_demands();
+    let top: Vec<usize> = inst.tm.top_indices(alpha);
+    let top_set: std::collections::HashSet<usize> = top.iter().copied().collect();
+
+    // Start from shortest-path routing for everyone.
+    let mut alloc = Allocation::shortest_path(nd, k);
+
+    // Residual capacities after pinning the non-top demands: the LP for the
+    // top demands must respect what the pinned demands already consume.
+    let mut residual = inst.topo.capacities();
+    for d in 0..nd {
+        if top_set.contains(&d) {
+            continue;
+        }
+        let vol = inst.tm.demand(d);
+        if vol <= 0.0 {
+            continue;
+        }
+        for &e in &inst.paths.paths_for(d)[0].edges {
+            residual[e] = (residual[e] - vol).max(0.0);
+        }
+    }
+
+    // Build a reduced instance containing only the top demands ("model
+    // rebuilding" — this work recurs every interval). The reduced topology
+    // carries the residual capacities left by the pinned demands.
+    let reduced_topo = inst.topo.with_capacities(&residual);
+    let top_vols: Vec<f64> = top.iter().map(|&d| inst.tm.demand(d)).collect();
+    // Reuse the already-computed candidate paths for the top demands rather
+    // than recomputing shortest paths.
+    let top_paths = subset_paths(inst, &top);
+    let top_tm = TrafficMatrix::new(top_vols);
+    let top_inst = TeInstance::new(&reduced_topo, &top_paths, &top_tm);
+    let (top_alloc, _) = solve_lp(&top_inst, obj, cfg);
+
+    for (i, &d) in top.iter().enumerate() {
+        alloc.set_demand_splits(d, top_alloc.demand_splits(i));
+    }
+    alloc
+}
+
+/// A `PathSet` view containing only the selected demands' paths.
+fn subset_paths(inst: &TeInstance, selected: &[usize]) -> teal_topology::PathSet {
+    let pairs: Vec<(usize, usize)> =
+        selected.iter().map(|&d| inst.paths.pairs()[d]).collect();
+    // PathSet::compute would re-run Yen's; we instead rebuild from the
+    // existing paths via the public constructor path — recompute is the
+    // simple, correct option here and the cost is charged to LP-top as
+    // model rebuilding.
+    teal_topology::PathSet::compute(inst.topo, &pairs, inst.k())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teal_lp::evaluate;
+    use teal_topology::{b4, PathSet};
+
+    #[test]
+    fn lp_top_close_to_lp_all_under_heavy_tail() {
+        let topo = b4();
+        let pairs = topo.all_pairs();
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        // Heavy-tailed demands: a few dominate.
+        let demands: Vec<f64> = (0..pairs.len())
+            .map(|i| if i % 13 == 0 { 120.0 } else { 0.8 })
+            .collect();
+        let tm = TrafficMatrix::new(demands);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let cfg = LpConfig::default();
+        let full = solve_lp(&inst, Objective::TotalFlow, &cfg).0;
+        let top = solve_lp_top(&inst, Objective::TotalFlow, 0.10, &cfg);
+        let f_full = evaluate(&inst, &full).realized_flow;
+        let f_top = evaluate(&inst, &top).realized_flow;
+        assert!(
+            f_top > 0.85 * f_full,
+            "lp-top {f_top} too far below lp-all {f_full} on heavy-tailed traffic"
+        );
+    }
+
+    #[test]
+    fn non_top_demands_are_pinned_to_shortest() {
+        let topo = b4();
+        let pairs = topo.all_pairs();
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let demands: Vec<f64> =
+            (0..pairs.len()).map(|i| if i == 0 { 500.0 } else { 1.0 }).collect();
+        let tm = TrafficMatrix::new(demands);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let alloc = solve_lp_top(&inst, Objective::TotalFlow, 0.02, &LpConfig::default());
+        // Some non-top demand: splits must be exactly shortest-path.
+        let top = tm.top_indices(0.02);
+        for d in 0..pairs.len() {
+            if !top.contains(&d) {
+                let s = alloc.demand_splits(d);
+                assert_eq!(s[0], 1.0, "demand {d} not pinned");
+                assert!(s[1..].iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn respects_demand_feasibility() {
+        let topo = b4();
+        let pairs = topo.all_pairs();
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![10.0; pairs.len()]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let alloc = solve_lp_top(&inst, Objective::TotalFlow, 0.10, &LpConfig::default());
+        assert!(alloc.demand_feasible(1e-6));
+    }
+}

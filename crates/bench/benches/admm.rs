@@ -1,0 +1,40 @@
+//! Criterion bench: ADMM iteration cost — fine-tuning (2/5 iters, §3.4) vs
+//! solve-to-convergence (the LP-all substitute), plus the ablation of
+//! iteration counts DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teal_lp::{AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
+use teal_topology::{generate, PathSet, TopoKind};
+use teal_traffic::{TrafficConfig, TrafficModel, TrafficMatrix};
+
+fn instance(cap: usize) -> (teal_topology::Topology, PathSet, TrafficMatrix) {
+    let topo = generate(TopoKind::Swan, 0.5, 42);
+    let mut pairs = topo.all_pairs();
+    pairs.truncate(cap);
+    let paths = PathSet::compute(&topo, &pairs, 4);
+    let mut model = TrafficModel::new(&pairs, TrafficConfig::default(), 42);
+    model.calibrate(&topo, &paths);
+    let tm = model.series(0, 1).remove(0);
+    (topo, paths, tm)
+}
+
+fn bench_admm(c: &mut Criterion) {
+    let (topo, paths, tm) = instance(1200);
+    let inst = TeInstance::new(&topo, &paths, &tm);
+    let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+    let init = Allocation::shortest_path(tm.len(), 4);
+    let mut group = c.benchmark_group("admm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for iters in [2usize, 5, 20, 100] {
+        group.bench_with_input(BenchmarkId::new("iters", iters), &iters, |b, &n| {
+            let cfg = AdmmConfig { rho: 1.0, max_iters: n, tol: 0.0, serial: false };
+            b.iter(|| solver.run(&init, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: the LP backends (simplex vs ADMM-to-convergence vs
+//! Fleischer) and the baselines' end-to-end solve cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use teal_baselines::{solve_lp_top, solve_ncflow, solve_pop, NcflowConfig, PopConfig};
+use teal_lp::{fleischer, solve_lp, LpConfig, Objective, TeInstance};
+use teal_topology::{b4, PathSet};
+use teal_traffic::{TrafficConfig, TrafficModel};
+
+fn bench_lp(c: &mut Criterion) {
+    let topo = b4();
+    let pairs = topo.all_pairs();
+    let paths = PathSet::compute(&topo, &pairs, 4);
+    let mut model = TrafficModel::new(&pairs, TrafficConfig::default(), 42);
+    model.calibrate(&topo, &paths);
+    let tm = model.series(0, 1).remove(0);
+    let inst = TeInstance::new(&topo, &paths, &tm);
+    let cfg = LpConfig::default();
+
+    let mut group = c.benchmark_group("lp_solvers_b4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("simplex_exact", |b| {
+        b.iter(|| solve_lp(&inst, Objective::TotalFlow, &cfg))
+    });
+    let admm_cfg = LpConfig { simplex_budget: 0, ..LpConfig::default() };
+    group.bench_function("admm_convergence", |b| {
+        b.iter(|| solve_lp(&inst, Objective::TotalFlow, &admm_cfg))
+    });
+    group.bench_function("fleischer_eps0.1", |b| {
+        b.iter(|| fleischer::solve(&inst, 0.1, 1_000_000))
+    });
+    group.bench_function("lp_top", |b| {
+        b.iter(|| solve_lp_top(&inst, Objective::TotalFlow, 0.10, &cfg))
+    });
+    group.bench_function("ncflow", |b| {
+        let nc = NcflowConfig { clusters: 3, rounds: 2, lp: cfg };
+        b.iter(|| solve_ncflow(&inst, Objective::TotalFlow, &nc))
+    });
+    group.bench_function("pop_k2", |b| {
+        let pc = PopConfig { replicas: 2, split_threshold: 0.25, seed: 1, lp: cfg };
+        b.iter(|| solve_pop(&inst, Objective::TotalFlow, &pc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: candidate-path precomputation (Yen's k-shortest paths),
+//! the one-time setup cost every scheme shares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teal_topology::{generate, k_shortest_paths, PathSet, TopoKind};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paths");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, kind, scale) in
+        [("B4", TopoKind::B4, 1.0), ("SWAN-x0.5", TopoKind::Swan, 0.5)]
+    {
+        let topo = generate(kind, scale, 42);
+        group.bench_with_input(BenchmarkId::new("yen_single_pair", label), &(), |b, _| {
+            b.iter(|| k_shortest_paths(&topo, 0, topo.num_nodes() - 1, 4))
+        });
+        let pairs = topo.all_pairs();
+        group.bench_with_input(BenchmarkId::new("full_pathset", label), &(), |b, _| {
+            b.iter(|| PathSet::compute(&topo, &pairs, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

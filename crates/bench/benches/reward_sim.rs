@@ -1,0 +1,51 @@
+//! Criterion bench: reward simulation — full allocation evaluation vs the
+//! incremental counterfactual COMA* relies on (the ablation of incremental
+//! vs full recomputation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use teal_core::{Env, FlowSim};
+use teal_lp::Allocation;
+use teal_topology::{generate, PathSet, TopoKind};
+use teal_traffic::{TrafficConfig, TrafficModel};
+
+fn bench_reward(c: &mut Criterion) {
+    let topo = generate(TopoKind::Swan, 0.5, 42);
+    let mut pairs = topo.all_pairs();
+    pairs.truncate(1500);
+    let paths = PathSet::compute(&topo, &pairs, 4);
+    let mut model = TrafficModel::new(&pairs, TrafficConfig::default(), 42);
+    model.calibrate(&topo, &paths);
+    let tm = model.series(0, 1).remove(0);
+    let env = Arc::new(Env::new(topo, paths));
+
+    let nd = env.num_demands();
+    let mut alloc = Allocation::zeros(nd, 4);
+    for d in 0..nd {
+        alloc.set_demand_splits(d, &[0.25, 0.25, 0.25, 0.25]);
+    }
+    let mut group = c.benchmark_group("reward_sim");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("full_set_allocation", |b| {
+        let mut sim = FlowSim::new(&env, &tm, None);
+        b.iter(|| {
+            sim.set_allocation(&alloc);
+            sim.reward()
+        })
+    });
+    group.bench_function("incremental_counterfactual", |b| {
+        let mut sim = FlowSim::new(&env, &tm, None);
+        sim.set_allocation(&alloc);
+        let mut d = 0usize;
+        b.iter(|| {
+            d = (d + 1) % nd;
+            sim.counterfactual_reward(d, &[0.7, 0.3, 0.0, 0.0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reward);
+criterion_main!(benches);

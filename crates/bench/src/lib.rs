@@ -1,0 +1,13 @@
+//! `teal-bench`: the benchmark harness regenerating every table and figure
+//! of the paper (see DESIGN.md §4 for the experiment index).
+//!
+//! Run `cargo run -p teal-bench --bin expts --release -- all` to reproduce
+//! everything; individual experiments run via their id (e.g. `fig6`).
+//! Results are printed and persisted under `results/`.
+
+pub mod experiments;
+pub mod table;
+pub mod testbed;
+
+pub use experiments::Harness;
+pub use testbed::{train_teal_engine, Testbed, TestbedSpec, TrainBudget};

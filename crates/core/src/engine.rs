@@ -1,0 +1,176 @@
+//! The deployed Teal engine (§3.1, Figure 3): one neural forward pass
+//! followed by 2–5 warm-started ADMM iterations.
+//!
+//! `allocate` measures the wall-clock time of the full pipeline — the number
+//! reported as Teal's computation time in the paper's figures. Because the
+//! forward pass is a fixed sequence of matrix products and ADMM runs a fixed
+//! iteration count, the runtime is independent of the traffic values (the
+//! stability highlighted in Figure 7a).
+
+use crate::env::Env;
+use crate::model::PolicyModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use teal_lp::{AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
+use teal_topology::Topology;
+use teal_traffic::TrafficMatrix;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// ADMM fine-tuning iterations; `None` disables ADMM entirely (used for
+    /// the MLU/latency objectives in §5.5 and the w/o-ADMM ablation).
+    pub admm: Option<AdmmConfig>,
+    /// The objective the model was trained for (ADMM uses its linear
+    /// coefficients; MLU implies `admm = None`).
+    pub objective: Objective,
+}
+
+impl EngineConfig {
+    /// The paper's deployment defaults for a topology of `num_nodes` nodes.
+    pub fn paper_default(num_nodes: usize) -> Self {
+        EngineConfig {
+            admm: Some(AdmmConfig::fine_tune(num_nodes)),
+            objective: Objective::TotalFlow,
+        }
+    }
+
+    /// No fine-tuning (ablation / non-linear objectives).
+    pub fn without_admm(objective: Objective) -> Self {
+        EngineConfig { admm: None, objective }
+    }
+}
+
+/// A trained model plus the fine-tuning stage, ready to serve allocations.
+pub struct TealEngine<M: PolicyModel> {
+    model: M,
+    cfg: EngineConfig,
+}
+
+impl<M: PolicyModel> TealEngine<M> {
+    /// Wrap a (trained) model.
+    pub fn new(model: M, cfg: EngineConfig) -> Self {
+        TealEngine { model, cfg }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access (e.g. to continue training).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The environment.
+    pub fn env(&self) -> &Arc<Env> {
+        self.model.env()
+    }
+
+    /// Allocate a traffic matrix on the trained topology. Returns the
+    /// allocation and the measured computation time.
+    pub fn allocate(&self, tm: &TrafficMatrix) -> (Allocation, Duration) {
+        self.allocate_inner(tm, None)
+    }
+
+    /// Allocate against a topology with altered capacities (e.g. failed
+    /// links zeroed) *without retraining* — the §5.3 scenario. Paths stay
+    /// the ones precomputed on the original topology.
+    pub fn allocate_on(&self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
+        self.allocate_inner(tm, Some(topo))
+    }
+
+    fn allocate_inner(
+        &self,
+        tm: &TrafficMatrix,
+        topo_override: Option<&Topology>,
+    ) -> (Allocation, Duration) {
+        let env = self.model.env();
+        let start = Instant::now();
+        let input = env.model_input(tm, topo_override);
+        let mut alloc = self.model.allocate_deterministic(&input);
+        if let Some(admm_cfg) = self.cfg.admm {
+            let topo = topo_override.unwrap_or_else(|| env.topo());
+            let inst = TeInstance::new(topo, env.paths(), tm);
+            let solver = AdmmSolver::new(&inst, self.cfg.objective);
+            let (tuned, _) = solver.run(&alloc, admm_cfg);
+            alloc = tuned;
+        }
+        alloc.project_demand_constraints();
+        (alloc, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{TealConfig, TealModel};
+    use teal_topology::b4;
+
+    fn engine() -> TealEngine<TealModel> {
+        let env = Arc::new(Env::for_topology(b4()));
+        let model = TealModel::new(Arc::clone(&env), TealConfig {
+            gnn_layers: 3,
+            ..TealConfig::default()
+        });
+        TealEngine::new(model, EngineConfig::paper_default(12))
+    }
+
+    #[test]
+    fn allocate_is_demand_feasible() {
+        let eng = engine();
+        let tm = TrafficMatrix::new(vec![20.0; eng.env().num_demands()]);
+        let (alloc, dt) = eng.allocate(&tm);
+        assert!(alloc.demand_feasible(1e-6));
+        assert!(dt.as_nanos() > 0);
+    }
+
+    #[test]
+    fn admm_reduces_overuse_versus_raw_model() {
+        let env = Arc::new(Env::for_topology(b4()));
+        let model = TealModel::new(Arc::clone(&env), TealConfig {
+            gnn_layers: 3,
+            ..TealConfig::default()
+        });
+        // Heavy demands so the untrained softmax output oversubscribes.
+        let tm = TrafficMatrix::new(vec![150.0; env.num_demands()]);
+        let raw = model.allocate_deterministic(&env.model_input(&tm, None));
+        let inst = env.instance(&tm);
+        let raw_overuse = teal_lp::evaluate(&inst, &raw).total_overuse;
+
+        let eng = TealEngine::new(model, EngineConfig::paper_default(12));
+        let (tuned, _) = eng.allocate(&tm);
+        let tuned_overuse = teal_lp::evaluate(&inst, &tuned).total_overuse;
+        assert!(
+            tuned_overuse < raw_overuse,
+            "ADMM should reduce overuse: raw {raw_overuse}, tuned {tuned_overuse}"
+        );
+    }
+
+    #[test]
+    fn failure_override_changes_output() {
+        let eng = engine();
+        let tm = TrafficMatrix::new(vec![20.0; eng.env().num_demands()]);
+        let (base, _) = eng.allocate(&tm);
+        let failed = eng.env().topo().with_failed_link(0, 1);
+        let (after, _) = eng.allocate_on(&failed, &tm);
+        assert_ne!(base, after);
+    }
+
+    #[test]
+    fn runtime_is_stable_across_demand_values() {
+        // Figure 7a's claim: computation is independent of traffic values.
+        let eng = engine();
+        let nd = eng.env().num_demands();
+        let light = TrafficMatrix::new(vec![0.01; nd]);
+        let heavy = TrafficMatrix::new(vec![500.0; nd]);
+        let (_, t1) = eng.allocate(&light);
+        let (_, t2) = eng.allocate(&heavy);
+        // Generous factor-20 bound: identical op counts, only measurement
+        // noise differs (CI machines can be jittery).
+        let (a, b) = (t1.as_secs_f64(), t2.as_secs_f64());
+        let ratio = if a > b { a / b } else { b / a };
+        assert!(ratio < 20.0, "runtime ratio {ratio} too unstable");
+    }
+}

@@ -1,0 +1,158 @@
+//! The per-topology environment Teal trains and runs against.
+//!
+//! An [`Env`] bundles everything that is fixed across traffic matrices: the
+//! topology, the precomputed candidate paths, the path-edge incidence (as a
+//! CSR pair for FlowGNN's message passing), and normalization constants.
+//! Per-traffic-matrix inputs are produced by [`Env::model_input`].
+
+use teal_lp::TeInstance;
+use teal_nn::{CsrPair, Tensor};
+use teal_topology::{PathSet, Topology};
+use teal_traffic::TrafficMatrix;
+
+/// Fixed per-topology state shared by the model, trainer, and engine.
+#[derive(Clone)]
+pub struct Env {
+    topo: Topology,
+    paths: PathSet,
+    /// Path-edge incidence `A` (`num_paths x num_edges`) with its transpose.
+    incidence: CsrPair,
+    /// Mean link capacity, used to normalize capacities and volumes.
+    mean_cap: f64,
+}
+
+impl Env {
+    /// Build the environment (computes the incidence structure once).
+    pub fn new(topo: Topology, paths: PathSet) -> Self {
+        let triplets = paths.incidence_triplets();
+        let incidence =
+            CsrPair::from_triplets(paths.num_paths(), topo.num_edges(), &triplets);
+        let mean_cap = topo.total_capacity() / topo.num_edges().max(1) as f64;
+        Env { topo, paths, incidence, mean_cap: mean_cap.max(1e-12) }
+    }
+
+    /// Convenience: compute 4 shortest paths for every ordered pair.
+    pub fn for_topology(topo: Topology) -> Self {
+        let pairs = topo.all_pairs();
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        Env::new(topo, paths)
+    }
+
+    /// The WAN graph.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The candidate paths.
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+
+    /// The path-edge incidence CSR pair.
+    pub fn incidence(&self) -> &CsrPair {
+        &self.incidence
+    }
+
+    /// Mean link capacity (normalization constant).
+    pub fn mean_cap(&self) -> f64 {
+        self.mean_cap
+    }
+
+    /// Demands per matrix.
+    pub fn num_demands(&self) -> usize {
+        self.paths.num_demands()
+    }
+
+    /// Candidate paths per demand.
+    pub fn k(&self) -> usize {
+        self.paths.k()
+    }
+
+    /// Borrow an LP instance for a traffic matrix on the env's own topology.
+    pub fn instance<'a>(&'a self, tm: &'a TrafficMatrix) -> TeInstance<'a> {
+        TeInstance::new(&self.topo, &self.paths, tm)
+    }
+
+    /// LP instance against an alternative topology (e.g. with failed links);
+    /// the path set stays the one precomputed on the original topology,
+    /// matching the paper's failure model.
+    pub fn instance_on<'a>(
+        &'a self,
+        topo: &'a Topology,
+        tm: &'a TrafficMatrix,
+    ) -> TeInstance<'a> {
+        TeInstance::new(topo, &self.paths, tm)
+    }
+
+    /// Per-traffic-matrix model inputs: normalized PathNode and EdgeNode
+    /// initializations (§3.2 — PathNodes start from the demand volume, and
+    /// EdgeNodes from the link capacity). An optional topology override
+    /// injects failed-link capacities without retraining.
+    pub fn model_input(&self, tm: &TrafficMatrix, topo_override: Option<&Topology>) -> ModelInput {
+        let topo = topo_override.unwrap_or(&self.topo);
+        assert_eq!(topo.num_edges(), self.topo.num_edges(), "override edge count mismatch");
+        let k = self.k();
+        let inv = 1.0 / self.mean_cap;
+        let mut path_init = Vec::with_capacity(self.paths.num_paths());
+        for d in 0..self.num_demands() {
+            let v = (tm.demand(d) * inv) as f32;
+            for _ in 0..k {
+                path_init.push(v);
+            }
+        }
+        let edge_init: Vec<f32> =
+            topo.edges().iter().map(|e| (e.capacity * inv) as f32).collect();
+        ModelInput {
+            path_init: Tensor::from_vec(path_init.len(), 1, path_init),
+            edge_init: Tensor::from_vec(edge_init.len(), 1, edge_init),
+        }
+    }
+}
+
+/// Per-traffic-matrix tensors fed into the models.
+#[derive(Clone, Debug)]
+pub struct ModelInput {
+    /// `[num_paths, 1]` — demand volume of the path's demand (normalized).
+    pub path_init: Tensor,
+    /// `[num_edges, 1]` — link capacity (normalized).
+    pub edge_init: Tensor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teal_topology::b4;
+
+    #[test]
+    fn env_shapes_consistent() {
+        let env = Env::for_topology(b4());
+        assert_eq!(env.num_demands(), 132);
+        assert_eq!(env.k(), 4);
+        assert_eq!(env.incidence().fwd.rows(), env.paths().num_paths());
+        assert_eq!(env.incidence().fwd.cols(), env.topo().num_edges());
+    }
+
+    #[test]
+    fn model_input_shapes_and_normalization() {
+        let env = Env::for_topology(b4());
+        let tm = TrafficMatrix::new(vec![env.mean_cap(); env.num_demands()]);
+        let input = env.model_input(&tm, None);
+        assert_eq!(input.path_init.shape(), (env.paths().num_paths(), 1));
+        assert_eq!(input.edge_init.shape(), (env.topo().num_edges(), 1));
+        // A demand equal to the mean capacity normalizes to 1.
+        assert!((input.path_init.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_override_changes_edge_init_only() {
+        let env = Env::for_topology(b4());
+        let tm = TrafficMatrix::new(vec![1.0; env.num_demands()]);
+        let failed = env.topo().with_failed_link(0, 1);
+        let base = env.model_input(&tm, None);
+        let after = env.model_input(&tm, Some(&failed));
+        assert_eq!(base.path_init, after.path_init);
+        assert_ne!(base.edge_init, after.edge_init);
+        let e = env.topo().find_edge(0, 1).unwrap();
+        assert_eq!(after.edge_init.get(e, 0), 0.0);
+    }
+}

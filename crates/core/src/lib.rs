@@ -1,0 +1,30 @@
+//! `teal-core`: the paper's primary contribution — Teal, a learning-
+//! accelerated WAN traffic engineering scheme (SIGCOMM 2023).
+//!
+//! Pipeline (Figure 3): traffic demands and link capacities enter
+//! [`model::TealModel`]'s FlowGNN (§3.2), whose per-path embeddings feed a
+//! shared per-demand policy network (§3.3) trained with the COMA* multi-
+//! agent RL algorithm in [`coma`] (Appendix B); the resulting allocation is
+//! fine-tuned by a few warm-started ADMM iterations in [`engine`] (§3.4).
+//!
+//! Supporting modules: [`env`] (per-topology context), [`flowsim`]
+//! (incremental reward simulation for counterfactual advantages),
+//! [`direct`] (the surrogate-loss ablation), [`ablation`] (naive DNN /
+//! naive GNN / global-policy variants, §5.7) and [`tsne`] (Figure 16).
+
+pub mod ablation;
+pub mod coma;
+pub mod direct;
+pub mod engine;
+pub mod env;
+pub mod flowsim;
+pub mod model;
+pub mod tsne;
+
+pub use coma::{train_coma, validate, validate_reward, ComaConfig, TrainReport};
+pub use flowsim::RewardKind;
+pub use direct::{train_direct, DirectConfig};
+pub use engine::{EngineConfig, TealEngine};
+pub use env::{Env, ModelInput};
+pub use flowsim::FlowSim;
+pub use model::{mu_to_allocation, Forward, PolicyModel, TealConfig, TealModel};

@@ -1,0 +1,535 @@
+//! ADMM for the TE path LP, following Appendix C of the paper.
+//!
+//! The constrained problem (Eq. 1) is rewritten with auxiliary per-(path,
+//! edge) variables `z_pe`, slacks `s1_d` (demand rows) and `s3_e` (capacity
+//! rows), and multipliers `λ = (λ1, λ3, λ4)`. Each ADMM iteration performs
+//! four sweeps, every one of which decomposes into independent per-demand or
+//! per-edge subproblems (the parallelism §3.4 exploits on GPUs; here spread
+//! over CPU threads):
+//!
+//! 1. **F-update** — per demand, a k-dimensional box-clamped quadratic whose
+//!    Hessian is `ρ(vol²·diag(L_p) + 11ᵀ)`, solved in closed form via the
+//!    Sherman-Morrison identity;
+//! 2. **z-update** — per edge, Hessian `ρ(I + 11ᵀ)`, also Sherman-Morrison;
+//! 3. **slack updates** — non-negative projections in closed form;
+//! 4. **dual ascent** on all three multiplier families.
+//!
+//! Used in two roles, matching the paper: *warm-started for 2–5 iterations*
+//! as Teal's feasibility repair (§3.4), and *cold-started to convergence* as
+//! the large-instance substitute for the Gurobi "LP-all" baseline (our
+//! documented Gurobi substitution; see DESIGN.md).
+
+use crate::problem::{Allocation, Objective, TeInstance};
+
+/// ADMM hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmmConfig {
+    /// Penalty coefficient ρ.
+    pub rho: f64,
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Stop early when the max primal residual drops below this (0 disables
+    /// early stopping — the paper's fine-tuning always runs a fixed count).
+    pub tol: f64,
+    /// Run all update sweeps single-threaded. Used by the Figure-2
+    /// concurrent-racing experiment, where each racer must model a *serial*
+    /// LP instance on its own thread.
+    pub serial: bool,
+}
+
+impl AdmmConfig {
+    /// The paper's fine-tuning setting: 2 iterations for topologies under
+    /// 100 nodes, 5 otherwise (§4).
+    pub fn fine_tune(num_nodes: usize) -> Self {
+        AdmmConfig { rho: 1.0, max_iters: if num_nodes < 100 { 2 } else { 5 }, tol: 0.0, serial: false }
+    }
+
+    /// Solve-to-convergence setting used as the LP-all substitute.
+    pub fn to_convergence() -> Self {
+        AdmmConfig { rho: 1.0, max_iters: 4000, tol: 1e-5, serial: false }
+    }
+}
+
+/// Iteration report.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmmReport {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Final max primal residual (normalized units).
+    pub primal_residual: f64,
+}
+
+/// Pre-indexed ADMM solver for one `(topology, path set)` pair. Building the
+/// index is O(nnz) and is reused across traffic matrices.
+pub struct AdmmSolver {
+    num_demands: usize,
+    k: usize,
+    num_edges: usize,
+    /// Normalized demand volumes per demand.
+    vols: Vec<f64>,
+    /// Normalized capacities per edge.
+    caps: Vec<f64>,
+    /// Normalized per-path objective coefficients.
+    vcoef: Vec<f64>,
+    /// Flattened incidence entries: `(path, edge)` per non-zero.
+    entries: Vec<(u32, u32)>,
+    /// Entry ids of each path (demand-major path indexing).
+    path_entries: Vec<Vec<u32>>,
+    /// Entry ids of each edge.
+    edge_entries: Vec<Vec<u32>>,
+}
+
+struct State {
+    f: Vec<f64>,
+    z: Vec<f64>,
+    s1: Vec<f64>,
+    s3: Vec<f64>,
+    l1: Vec<f64>,
+    l3: Vec<f64>,
+    l4: Vec<f64>,
+}
+
+impl AdmmSolver {
+    /// Build the solver for an instance under a linear objective
+    /// (`TotalFlow` or `DelayPenalizedFlow`; `MinMaxLinkUtil` uses
+    /// [`crate::pathlp::solve_mlu`] instead).
+    pub fn new(inst: &TeInstance, obj: Objective) -> Self {
+        assert!(
+            !matches!(obj, Objective::MinMaxLinkUtil),
+            "ADMM handles linear objectives; use solve_mlu for MLU"
+        );
+        let num_edges = inst.topo.num_edges();
+        // Normalize volumes/capacities by the mean capacity so ρ=1 is well
+        // conditioned on every topology.
+        let mean_cap = inst.topo.total_capacity() / num_edges.max(1) as f64;
+        let alpha = if mean_cap > 0.0 { 1.0 / mean_cap } else { 1.0 };
+
+        let vols: Vec<f64> = inst.tm.demands().iter().map(|v| v * alpha).collect();
+        let caps: Vec<f64> = inst.topo.edges().iter().map(|e| e.capacity * alpha).collect();
+        let vcoef: Vec<f64> =
+            inst.value_coefficients(obj).iter().map(|v| v * alpha).collect();
+
+        let mut entries = Vec::new();
+        let mut path_entries = vec![Vec::new(); inst.paths.num_paths()];
+        let mut edge_entries = vec![Vec::new(); num_edges];
+        for (p, path) in inst.paths.paths().iter().enumerate() {
+            for &e in &path.edges {
+                let id = entries.len() as u32;
+                entries.push((p as u32, e as u32));
+                path_entries[p].push(id);
+                edge_entries[e].push(id);
+            }
+        }
+        AdmmSolver {
+            num_demands: inst.num_demands(),
+            k: inst.k(),
+            num_edges,
+            vols,
+            caps,
+            vcoef,
+            entries,
+            path_entries,
+            edge_entries,
+        }
+    }
+
+    /// Run ADMM starting from `init` (which is projected onto the demand
+    /// constraints first). Returns the refined allocation and a report.
+    pub fn run(&self, init: &Allocation, cfg: AdmmConfig) -> (Allocation, AdmmReport) {
+        self.run_with_cancel(init, cfg, None)
+    }
+
+    /// Like [`AdmmSolver::run`], checking an external cancellation flag
+    /// between iterations (for racing solvers).
+    pub fn run_with_cancel(
+        &self,
+        init: &Allocation,
+        cfg: AdmmConfig,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> (Allocation, AdmmReport) {
+        assert_eq!(init.num_demands(), self.num_demands);
+        assert_eq!(init.k(), self.k);
+        let mut warm = init.clone();
+        warm.project_demand_constraints();
+
+        let nnz = self.entries.len();
+        let mut st = State {
+            f: warm.splits().to_vec(),
+            z: vec![0.0; nnz],
+            s1: vec![0.0; self.num_demands],
+            s3: vec![0.0; self.num_edges],
+            l1: vec![0.0; self.num_demands],
+            l3: vec![0.0; self.num_edges],
+            l4: vec![0.0; nnz],
+        };
+        // Initialize z to match the warm-started flows and slacks to the
+        // residual capacities, so iteration 1 starts near-consistent.
+        for (i, &(p, _)) in self.entries.iter().enumerate() {
+            st.z[i] = st.f[p as usize] * self.vols[p as usize / self.k];
+        }
+        for d in 0..self.num_demands {
+            let sum: f64 = st.f[d * self.k..(d + 1) * self.k].iter().sum();
+            st.s1[d] = (1.0 - sum).max(0.0);
+        }
+        for e in 0..self.num_edges {
+            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            st.s3[e] = (self.caps[e] - sum).max(0.0);
+        }
+
+        let rho = cfg.rho;
+        let serial = cfg.serial;
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        for _ in 0..cfg.max_iters {
+            if let Some(flag) = cancel {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+            }
+            let df = self.update_f(&mut st, rho, serial);
+            let dz = self.update_z(&mut st, rho, serial);
+            self.update_slacks(&mut st, rho);
+            let primal = self.dual_ascent(&mut st, rho);
+            // Convergence needs both feasibility (primal residual) and a
+            // stationary iterate (dual residual ~ ρ * step size); primal
+            // alone is satisfied by the all-zero point.
+            residual = primal.max(rho * df).max(rho * dz);
+            iterations += 1;
+            if cfg.tol > 0.0 && residual < cfg.tol {
+                break;
+            }
+        }
+
+        let mut out = Allocation::from_splits(self.k, st.f);
+        out.project_demand_constraints();
+        (out, AdmmReport { iterations, primal_residual: residual })
+    }
+
+    /// Per-demand F-update (parallel across demand chunks). Returns the
+    /// max absolute change of any split (the F-block dual residual).
+    fn update_f(&self, st: &mut State, rho: f64, serial: bool) -> f64 {
+        let k = self.k;
+        let z = &st.z;
+        let s1 = &st.s1;
+        let l1 = &st.l1;
+        let l4 = &st.l4;
+        let solver = self;
+        let prev = st.f.clone();
+        par_chunks_indexed(&mut st.f, k * 64, serial, |start, chunk| {
+            // `start` is a split index; convert to demand ids.
+            debug_assert_eq!(start % k, 0);
+            let d0 = start / k;
+            for (dd, row) in chunk.chunks_mut(k).enumerate() {
+                let d = d0 + dd;
+                let vol = solver.vols[d];
+                if vol <= 0.0 {
+                    row.iter_mut().for_each(|v| *v = 0.0);
+                    continue;
+                }
+                let mut b = [0.0f64; 16];
+                let mut diag = [0.0f64; 16];
+                for (j, bj) in b.iter_mut().enumerate().take(k) {
+                    let p = d * k + j;
+                    let mut acc = solver.vcoef[p] - l1[d] - rho * (s1[d] - 1.0);
+                    for &i in &solver.path_entries[p] {
+                        let i = i as usize;
+                        acc += -l4[i] * vol + rho * vol * z[i];
+                    }
+                    *bj = acc;
+                    diag[j] = rho * vol * vol * solver.path_entries[p].len() as f64;
+                }
+                // Sherman-Morrison solve of (diag + rho*11^T) x = b.
+                let mut sum_binv = 0.0;
+                let mut sum_inv = 0.0;
+                for j in 0..k {
+                    sum_binv += b[j] / diag[j];
+                    sum_inv += 1.0 / diag[j];
+                }
+                let corr = rho * sum_binv / (1.0 + rho * sum_inv);
+                for (j, r) in row.iter_mut().enumerate() {
+                    let x = (b[j] - corr) / diag[j];
+                    *r = x.clamp(0.0, 1.0);
+                }
+            }
+        });
+        prev.iter().zip(&st.f).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+
+    /// Per-edge z-update (parallel across edges). Returns the max absolute
+    /// change of any auxiliary variable (the z-block dual residual).
+    fn update_z(&self, st: &mut State, rho: f64, serial: bool) -> f64 {
+        let k = self.k;
+        let f = &st.f;
+        let s3 = &st.s3;
+        let l3 = &st.l3;
+        let l4 = &st.l4;
+        let solver = self;
+        // z entries are not contiguous per edge, so compute per-edge results
+        // into a scratch copy first (indexable in parallel by edge).
+        let mut new_z = st.z.clone();
+        {
+            let new_z_cell: Vec<std::sync::atomic::AtomicU64> =
+                new_z.iter().map(|v| std::sync::atomic::AtomicU64::new(v.to_bits())).collect();
+            let edges: Vec<usize> = (0..self.num_edges).collect();
+            par_iter(&edges, 64, serial, |&e| {
+                let ents = &solver.edge_entries[e];
+                if ents.is_empty() {
+                    return;
+                }
+                let n = ents.len() as f64;
+                let mut sum_b = 0.0;
+                let mut bs: Vec<f64> = Vec::with_capacity(ents.len());
+                for &i in ents {
+                    let i = i as usize;
+                    let (p, _) = solver.entries[i];
+                    let vol = solver.vols[p as usize / k];
+                    let b = -l3[e] - rho * (s3[e] - solver.caps[e])
+                        + l4[i]
+                        + rho * f[p as usize] * vol;
+                    bs.push(b);
+                    sum_b += b;
+                }
+                let corr = sum_b / rho / (1.0 + n);
+                for (&i, b) in ents.iter().zip(bs) {
+                    let zi = b / rho - corr;
+                    new_z_cell[i as usize]
+                        .store(zi.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            for (v, cell) in new_z.iter_mut().zip(&new_z_cell) {
+                *v = f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed));
+            }
+        }
+        let dz = st
+            .z
+            .iter()
+            .zip(&new_z)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        st.z = new_z;
+        dz
+    }
+
+    /// Closed-form non-negative slack updates.
+    fn update_slacks(&self, st: &mut State, rho: f64) {
+        let k = self.k;
+        for d in 0..self.num_demands {
+            let sum: f64 = st.f[d * k..(d + 1) * k].iter().sum();
+            st.s1[d] = (1.0 - sum - st.l1[d] / rho).max(0.0);
+        }
+        for e in 0..self.num_edges {
+            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            st.s3[e] = (self.caps[e] - sum - st.l3[e] / rho).max(0.0);
+        }
+    }
+
+    /// Dual ascent; returns the max primal residual.
+    fn dual_ascent(&self, st: &mut State, rho: f64) -> f64 {
+        let k = self.k;
+        let mut resid = 0.0f64;
+        for d in 0..self.num_demands {
+            let g = st.f[d * k..(d + 1) * k].iter().sum::<f64>() + st.s1[d] - 1.0;
+            st.l1[d] += rho * g;
+            resid = resid.max(g.abs());
+        }
+        for e in 0..self.num_edges {
+            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            let g = sum + st.s3[e] - self.caps[e];
+            st.l3[e] += rho * g;
+            resid = resid.max(g.abs());
+        }
+        for (i, &(p, _)) in self.entries.iter().enumerate() {
+            let g = st.f[p as usize] * self.vols[p as usize / k] - st.z[i];
+            st.l4[i] += rho * g;
+            resid = resid.max(g.abs());
+        }
+        resid
+    }
+}
+
+/// Minimal scoped-thread helpers (kept local so `teal-lp` does not depend on
+/// the NN substrate).
+fn par_chunks_indexed<T: Send, F>(data: &mut [T], min_chunk: usize, serial: bool, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads =
+        if serial { 1 } else { hw.min(8).min(len.div_ceil(min_chunk)).max(1) };
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let mut chunk = len.div_ceil(threads);
+    // Keep chunk a multiple of min_chunk so row groups stay intact.
+    chunk = chunk.div_ceil(min_chunk) * min_chunk;
+    crossbeam::scope(|s| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i * chunk, c));
+        }
+    })
+    .expect("admm worker panicked");
+}
+
+fn par_iter<T: Sync, F>(items: &[T], min_chunk: usize, serial: bool, f: F)
+where
+    F: Fn(&T) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads =
+        if serial { 1 } else { hw.min(8).min(len.div_ceil(min_chunk)).max(1) };
+    if threads <= 1 {
+        items.iter().for_each(&f);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for c in items.chunks(chunk) {
+            let f = &f;
+            s.spawn(move |_| c.iter().for_each(f));
+        }
+    })
+    .expect("admm worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::evaluate;
+    use crate::simplex;
+    use teal_topology::{PathSet, Topology};
+    use teal_traffic::TrafficMatrix;
+
+    fn diamond() -> Topology {
+        let mut t = Topology::new("d", 4);
+        t.add_link(0, 1, 10.0, 1.0);
+        t.add_link(1, 3, 10.0, 1.0);
+        t.add_link(0, 2, 10.0, 1.5);
+        t.add_link(2, 3, 10.0, 1.5);
+        t.add_link(0, 3, 5.0, 4.0);
+        t
+    }
+
+    /// Exact optimum of the same LP via simplex, for comparison.
+    fn simplex_optimum(inst: &TeInstance) -> f64 {
+        let k = inst.k();
+        let vc = inst.value_coefficients(Objective::TotalFlow);
+        let mut rows = Vec::new();
+        for d in 0..inst.num_demands() {
+            let coeffs = (0..k).map(|j| (d * k + j, 1.0)).collect();
+            rows.push(simplex::Row { coeffs, rhs: 1.0 });
+        }
+        let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
+        for (e, plist) in e2p.iter().enumerate() {
+            if plist.is_empty() {
+                continue;
+            }
+            let coeffs = plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
+            rows.push(simplex::Row { coeffs, rhs: inst.topo.edge(e).capacity });
+        }
+        let r = simplex::solve(&vc, &rows, 50_000);
+        assert_eq!(r.status, simplex::SimplexStatus::Optimal);
+        r.objective
+    }
+
+    #[test]
+    fn admm_converges_to_lp_optimum_single_demand() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        // Demand exceeds single-path capacity: optimum uses all 25 units of
+        // cut capacity.
+        let tm = TrafficMatrix::new(vec![30.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+        let (alloc, report) =
+            solver.run(&Allocation::zeros(1, 4), AdmmConfig::to_convergence());
+        let stats = evaluate(&inst, &alloc);
+        let opt = simplex_optimum(&inst);
+        assert!(
+            stats.realized_flow > 0.95 * opt,
+            "admm {} vs simplex {} (residual {})",
+            stats.realized_flow,
+            opt,
+            report.primal_residual
+        );
+        assert!(alloc.demand_feasible(1e-6));
+    }
+
+    #[test]
+    fn admm_matches_simplex_multi_demand() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize), (1usize, 2usize), (3usize, 0usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![12.0, 9.0, 15.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+        let (alloc, _) = solver.run(&Allocation::zeros(3, 4), AdmmConfig::to_convergence());
+        let got = evaluate(&inst, &alloc).realized_flow;
+        let opt = simplex_optimum(&inst);
+        assert!(got > 0.93 * opt, "admm {got} vs simplex {opt}");
+    }
+
+    #[test]
+    fn few_iterations_reduce_violations_of_bad_start() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![40.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        // Grossly infeasible warm start: everything on every path.
+        let bad = Allocation::from_splits(4, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut bad_proj = bad.clone();
+        bad_proj.project_demand_constraints();
+        let before = evaluate(&inst, &bad_proj).total_overuse;
+        let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+        let (tuned, _) = solver.run(&bad, AdmmConfig { rho: 1.0, max_iters: 5, tol: 0.0, serial: false });
+        let after = evaluate(&inst, &tuned).total_overuse;
+        assert!(after < before, "overuse before {before}, after {after}");
+    }
+
+    #[test]
+    fn warm_start_speeds_convergence() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize), (1usize, 2usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![18.0, 6.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+        // Near-optimal warm start.
+        let (near_opt, _) =
+            solver.run(&Allocation::zeros(2, 4), AdmmConfig::to_convergence());
+        let opt_flow = evaluate(&inst, &near_opt).realized_flow;
+        let cfg5 = AdmmConfig { rho: 1.0, max_iters: 5, tol: 0.0, serial: false };
+        let (from_warm, _) = solver.run(&near_opt, cfg5);
+        let warm_flow = evaluate(&inst, &from_warm).realized_flow;
+        // Five fine-tuning iterations on a near-optimal warm start must
+        // preserve near-optimality (the property §3.4 relies on).
+        assert!(
+            warm_flow >= 0.90 * opt_flow,
+            "warm 5-iter flow {warm_flow} degraded from optimum {opt_flow}"
+        );
+    }
+
+    #[test]
+    fn zero_demand_yields_zero_allocation() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![0.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
+        let (alloc, _) =
+            solver.run(&Allocation::shortest_path(1, 4), AdmmConfig::to_convergence());
+        assert!(alloc.splits().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Concurrent-racing LP solving, reproducing Figure 2.
+//!
+//! §2.1: "To exploit multiple CPU threads, LP solvers often resort to
+//! concurrently running independent instances of different optimization
+//! algorithms, where each instance executes serially on a separate thread;
+//! the solution is yielded by whichever instance completes first." The
+//! consequence is the famously marginal multicore speedup the paper measures
+//! on Gurobi (3.8x at 16 threads).
+//!
+//! We reproduce the mechanism: with `t` threads we launch `t` serial solver
+//! instances whose configurations differ (ADMM penalty ρ and over-relaxation
+//! of the tolerance), and take the first to converge. Extra threads help only
+//! insofar as one of the alternative configurations happens to converge
+//! faster — exactly the sublinear behaviour of Figure 2.
+
+use crate::admm::{AdmmConfig, AdmmSolver};
+use crate::problem::{Allocation, Objective, TeInstance};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Result of a concurrent-racing solve.
+#[derive(Debug)]
+pub struct RaceResult {
+    /// The winning allocation.
+    pub alloc: Allocation,
+    /// Wall-clock time until the first instance finished.
+    pub elapsed: Duration,
+    /// Index of the winning configuration.
+    pub winner: usize,
+}
+
+/// Candidate ρ values assigned round-robin to racing instances. The first is
+/// the default; alternatives are plausible but usually slower, so extra
+/// threads yield diminishing returns.
+const RHO_LADDER: [f64; 8] = [1.0, 0.5, 2.0, 0.25, 4.0, 0.125, 8.0, 16.0];
+
+/// Solve `inst` with `threads` racing serial instances and return the first
+/// result (plus timing).
+pub fn race_solve(inst: &TeInstance, obj: Objective, threads: usize, tol: f64) -> RaceResult {
+    assert!(threads >= 1);
+    let solver = AdmmSolver::new(inst, obj);
+    let start = Instant::now();
+    let done = AtomicBool::new(false);
+    let winner: Mutex<Option<(usize, Allocation, Duration)>> = Mutex::new(None);
+
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let solver = &solver;
+            let done = &done;
+            let winner = &winner;
+            let inst_nd = inst.num_demands();
+            let inst_k = inst.k();
+            s.spawn(move |_| {
+                let rho = RHO_LADDER[t % RHO_LADDER.len()];
+                // Each racer is a *serial* instance (as Gurobi's concurrent
+                // mode runs serial algorithms per thread); it checks the
+                // shared flag each iteration and stops once someone won.
+                let cfg = AdmmConfig { rho, max_iters: 20_000, tol, serial: true };
+                let init = Allocation::zeros(inst_nd, inst_k);
+                let (result, _rep) = solver.run_with_cancel(&init, cfg, Some(done));
+                // First finisher wins; racers cancelled by the flag find
+                // `done` already true and cannot record.
+                if !done.swap(true, Ordering::SeqCst) {
+                    let mut w = winner.lock().unwrap();
+                    *w = Some((t, result, start.elapsed()));
+                }
+            });
+        }
+    })
+    .expect("racing solver panicked");
+
+    let (idx, alloc, elapsed) = winner.into_inner().unwrap().expect("no racer finished");
+    RaceResult { alloc, elapsed, winner: idx }
+}
+
+/// Measure each racing configuration's *serial* solve time, one at a time.
+///
+/// On a `t`-core machine, Gurobi-style concurrent racing finishes when the
+/// fastest of the first `t` configurations converges; with dedicated cores
+/// that wall-clock time is `min` over those serial times. This helper makes
+/// Figure 2 reproducible on machines with few cores (including the 1-core
+/// CI boxes this reproduction targets): measure once per configuration, then
+/// derive the race outcome for any thread count as a prefix minimum.
+pub fn measure_racers(
+    inst: &TeInstance,
+    obj: Objective,
+    num_configs: usize,
+    tol: f64,
+) -> Vec<Duration> {
+    let solver = AdmmSolver::new(inst, obj);
+    let mut times = Vec::with_capacity(num_configs);
+    for t in 0..num_configs.min(RHO_LADDER.len()) {
+        let rho = RHO_LADDER[t];
+        let cfg = AdmmConfig { rho, max_iters: 20_000, tol, serial: true };
+        let init = Allocation::zeros(inst.num_demands(), inst.k());
+        let start = Instant::now();
+        let _ = solver.run(&init, cfg);
+        times.push(start.elapsed());
+    }
+    times
+}
+
+/// Wall-clock time a concurrent race would take with `threads` dedicated
+/// cores, from per-configuration serial measurements.
+pub fn race_time_with_threads(racer_times: &[Duration], threads: usize) -> Duration {
+    racer_times
+        .iter()
+        .take(threads.max(1).min(racer_times.len()))
+        .min()
+        .copied()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::evaluate;
+    use teal_topology::{PathSet, Topology};
+    use teal_traffic::TrafficMatrix;
+
+    fn diamond() -> Topology {
+        let mut t = Topology::new("d", 4);
+        t.add_link(0, 1, 10.0, 1.0);
+        t.add_link(1, 3, 10.0, 1.0);
+        t.add_link(0, 2, 10.0, 1.5);
+        t.add_link(2, 3, 10.0, 1.5);
+        t
+    }
+
+    #[test]
+    fn race_produces_good_solution() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![25.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let r = race_solve(&inst, Objective::TotalFlow, 2, 1e-4);
+        let flow = evaluate(&inst, &r.alloc).realized_flow;
+        assert!(flow > 18.0, "flow {flow}");
+        assert!(r.winner < 2);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let tm = TrafficMatrix::new(vec![5.0]);
+        let inst = TeInstance::new(&topo, &paths, &tm);
+        let r = race_solve(&inst, Objective::TotalFlow, 1, 1e-4);
+        assert_eq!(r.winner, 0);
+        let flow = evaluate(&inst, &r.alloc).realized_flow;
+        assert!((flow - 5.0).abs() < 0.3, "flow {flow}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense primal simplex for LPs in the standard inequality form
+//! `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0`.
+//!
+//! The TE path LP (Appendix A) is exactly this form with non-negative
+//! right-hand sides, so the all-slack basis is feasible and no phase-1 is
+//! needed. A dense tableau is O((m+n)·m) memory, which restricts exact
+//! solves to small instances (B4-sized networks, unit tests, and the
+//! per-cluster subproblems of NCFlow) — precisely the regime where the paper
+//! reports LP solvers being practical. Larger instances use the iterative
+//! solvers in [`crate::admm`] and [`crate::pathlp`].
+
+/// Termination status of a simplex solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimplexStatus {
+    /// Proven optimal.
+    Optimal,
+    /// The LP is unbounded (cannot happen for TE instances, which are
+    /// box-bounded by demand constraints).
+    Unbounded,
+    /// Stopped at the iteration limit; the solution is feasible but may be
+    /// suboptimal.
+    IterLimit,
+}
+
+/// Result of a simplex solve.
+#[derive(Clone, Debug)]
+pub struct SimplexResult {
+    /// Primal solution, length = number of structural variables.
+    pub x: Vec<f64>,
+    /// Objective value `cᵀx`.
+    pub objective: f64,
+    /// Pivot count.
+    pub iterations: usize,
+    /// Why we stopped.
+    pub status: SimplexStatus,
+}
+
+/// A sparse inequality row `Σ coeffs ≤ rhs`.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// `(variable index, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Right-hand side (must be ≥ 0).
+    pub rhs: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solve `max cᵀx, Ax ≤ b, x ≥ 0` with the given sparse rows.
+pub fn solve(c: &[f64], rows: &[Row], max_iter: usize) -> SimplexResult {
+    let n = c.len();
+    let m = rows.len();
+    for r in rows {
+        assert!(r.rhs >= -EPS, "rhs must be non-negative, got {}", r.rhs);
+        for &(j, _) in &r.coeffs {
+            assert!(j < n, "column index {j} out of range");
+        }
+    }
+    let width = n + m + 1; // structural + slack + rhs
+    // Tableau rows: m constraint rows then the objective row (reduced costs).
+    let mut t = vec![0.0f64; (m + 1) * width];
+    let idx = |r: usize, c: usize| r * width + c;
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, v) in &row.coeffs {
+            t[idx(i, j)] += v;
+        }
+        t[idx(i, n + i)] = 1.0;
+        t[idx(i, n + m)] = row.rhs.max(0.0);
+    }
+    // Objective row holds -c so that optimality is "all entries ≥ 0".
+    for (j, &cj) in c.iter().enumerate() {
+        t[idx(m, j)] = -cj;
+    }
+
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut iterations = 0usize;
+    let status = loop {
+        if iterations >= max_iter {
+            break SimplexStatus::IterLimit;
+        }
+        // Dantzig rule: most negative reduced cost.
+        let mut enter = None;
+        let mut best = -EPS;
+        for j in 0..n + m {
+            let v = t[idx(m, j)];
+            if v < best {
+                best = v;
+                enter = Some(j);
+            }
+        }
+        let Some(enter) = enter else {
+            break SimplexStatus::Optimal;
+        };
+        // Ratio test with Bland-style tie-breaking on the basis variable.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = t[idx(i, enter)];
+            if a > EPS {
+                let ratio = t[idx(i, n + m)] / a;
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            break SimplexStatus::Unbounded;
+        };
+        // Pivot.
+        let piv = t[idx(leave, enter)];
+        for j in 0..width {
+            t[idx(leave, j)] /= piv;
+        }
+        for i in 0..=m {
+            if i == leave {
+                continue;
+            }
+            let f = t[idx(i, enter)];
+            if f.abs() > EPS {
+                for j in 0..width {
+                    t[idx(i, j)] -= f * t[idx(leave, j)];
+                }
+            }
+        }
+        basis[leave] = enter;
+        iterations += 1;
+    };
+
+    let mut x = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[idx(i, n + m)].max(0.0);
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(a, b)| a * b).sum();
+    SimplexResult { x, objective, iterations, status }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[(usize, f64)], rhs: f64) -> Row {
+        Row { coeffs: coeffs.to_vec(), rhs }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+        let c = [3.0, 5.0];
+        let rows = [
+            row(&[(0, 1.0)], 4.0),
+            row(&[(1, 2.0)], 12.0),
+            row(&[(0, 3.0), (1, 2.0)], 18.0),
+        ];
+        let r = solve(&c, &rows, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 36.0).abs() < 1e-6);
+        assert!((r.x[0] - 2.0).abs() < 1e-6);
+        assert!((r.x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs() {
+        // max x s.t. x <= 0 -> 0.
+        let r = solve(&[1.0], &[row(&[(0, 1.0)], 0.0)], 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!(r.objective.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only a constraint on y.
+        let r = solve(&[1.0, 0.0], &[row(&[(1, 1.0)], 5.0)], 100);
+        assert_eq!(r.status, SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn all_negative_costs_stay_at_origin() {
+        let r = solve(&[-1.0, -2.0], &[row(&[(0, 1.0), (1, 1.0)], 10.0)], 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert_eq!(r.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn te_shaped_instance() {
+        // Two demands over shared capacity: max 10a + 20b
+        // s.t. a <= 1, b <= 1 (demand), 10a + 20b <= 25 (shared link).
+        let c = [10.0, 20.0];
+        let rows = [
+            row(&[(0, 1.0)], 1.0),
+            row(&[(1, 1.0)], 1.0),
+            row(&[(0, 10.0), (1, 20.0)], 25.0),
+        ];
+        let r = solve(&c, &rows, 100);
+        assert_eq!(r.status, SimplexStatus::Optimal);
+        assert!((r.objective - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_iteration_limit() {
+        let c = [3.0, 5.0];
+        let rows = [
+            row(&[(0, 1.0)], 4.0),
+            row(&[(1, 2.0)], 12.0),
+            row(&[(0, 3.0), (1, 2.0)], 18.0),
+        ];
+        let r = solve(&c, &rows, 1);
+        assert_eq!(r.status, SimplexStatus::IterLimit);
+        // Still primal feasible.
+        assert!(r.x.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn solution_feasibility_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..25 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..6);
+            let c: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let rows: Vec<Row> = (0..m)
+                .map(|_| {
+                    let mut coeffs = Vec::new();
+                    for j in 0..n {
+                        if rng.gen::<f64>() < 0.7 {
+                            coeffs.push((j, rng.gen_range(0.1..2.0)));
+                        }
+                    }
+                    Row { coeffs, rhs: rng.gen_range(0.0..5.0) }
+                })
+                .collect();
+            // Bound all variables so the LP cannot be unbounded.
+            let mut all = rows.clone();
+            for j in 0..n {
+                all.push(row(&[(j, 1.0)], 10.0));
+            }
+            let r = solve(&c, &all, 10_000);
+            assert_eq!(r.status, SimplexStatus::Optimal);
+            for rr in &all {
+                let lhs: f64 = rr.coeffs.iter().map(|&(j, v)| v * r.x[j]).sum();
+                assert!(lhs <= rr.rhs + 1e-6, "constraint violated: {lhs} > {}", rr.rhs);
+            }
+        }
+    }
+}

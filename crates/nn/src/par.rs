@@ -1,0 +1,141 @@
+//! CPU parallelism helpers.
+//!
+//! The paper's speed argument rests on neural-network inference being "one
+//! fixed-cost batch of matrix multiplications" that parallel hardware chews
+//! through. We stand in for the GPU with crossbeam scoped threads: dense
+//! kernels split their output rows across a small thread pool once the
+//! problem is large enough to amortize the spawn cost.
+
+use crate::tensor::{matmul_into, Tensor};
+
+/// Work sizes below this many fused multiply-adds stay single-threaded.
+const PAR_THRESHOLD: usize = 1 << 18;
+
+/// Number of worker threads to use for a problem of `work` FLOPs.
+fn thread_count(work: usize) -> usize {
+    if work < PAR_THRESHOLD {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(8).max(1)
+}
+
+/// Dense matmul that transparently parallelizes across output rows.
+pub fn pmatmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "pmatmul shape mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let threads = thread_count(m * n * k);
+    let mut out = Tensor::zeros(m, n);
+    if threads <= 1 || m < 2 {
+        matmul_into(a, b, out.data_mut());
+        return out;
+    }
+    let rows_per = m.div_ceil(threads);
+    let out_chunks: Vec<&mut [f32]> = out.data_mut().chunks_mut(rows_per * n).collect();
+    crossbeam::scope(|s| {
+        for (i, chunk) in out_chunks.into_iter().enumerate() {
+            let lo = i * rows_per;
+            let rows = chunk.len() / n;
+            s.spawn(move |_| {
+                let sub = slice_rows(a, lo, rows);
+                matmul_into(&sub, b, chunk);
+            });
+        }
+    })
+    .expect("pmatmul worker panicked");
+    out
+}
+
+/// Copy `rows` rows of `t` starting at `lo` into a new tensor.
+fn slice_rows(t: &Tensor, lo: usize, rows: usize) -> Tensor {
+    let n = t.cols();
+    let data = t.data()[lo * n..(lo + rows) * n].to_vec();
+    Tensor::from_vec(rows, n, data)
+}
+
+/// Run `f(chunk_start, chunk)` over mutable chunks of `data` in parallel.
+///
+/// Used by the ADMM solver, whose per-demand and per-edge updates are
+/// independent — the "inherently parallel iteration" claimed in §3.4.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = hw.min(8).min(len.div_ceil(min_chunk)).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i * chunk, c));
+        }
+    })
+    .expect("par_chunks_mut worker panicked");
+}
+
+/// Map `f` over indices `0..n` in parallel, collecting results in order.
+pub fn par_map<T: Send, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    par_chunks_mut(&mut out, min_chunk, |start, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + i);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::tensor::matmul;
+    use rand::Rng;
+
+    #[test]
+    fn pmatmul_matches_serial_small() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert!(pmatmul(&a, &b).approx_eq(&matmul(&a, &b), 1e-6));
+    }
+
+    #[test]
+    fn pmatmul_matches_serial_large() {
+        let mut rng = seeded(3);
+        let a = Tensor::from_vec(257, 64, (0..257 * 64).map(|_| rng.gen::<f32>() - 0.5).collect());
+        let b = Tensor::from_vec(64, 96, (0..64 * 96).map(|_| rng.gen::<f32>() - 0.5).collect());
+        assert!(pmatmul(&a, &b).approx_eq(&matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_everything() {
+        let mut data = vec![0usize; 1000];
+        par_chunks_mut(&mut data, 16, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = start + i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn par_map_ordering() {
+        let out = par_map(100, 8, |i| i * 2);
+        assert_eq!(out[99], 198);
+        assert_eq!(out[0], 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Compressed sparse row (CSR) matrices and sparse-dense products.
+//!
+//! FlowGNN's message passing is a fixed bipartite incidence structure
+//! (paths x edges), so the sparse pattern never changes between forward
+//! passes. We pre-build a CSR matrix together with its transpose once per
+//! topology and reuse the pair for every forward/backward pass: the backward
+//! pass of `y = A x` needs `A^T dy`, which is just another SpMM with the
+//! stored transpose.
+
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// A CSR sparse matrix with `f32` values.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, one per non-zero.
+    col_idx: Vec<u32>,
+    /// Non-zero values parallel to `col_idx`.
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from COO triplets. Duplicate coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Csr { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over `(col, value)` entries of one row.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(self.values[lo..hi].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Csr {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Csr::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Sparse-dense product `out = self * x` where `x` is `cols x d`.
+    pub fn spmm(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rows(), self.cols, "spmm shape mismatch");
+        let d = x.cols();
+        let mut out = Tensor::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for i in lo..hi {
+                let c = self.col_idx[i] as usize;
+                let v = self.values[i];
+                let x_row = x.row(c);
+                for (o, &xv) in out_row.iter_mut().zip(x_row.iter()) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense representation, for tests and small problems.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+}
+
+/// A CSR matrix paired with its pre-computed transpose.
+///
+/// Shareable across forward passes via `Arc`; the autograd graph stores a
+/// clone of the `Arc` in each SpMM node so backward can run `A^T * dy`
+/// without rebuilding anything.
+#[derive(Clone, Debug)]
+pub struct CsrPair {
+    /// The forward matrix `A`.
+    pub fwd: Arc<Csr>,
+    /// `A^T`.
+    pub bwd: Arc<Csr>,
+}
+
+impl CsrPair {
+    /// Build both directions from COO triplets for `A` (`rows x cols`).
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let fwd = Csr::from_triplets(rows, cols, triplets);
+        let bwd = fwd.transposed();
+        CsrPair { fwd: Arc::new(fwd), bwd: Arc::new(bwd) }
+    }
+
+    /// The pair for `A^T` (swaps the two directions).
+    pub fn transposed(&self) -> CsrPair {
+        CsrPair { fwd: Arc::clone(&self.bwd), bwd: Arc::clone(&self.fwd) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::matmul;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0],
+        //  [0, 5, 6]]
+        Csr::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (3, 1, 5.0), (3, 2, 6.0)],
+        )
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = sample();
+        let d = a.to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(3, 2), 6.0);
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = Csr::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.to_dense().item(), 3.5);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = sample();
+        let x = Tensor::from_vec(3, 2, vec![1.0, -1.0, 0.5, 2.0, 3.0, 0.0]);
+        let sparse = a.spmm(&x);
+        let dense = matmul(&a.to_dense(), &x);
+        assert!(sparse.approx_eq(&dense, 1e-6));
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let a = sample();
+        let at = a.transposed();
+        assert!(at.to_dense().approx_eq(&a.to_dense().transposed(), 1e-6));
+    }
+
+    #[test]
+    fn pair_directions_consistent() {
+        let p = CsrPair::from_triplets(4, 3, &[(0, 1, 1.0), (2, 2, 2.0)]);
+        assert_eq!(p.fwd.rows(), 4);
+        assert_eq!(p.bwd.rows(), 3);
+        let t = p.transposed();
+        assert_eq!(t.fwd.rows(), 3);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = Csr::from_triplets(3, 3, &[]);
+        let x = Tensor::full(3, 2, 1.0);
+        assert_eq!(a.spmm(&x).sum(), 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! `teal-sim`: the evaluation harness — a uniform scheme interface, the
+//! online TE control loop with staleness accounting (§5.1), the offline
+//! setting (§5.6), failure replay (§5.3), and figure statistics.
+
+pub mod metrics;
+pub mod online;
+pub mod schemes;
+
+pub use online::{run_failure_interval, run_offline, run_online, IntervalRecord, OnlineResult};
+pub use schemes::{
+    FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme,
+    ShortestPathScheme, TealScheme, TeavarScheme,
+};

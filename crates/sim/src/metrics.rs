@@ -1,0 +1,98 @@
+//! Statistics helpers for the figures: CDFs, percentiles, summary rows.
+
+/// Empirical CDF: returns `(value, cumulative_probability)` points sorted by
+/// value (probability at each point includes that value).
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len() as f64;
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) by nearest-rank interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((v.len() - 1) as f64 * p).round() as usize;
+    v[idx]
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var =
+        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Format a duration in seconds with adaptive units for table output.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{:.2}s", s)
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let c = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].0, 1.0);
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_secs(0.0000005).ends_with("us"));
+        assert!(fmt_secs(0.005).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+        assert!(fmt_secs(300.0).ends_with("min"));
+    }
+}

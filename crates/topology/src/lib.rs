@@ -1,0 +1,16 @@
+//! `teal-topology`: WAN graphs, candidate paths, and topology generators.
+//!
+//! This substrate replaces the paper's external topology data (Topology Zoo,
+//! CAIDA, proprietary SWAN) with seeded generators matching the published
+//! structural profiles, and implements the path machinery of the TE path
+//! formulation: Dijkstra, Yen's k-shortest simple paths, and the path-edge
+//! incidence structure FlowGNN message-passes over.
+
+pub mod gen;
+pub mod graph;
+pub mod paths;
+pub mod stats;
+
+pub use gen::{b4, generate, TopoKind};
+pub use graph::{Edge, EdgeId, NodeId, Topology};
+pub use paths::{dijkstra, k_shortest_paths, Path, PathSet};

@@ -1,0 +1,127 @@
+//! Topology statistics reported in Table 3 and Figure 17 of the paper.
+
+use crate::graph::Topology;
+use crate::paths::{bfs_hops, PathSet};
+
+/// Hop-count diameter (longest shortest path over all reachable pairs).
+pub fn hop_diameter(topo: &Topology) -> usize {
+    let mut diam = 0;
+    for s in 0..topo.num_nodes() {
+        for h in bfs_hops(topo, s).into_iter().flatten() {
+            diam = diam.max(h);
+        }
+    }
+    diam
+}
+
+/// Mean shortest-path length in hops over all ordered reachable pairs.
+pub fn mean_shortest_path(topo: &Topology) -> f64 {
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for s in 0..topo.num_nodes() {
+        for (t, h) in bfs_hops(topo, s).into_iter().enumerate() {
+            if t != s {
+                if let Some(h) = h {
+                    total += h;
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Figure 17: for each directed edge, the percentage of demands that are
+/// routable on it, i.e. the edge lies on at least one of the demand's
+/// preconfigured paths.
+pub fn routable_demand_share(topo: &Topology, paths: &PathSet) -> Vec<f64> {
+    let k = paths.k();
+    let mut counts = vec![0usize; topo.num_edges()];
+    for d in 0..paths.num_demands() {
+        let mut touched: Vec<usize> = paths
+            .paths_for(d)
+            .iter()
+            .flat_map(|p| p.edges.iter().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for e in touched {
+            counts[e] += 1;
+        }
+    }
+    let _ = k;
+    let nd = paths.num_demands().max(1) as f64;
+    counts.into_iter().map(|c| 100.0 * c as f64 / nd).collect()
+}
+
+/// Summary statistics of a distribution: (mean, p25, p50, p75, max).
+pub fn five_point(values: &[f64]) -> (f64, f64, f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    let q = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+    (mean, q(0.25), q(0.50), q(0.75), *v.last().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::b4;
+    use crate::graph::Topology;
+    use crate::paths::PathSet;
+
+    fn line(n: usize) -> Topology {
+        let mut t = Topology::new("line", n);
+        for i in 0..n - 1 {
+            t.add_link(i, i + 1, 10.0, 1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn diameter_of_line() {
+        assert_eq!(hop_diameter(&line(5)), 4);
+    }
+
+    #[test]
+    fn mean_sp_of_line3() {
+        // pairs: (0,1)=1 (0,2)=2 (1,0)=1 (1,2)=1 (2,0)=2 (2,1)=1 -> mean 8/6
+        let m = mean_shortest_path(&line(3));
+        assert!((m - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn b4_diameter_reasonable() {
+        let t = b4();
+        let d = hop_diameter(&t);
+        assert!(d >= 3 && d <= 7, "B4 diameter {d}");
+    }
+
+    #[test]
+    fn routable_share_bounds() {
+        let t = b4();
+        let ps = PathSet::compute(&t, &t.all_pairs(), 4);
+        let share = routable_demand_share(&t, &ps);
+        assert_eq!(share.len(), t.num_edges());
+        for s in share {
+            assert!((0.0..=100.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn five_point_summary() {
+        let (mean, q25, q50, q75, max) = five_point(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(mean, 3.0);
+        assert_eq!(q25, 2.0);
+        assert_eq!(q50, 3.0);
+        assert_eq!(q75, 4.0);
+        assert_eq!(max, 5.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # teal — Learning-Accelerated WAN Traffic Engineering
+//!
+//! A from-scratch Rust reproduction of *Teal: Learning-Accelerated
+//! Optimization of WAN Traffic Engineering* (SIGCOMM 2023): a flow-centric
+//! graph neural network (FlowGNN) feeding a shared per-demand policy network
+//! trained with multi-agent reinforcement learning (COMA*), fine-tuned by a
+//! few parallel ADMM iterations.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`nn`] — tensors, autograd, optimizers (the PyTorch/GPU substitute);
+//! * [`topology`] — WAN graphs, generators, k-shortest paths;
+//! * [`traffic`] — synthetic heavy-tailed traffic matrices;
+//! * [`lp`] — the TE problem, simplex / ADMM / Fleischer solvers, and
+//!   feasible-flow semantics;
+//! * [`core`] — Teal itself: FlowGNN, COMA*, the deployment engine;
+//! * [`baselines`] — LP-top, NCFlow, POP, TEAVAR*;
+//! * [`sim`] — the online/offline evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use teal::core::{train_coma, ComaConfig, Env, EngineConfig, TealConfig, TealEngine, TealModel};
+//! use teal::topology::b4;
+//! use teal::traffic::{TrafficConfig, TrafficModel};
+//!
+//! // 1. Topology + candidate paths.
+//! let env = Arc::new(Env::for_topology(b4()));
+//! // 2. Traffic.
+//! let mut traffic = TrafficModel::new(&env.topo().all_pairs(), TrafficConfig::default(), 0);
+//! traffic.calibrate(env.topo(), env.paths());
+//! let train = traffic.series(0, 32);
+//! let val = traffic.series(32, 8);
+//! // 3. Train.
+//! let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
+//! train_coma(&mut model, &train, &val, &ComaConfig::default());
+//! // 4. Deploy: one forward pass + 2 ADMM iterations per traffic matrix.
+//! let engine = TealEngine::new(model, EngineConfig::paper_default(12));
+//! let tm = traffic.series(40, 1).remove(0);
+//! let (allocation, elapsed) = engine.allocate(&tm);
+//! println!("allocated {} demands in {:?}", allocation.num_demands(), elapsed);
+//! ```
+
+pub use teal_baselines as baselines;
+pub use teal_core as core;
+pub use teal_lp as lp;
+pub use teal_nn as nn;
+pub use teal_sim as sim;
+pub use teal_topology as topology;
+pub use teal_traffic as traffic;
