@@ -16,12 +16,7 @@ use teal_traffic::TrafficMatrix;
 /// Compute the LP-top allocation: LP over the top `alpha` fraction of
 /// demands (with everything else pinned to its shortest path and consuming
 /// capacity there), shortest path for the rest.
-pub fn solve_lp_top(
-    inst: &TeInstance,
-    obj: Objective,
-    alpha: f64,
-    cfg: &LpConfig,
-) -> Allocation {
+pub fn solve_lp_top(inst: &TeInstance, obj: Objective, alpha: f64, cfg: &LpConfig) -> Allocation {
     let k = inst.k();
     let nd = inst.num_demands();
     let top: Vec<usize> = inst.tm.top_indices(alpha);
@@ -66,8 +61,7 @@ pub fn solve_lp_top(
 
 /// A `PathSet` view containing only the selected demands' paths.
 fn subset_paths(inst: &TeInstance, selected: &[usize]) -> teal_topology::PathSet {
-    let pairs: Vec<(usize, usize)> =
-        selected.iter().map(|&d| inst.paths.pairs()[d]).collect();
+    let pairs: Vec<(usize, usize)> = selected.iter().map(|&d| inst.paths.pairs()[d]).collect();
     // PathSet::compute would re-run Yen's; we instead rebuild from the
     // existing paths via the public constructor path — recompute is the
     // simple, correct option here and the cost is charged to LP-top as
@@ -108,8 +102,9 @@ mod tests {
         let topo = b4();
         let pairs = topo.all_pairs();
         let paths = PathSet::compute(&topo, &pairs, 4);
-        let demands: Vec<f64> =
-            (0..pairs.len()).map(|i| if i == 0 { 500.0 } else { 1.0 }).collect();
+        let demands: Vec<f64> = (0..pairs.len())
+            .map(|i| if i == 0 { 500.0 } else { 1.0 })
+            .collect();
         let tm = TrafficMatrix::new(demands);
         let inst = TeInstance::new(&topo, &paths, &tm);
         let alloc = solve_lp_top(&inst, Objective::TotalFlow, 0.02, &LpConfig::default());

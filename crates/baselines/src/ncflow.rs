@@ -111,15 +111,15 @@ pub fn solve_ncflow(inst: &TeInstance, obj: Objective, cfg: &NcflowConfig) -> Al
     let mut residual_caps = inst.topo.capacities();
     for _ in 0..cfg.rounds.max(1) {
         let round_topo = inst.topo.with_capacities(&residual_caps);
-        let round_tm = TrafficMatrix::new(
-            (0..nd).map(|d| inst.tm.demand(d) * remaining[d]).collect(),
-        );
+        let round_tm =
+            TrafficMatrix::new((0..nd).map(|d| inst.tm.demand(d) * remaining[d]).collect());
         if round_tm.total() <= 1e-12 {
             break;
         }
         let round_inst = TeInstance::new(&round_topo, inst.paths, &round_tm);
         let round_alloc = ncflow_round(&round_inst, obj, cfg);
         // Accumulate in original-demand units and update residual state.
+        #[allow(clippy::needless_range_loop)]
         for d in 0..nd {
             let frac = remaining[d];
             if frac <= 0.0 {
@@ -162,9 +162,11 @@ fn ncflow_round(inst: &TeInstance, obj: Objective, cfg: &NcflowConfig) -> Alloca
         }
         let (s, t) = inst.paths.pairs()[d];
         let same = cluster[s] == cluster[t]
-            && inst.paths.paths_for(d).iter().all(|p| {
-                p.nodes.iter().all(|&v| cluster[v] == cluster[s])
-            });
+            && inst
+                .paths
+                .paths_for(d)
+                .iter()
+                .all(|p| p.nodes.iter().all(|&v| cluster[v] == cluster[s]));
         if same {
             intra[cluster[s]].push(d);
         } else {
@@ -272,7 +274,11 @@ fn ncflow_round(inst: &TeInstance, obj: Objective, cfg: &NcflowConfig) -> Alloca
     // Process in decreasing volume for determinism.
     let mut ordered: Vec<usize> = crossing.clone();
     ordered.sort_by(|&a, &b| {
-        inst.tm.demand(b).partial_cmp(&inst.tm.demand(a)).unwrap().then(a.cmp(&b))
+        inst.tm
+            .demand(b)
+            .partial_cmp(&inst.tm.demand(a))
+            .unwrap()
+            .then(a.cmp(&b))
     });
     for &d in &ordered {
         let (s, t) = inst.paths.pairs()[d];
@@ -298,7 +304,11 @@ fn ncflow_round(inst: &TeInstance, obj: Objective, cfg: &NcflowConfig) -> Alloca
             if remaining <= 0.0 {
                 break;
             }
-            let cap = p.edges.iter().map(|&e| residual[e]).fold(f64::INFINITY, f64::min);
+            let cap = p
+                .edges
+                .iter()
+                .map(|&e| residual[e])
+                .fold(f64::INFINITY, f64::min);
             let send = cap.max(0.0).min(remaining);
             if send > 0.0 {
                 splits[j] = send / vol;
@@ -346,7 +356,7 @@ mod tests {
         assert!(nc <= 5);
         // Every cluster non-empty.
         for c in 0..nc {
-            assert!(cl.iter().any(|&x| x == c), "cluster {c} empty");
+            assert!(cl.contains(&c), "cluster {c} empty");
         }
     }
 
@@ -357,14 +367,21 @@ mod tests {
         let paths = PathSet::compute(&topo, &pairs, 4);
         let tm = TrafficMatrix::new(vec![8.0; pairs.len()]);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let cfg = NcflowConfig { clusters: 3, rounds: 2, lp: LpConfig::default() };
+        let cfg = NcflowConfig {
+            clusters: 3,
+            rounds: 2,
+            lp: LpConfig::default(),
+        };
         let nc = solve_ncflow(&inst, Objective::TotalFlow, &cfg);
         assert!(nc.demand_feasible(1e-6));
         let lp = solve_lp(&inst, Objective::TotalFlow, &LpConfig::default()).0;
         let f_nc = evaluate(&inst, &nc).realized_flow;
         let f_lp = evaluate(&inst, &lp).realized_flow;
         assert!(f_nc <= f_lp + 1e-6, "decomposition cannot beat the optimum");
-        assert!(f_nc > 0.4 * f_lp, "ncflow {f_nc} vs lp {f_lp}: too much loss");
+        assert!(
+            f_nc > 0.4 * f_lp,
+            "ncflow {f_nc} vs lp {f_lp}: too much loss"
+        );
     }
 
     #[test]
@@ -374,11 +391,18 @@ mod tests {
         let paths = PathSet::compute(&topo, &pairs, 4);
         let tm = TrafficMatrix::new(vec![5.0; pairs.len()]);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let cfg = NcflowConfig { clusters: 1, rounds: 1, lp: LpConfig::default() };
+        let cfg = NcflowConfig {
+            clusters: 1,
+            rounds: 1,
+            lp: LpConfig::default(),
+        };
         let nc = solve_ncflow(&inst, Objective::TotalFlow, &cfg);
         let lp = solve_lp(&inst, Objective::TotalFlow, &LpConfig::default()).0;
         let f_nc = evaluate(&inst, &nc).realized_flow;
         let f_lp = evaluate(&inst, &lp).realized_flow;
-        assert!(f_nc > 0.9 * f_lp, "single-cluster ncflow {f_nc} vs lp {f_lp}");
+        assert!(
+            f_nc > 0.9 * f_lp,
+            "single-cluster ncflow {f_nc} vs lp {f_lp}"
+        );
     }
 }

@@ -41,7 +41,12 @@ impl PopConfig {
         } else {
             1
         };
-        PopConfig { replicas, split_threshold: 0.25, seed: 0, lp: LpConfig::default() }
+        PopConfig {
+            replicas,
+            split_threshold: 0.25,
+            seed: 0,
+            lp: LpConfig::default(),
+        }
     }
 }
 
@@ -61,6 +66,7 @@ pub fn solve_pop(inst: &TeInstance, obj: Objective, cfg: &PopConfig) -> Allocati
     let mean_cap = inst.topo.total_capacity() / inst.topo.num_edges().max(1) as f64;
     let replica_cap_unit = mean_cap / replicas as f64;
     let mut shares = vec![vec![0.0f64; nd]; replicas];
+    #[allow(clippy::needless_range_loop)]
     for d in 0..nd {
         let vol = inst.tm.demand(d);
         if vol <= 0.0 {
@@ -69,8 +75,7 @@ pub fn solve_pop(inst: &TeInstance, obj: Objective, cfg: &PopConfig) -> Allocati
         let parts = if vol > cfg.split_threshold * replica_cap_unit {
             // Split into enough virtual clients that each fits under the
             // threshold, capped at the replica count.
-            ((vol / (cfg.split_threshold * replica_cap_unit)).ceil() as usize)
-                .clamp(2, replicas)
+            ((vol / (cfg.split_threshold * replica_cap_unit)).ceil() as usize).clamp(2, replicas)
         } else {
             1
         };
@@ -107,6 +112,7 @@ pub fn solve_pop(inst: &TeInstance, obj: Objective, cfg: &PopConfig) -> Allocati
     // Merge: a demand's final split ratio is the volume-weighted average of
     // its per-replica split ratios (each replica allocated its own share).
     let mut merged = Allocation::zeros(nd, k_paths);
+    #[allow(clippy::needless_range_loop)]
     for d in 0..nd {
         let vol = inst.tm.demand(d);
         if vol <= 0.0 {
@@ -146,7 +152,10 @@ mod tests {
     fn single_replica_equals_lp_all() {
         let (topo, paths, tm) = b4_instance(6.0);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let cfg = PopConfig { replicas: 1, ..PopConfig::paper_default("B4") };
+        let cfg = PopConfig {
+            replicas: 1,
+            ..PopConfig::paper_default("B4")
+        };
         let pop = solve_pop(&inst, Objective::TotalFlow, &cfg);
         let lp = solve_lp(&inst, Objective::TotalFlow, &cfg.lp).0;
         let fp = evaluate(&inst, &pop).realized_flow;
@@ -158,7 +167,12 @@ mod tests {
     fn multi_replica_feasible_and_reasonable() {
         let (topo, paths, tm) = b4_instance(10.0);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let cfg = PopConfig { replicas: 4, split_threshold: 0.25, seed: 3, lp: LpConfig::default() };
+        let cfg = PopConfig {
+            replicas: 4,
+            split_threshold: 0.25,
+            seed: 3,
+            lp: LpConfig::default(),
+        };
         let pop = solve_pop(&inst, Objective::TotalFlow, &cfg);
         assert!(pop.demand_feasible(1e-6));
         let lp = solve_lp(&inst, Objective::TotalFlow, &LpConfig::default()).0;
@@ -176,7 +190,12 @@ mod tests {
         demands[0] = 400.0; // enormous single demand
         let tm = TrafficMatrix::new(demands);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let cfg = PopConfig { replicas: 4, split_threshold: 0.25, seed: 1, lp: LpConfig::default() };
+        let cfg = PopConfig {
+            replicas: 4,
+            split_threshold: 0.25,
+            seed: 1,
+            lp: LpConfig::default(),
+        };
         let pop = solve_pop(&inst, Objective::TotalFlow, &cfg);
         // The big demand must receive a nonzero allocation (it was split
         // across replicas rather than starving in a single 1/4-capacity one).

@@ -68,7 +68,10 @@ pub fn solve_teavar(inst: &TeInstance, cfg: &TeavarConfig) -> Allocation {
 
     let mut rows = Vec::new();
     for d in 0..nd {
-        rows.push(Row { coeffs: (0..k).map(|j| (d * k + j, 1.0)).collect(), rhs: 1.0 });
+        rows.push(Row {
+            coeffs: (0..k).map(|j| (d * k + j, 1.0)).collect(),
+            rhs: 1.0,
+        });
     }
     // No-failure capacity rows (hard).
     let e2p = inst.paths.edge_to_paths(ne);
@@ -76,24 +79,26 @@ pub fn solve_teavar(inst: &TeInstance, cfg: &TeavarConfig) -> Allocation {
         if plist.is_empty() {
             continue;
         }
-        let coeffs: Vec<(usize, f64)> =
-            plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
-        rows.push(Row { coeffs, rhs: inst.topo.edge(e).capacity });
+        let coeffs: Vec<(usize, f64)> = plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
+        rows.push(Row {
+            coeffs,
+            rhs: inst.topo.edge(e).capacity,
+        });
     }
     // Per-link loss rows: flow crossing the link minus L <= 0.
     if cfg.risk_penalty > 0.0 {
         for link in &links {
-            let mut touched: Vec<usize> = link
-                .iter()
-                .flat_map(|&e| e2p[e].iter().copied())
-                .collect();
+            let mut touched: Vec<usize> =
+                link.iter().flat_map(|&e| e2p[e].iter().copied()).collect();
             touched.sort_unstable();
             touched.dedup();
             if touched.is_empty() {
                 continue;
             }
-            let mut coeffs: Vec<(usize, f64)> =
-                touched.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
+            let mut coeffs: Vec<(usize, f64)> = touched
+                .iter()
+                .map(|&p| (p, inst.tm.demand(p / k)))
+                .collect();
             coeffs.push((l_var, -1.0));
             rows.push(Row { coeffs, rhs: 0.0 });
         }
@@ -175,12 +180,14 @@ mod tests {
         // Flow through each physical route (slots may alias the same path).
         let mut route_flow = std::collections::HashMap::new();
         for (j, p) in paths.paths_for(0).iter().enumerate() {
-            *route_flow.entry(p.edges.clone()).or_insert(0.0) +=
-                robust.demand_splits(0)[j] * 12.0;
+            *route_flow.entry(p.edges.clone()).or_insert(0.0) += robust.demand_splits(0)[j] * 12.0;
         }
         let max_route = route_flow.values().cloned().fold(0.0f64, f64::max);
         let total: f64 = route_flow.values().sum();
-        assert!(total > 10.0, "robust allocation should still route most demand");
+        assert!(
+            total > 10.0,
+            "robust allocation should still route most demand"
+        );
         assert!(
             max_route < 0.7 * total,
             "VaR hedging must spread flow, got max route {max_route} of {total}"
@@ -201,6 +208,9 @@ mod tests {
             worst_r >= worst_lp - 1e-6,
             "teavar worst-case {worst_r} must be at least LP's {worst_lp}"
         );
-        assert!(worst_r > 4.0, "hedged allocation should keep >1/3 flow under failure");
+        assert!(
+            worst_r > 4.0,
+            "hedged allocation should keep >1/3 flow under failure"
+        );
     }
 }

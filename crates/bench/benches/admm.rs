@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use teal_lp::{AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
 use teal_topology::{generate, PathSet, TopoKind};
-use teal_traffic::{TrafficConfig, TrafficModel, TrafficMatrix};
+use teal_traffic::{TrafficConfig, TrafficMatrix, TrafficModel};
 
 fn instance(cap: usize) -> (teal_topology::Topology, PathSet, TrafficMatrix) {
     let topo = generate(TopoKind::Swan, 0.5, 42);
@@ -29,7 +29,12 @@ fn bench_admm(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for iters in [2usize, 5, 20, 100] {
         group.bench_with_input(BenchmarkId::new("iters", iters), &iters, |b, &n| {
-            let cfg = AdmmConfig { rho: 1.0, max_iters: n, tol: 0.0, serial: false };
+            let cfg = AdmmConfig {
+                rho: 1.0,
+                max_iters: n,
+                tol: 0.0,
+                serial: false,
+            };
             b.iter(|| solver.run(&init, cfg))
         });
     }

@@ -3,11 +3,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
-use teal_core::{Env, EngineConfig, PolicyModel, TealConfig, TealEngine, TealModel};
+use teal_core::{EngineConfig, Env, PolicyModel, TealConfig, TealEngine, TealModel};
 use teal_topology::{generate, PathSet, TopoKind};
 use teal_traffic::{TrafficConfig, TrafficModel};
 
-fn setup(kind: TopoKind, scale: f64, max_demands: usize) -> (Arc<Env>, teal_traffic::TrafficMatrix) {
+fn setup(
+    kind: TopoKind,
+    scale: f64,
+    max_demands: usize,
+) -> (Arc<Env>, teal_traffic::TrafficMatrix) {
     let topo = generate(kind, scale, 42);
     let mut pairs = topo.all_pairs();
     pairs.truncate(max_demands);

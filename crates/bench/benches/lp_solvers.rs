@@ -24,7 +24,10 @@ fn bench_lp(c: &mut Criterion) {
     group.bench_function("simplex_exact", |b| {
         b.iter(|| solve_lp(&inst, Objective::TotalFlow, &cfg))
     });
-    let admm_cfg = LpConfig { simplex_budget: 0, ..LpConfig::default() };
+    let admm_cfg = LpConfig {
+        simplex_budget: 0,
+        ..LpConfig::default()
+    };
     group.bench_function("admm_convergence", |b| {
         b.iter(|| solve_lp(&inst, Objective::TotalFlow, &admm_cfg))
     });
@@ -35,11 +38,20 @@ fn bench_lp(c: &mut Criterion) {
         b.iter(|| solve_lp_top(&inst, Objective::TotalFlow, 0.10, &cfg))
     });
     group.bench_function("ncflow", |b| {
-        let nc = NcflowConfig { clusters: 3, rounds: 2, lp: cfg };
+        let nc = NcflowConfig {
+            clusters: 3,
+            rounds: 2,
+            lp: cfg,
+        };
         b.iter(|| solve_ncflow(&inst, Objective::TotalFlow, &nc))
     });
     group.bench_function("pop_k2", |b| {
-        let pc = PopConfig { replicas: 2, split_threshold: 0.25, seed: 1, lp: cfg };
+        let pc = PopConfig {
+            replicas: 2,
+            split_threshold: 0.25,
+            seed: 1,
+            lp: cfg,
+        };
         b.iter(|| solve_pop(&inst, Objective::TotalFlow, &pc))
     });
     group.finish();

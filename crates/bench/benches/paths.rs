@@ -9,9 +9,10 @@ fn bench_paths(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for (label, kind, scale) in
-        [("B4", TopoKind::B4, 1.0), ("SWAN-x0.5", TopoKind::Swan, 0.5)]
-    {
+    for (label, kind, scale) in [
+        ("B4", TopoKind::B4, 1.0),
+        ("SWAN-x0.5", TopoKind::Swan, 0.5),
+    ] {
         let topo = generate(kind, scale, 42);
         group.bench_with_input(BenchmarkId::new("yen_single_pair", label), &(), |b, _| {
             b.iter(|| k_shortest_paths(&topo, 0, topo.num_nodes() - 1, 4))

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
-use teal_core::{Env, EngineConfig, TealConfig, TealEngine, TealModel};
+use teal_core::{EngineConfig, Env, TealConfig, TealEngine, TealModel};
 use teal_lp::Objective;
 use teal_sim::{
     FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme, TealScheme,
@@ -22,8 +22,10 @@ fn bench_schemes(c: &mut Criterion) {
     let env = Arc::new(Env::new(topo, paths));
 
     let teal_model = TealModel::new(Arc::clone(&env), TealConfig::default());
-    let engine =
-        TealEngine::new(teal_model, EngineConfig::paper_default(env.topo().num_nodes()));
+    let engine = TealEngine::new(
+        teal_model,
+        EngineConfig::paper_default(env.topo().num_nodes()),
+    );
     let mut schemes: Vec<Box<dyn Scheme>> = vec![
         Box::new(TealScheme::new(engine)),
         Box::new(LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow)),

@@ -15,8 +15,7 @@ const ALL: &[&str] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let mut ids: Vec<String> =
-        args.into_iter().filter(|a| a != "--fast").collect();
+    let mut ids: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }

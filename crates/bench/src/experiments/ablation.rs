@@ -7,12 +7,14 @@ use crate::testbed::Testbed;
 use std::sync::Arc;
 use teal_core::ablation::{GlobalPolicyModel, NaiveDnnModel, NaiveGnnModel};
 use teal_core::{
-    train_coma, train_direct, validate, ComaConfig, DirectConfig, EngineConfig, Env,
-    PolicyModel, TealConfig, TealEngine, TealModel,
+    train_coma, train_direct, validate, ComaConfig, DirectConfig, EngineConfig, Env, PolicyModel,
+    TealConfig, TealEngine, TealModel,
 };
 use teal_lp::{evaluate, solve_lp, LpConfig, Objective};
 use teal_topology::TopoKind;
-use teal_traffic::TrafficMatrix;
+
+/// Matrices per batched allocation chunk (Teal's batched serving path).
+const ABLATION_BATCH: usize = 8;
 
 fn coma_cfg(budget: crate::testbed::TrainBudget, env: &Env) -> ComaConfig {
     ComaConfig {
@@ -24,29 +26,24 @@ fn coma_cfg(budget: crate::testbed::TrainBudget, env: &Env) -> ComaConfig {
     }
 }
 
-/// Satisfied % of a model (with optional ADMM) on the test set.
+/// Satisfied % of a model (with optional ADMM) on the test set, running the
+/// batched forward pass and a shared per-topology ADMM skeleton — the same
+/// serving path the deployment engine uses.
 fn score(bed: &Testbed, model: &dyn PolicyModel, with_admm: bool) -> f64 {
-    if !with_admm {
-        return mean_pct(bed, |tm| {
-            let alloc = model.allocate_deterministic(&bed.env.model_input(tm, None));
-            alloc
-        });
-    }
-    mean_pct(bed, |tm| {
-        let alloc = model.allocate_deterministic(&bed.env.model_input(tm, None));
-        let inst = bed.env.instance(tm);
-        let solver = teal_lp::AdmmSolver::new(&inst, Objective::TotalFlow);
-        let cfg = teal_lp::AdmmConfig::fine_tune(bed.env.topo().num_nodes());
-        solver.run(&alloc, cfg).0
-    })
-}
-
-fn mean_pct<F: Fn(&TrafficMatrix) -> teal_lp::Allocation>(bed: &Testbed, f: F) -> f64 {
+    let skeleton = with_admm
+        .then(|| teal_lp::AdmmSkeleton::new(bed.env.topo(), bed.env.paths(), Objective::TotalFlow));
+    let admm_cfg = teal_lp::AdmmConfig::fine_tune(bed.env.topo().num_nodes());
     let mut acc = 0.0;
-    for tm in &bed.test {
-        let alloc = f(tm);
-        let inst = bed.env.instance(tm);
-        acc += (100.0 * evaluate(&inst, &alloc).realized_flow / tm.total().max(1e-12)).min(100.0);
+    for chunk in bed.test.chunks(ABLATION_BATCH) {
+        let allocs = model.allocate_batch(&bed.env.batch_input(chunk, None));
+        for (tm, mut alloc) in chunk.iter().zip(allocs) {
+            if let Some(skel) = &skeleton {
+                alloc = skel.solver(tm).run(&alloc, admm_cfg).0;
+            }
+            let inst = bed.env.instance(tm);
+            acc +=
+                (100.0 * evaluate(&inst, &alloc).realized_flow / tm.total().max(1e-12)).min(100.0);
+        }
     }
     acc / bed.test.len().max(1) as f64
 }
@@ -79,14 +76,24 @@ pub fn fig14(h: &mut Harness) {
             engine.model().clone()
         };
         let bed = h.bed(kind);
-        results[0].1.push(format!("{:.1}", score(bed, &teal_model, true)));
-        results[1].1.push(format!("{:.1}", score(bed, &teal_model, false)));
+        results[0]
+            .1
+            .push(format!("{:.1}", score(bed, &teal_model, true)));
+        results[1]
+            .1
+            .push(format!("{:.1}", score(bed, &teal_model, false)));
 
         // Direct loss.
         let mut direct = TealModel::new(Arc::clone(&env), TealConfig::default());
-        let d_cfg = DirectConfig { epochs: cfg.epochs, lr: cfg.lr, grad_clip: 5.0 };
+        let d_cfg = DirectConfig {
+            epochs: cfg.epochs,
+            lr: cfg.lr,
+            grad_clip: 5.0,
+        };
         let _ = train_direct(&mut direct, &bed.train, &bed.val, &d_cfg);
-        results[2].1.push(format!("{:.1}", score(bed, &direct, true)));
+        results[2]
+            .1
+            .push(format!("{:.1}", score(bed, &direct, true)));
 
         // Global policy: infeasible beyond a parameter budget, as in §5.7.
         let max_params = 40_000_000usize;
@@ -143,8 +150,18 @@ pub fn fig15(h: &mut Harness) {
     // (a) FlowGNN layers.
     let layer_choices: &[usize] = if h.fast() { &[4, 6] } else { &[4, 6, 8, 10] };
     for &layers in layer_choices {
-        let v = train_and_score(h, TealConfig { gnn_layers: layers, ..TealConfig::default() });
-        t.row(vec!["gnn layers".into(), layers.to_string(), format!("{v:.1}")]);
+        let v = train_and_score(
+            h,
+            TealConfig {
+                gnn_layers: layers,
+                ..TealConfig::default()
+            },
+        );
+        t.row(vec![
+            "gnn layers".into(),
+            layers.to_string(),
+            format!("{v:.1}"),
+        ]);
         rows_csv.push(format!("layers,{layers},{v:.2}"));
     }
     // (b) Embedding dimension (via per-layer growth: 1 -> 6 dims, 2 -> 11,
@@ -152,8 +169,18 @@ pub fn fig15(h: &mut Harness) {
     let growth_choices: &[usize] = if h.fast() { &[1] } else { &[1, 2, 4] };
     for &growth in growth_choices {
         let dim = 1 + 5 * growth;
-        let v = train_and_score(h, TealConfig { embed_growth: growth, ..TealConfig::default() });
-        t.row(vec!["embedding dim".into(), dim.to_string(), format!("{v:.1}")]);
+        let v = train_and_score(
+            h,
+            TealConfig {
+                embed_growth: growth,
+                ..TealConfig::default()
+            },
+        );
+        t.row(vec![
+            "embedding dim".into(),
+            dim.to_string(),
+            format!("{v:.1}"),
+        ]);
         rows_csv.push(format!("embed,{dim},{v:.2}"));
     }
     // (c) Policy dense layers.
@@ -161,9 +188,16 @@ pub fn fig15(h: &mut Harness) {
     for &dense in dense_choices {
         let v = train_and_score(
             h,
-            TealConfig { policy_hidden_layers: dense, ..TealConfig::default() },
+            TealConfig {
+                policy_hidden_layers: dense,
+                ..TealConfig::default()
+            },
         );
-        t.row(vec!["dense layers".into(), dense.to_string(), format!("{v:.1}")]);
+        t.row(vec![
+            "dense layers".into(),
+            dense.to_string(),
+            format!("{v:.1}"),
+        ]);
         rows_csv.push(format!("dense,{dense},{v:.2}"));
     }
     emit("fig15", &t.render());
@@ -185,7 +219,9 @@ pub fn fig16(h: &mut Harness) {
     // Embeddings from a forward pass.
     let mut g = teal_nn::Graph::new();
     let fwd = engine.model().forward(&mut g, &env.model_input(&tm, None));
-    let embed = g.value(fwd.embeddings.expect("Teal yields embeddings")).clone();
+    let embed = g
+        .value(fwd.embeddings.expect("Teal yields embeddings"))
+        .clone();
 
     // Reference optimal allocation.
     let inst = env.instance(&tm);
@@ -211,9 +247,15 @@ pub fn fig16(h: &mut Harness) {
     let sep = separation_score(&pts, &sub_labels);
 
     let busy = sub_labels.iter().filter(|&&b| b).count();
-    let mut t = Table::new("Figure 16: t-SNE of FlowGNN flow embeddings (SWAN)", &["metric", "value"]);
+    let mut t = Table::new(
+        "Figure 16: t-SNE of FlowGNN flow embeddings (SWAN)",
+        &["metric", "value"],
+    );
     t.row(vec!["paths projected".into(), pts.len().to_string()]);
-    t.row(vec!["busy paths (largest LP-all split)".into(), busy.to_string()]);
+    t.row(vec![
+        "busy paths (largest LP-all split)".into(),
+        busy.to_string(),
+    ]);
     t.row(vec!["cluster separation score".into(), format!("{sep:.2}")]);
     t.row(vec![
         "interpretation".into(),

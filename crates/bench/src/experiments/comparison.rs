@@ -5,9 +5,13 @@ use crate::table::{emit, emit_csv, Table};
 use std::sync::Arc;
 use teal_lp::Objective;
 use teal_sim::{
-    metrics, run_offline, run_online, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme,
+    metrics, run_offline_batched, run_online, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme,
     Scheme, TealScheme,
 };
+
+/// Matrices per batched offline chunk: Teal's batched serving path runs one
+/// forward pass per chunk; baselines fall back to their sequential loop.
+const OFFLINE_BATCH: usize = 8;
 use teal_topology::TopoKind;
 
 /// The scheme lineup of Figure 6 for one testbed. LP-all is skipped on the
@@ -18,11 +22,23 @@ fn lineup(h: &mut Harness, kind: TopoKind, include_lp_all: bool) -> Vec<Box<dyn 
     let env = Arc::clone(&h.bed(kind).env);
     let mut v: Vec<Box<dyn Scheme>> = Vec::new();
     if include_lp_all {
-        v.push(Box::new(LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow)));
+        v.push(Box::new(LpAllScheme::new(
+            Arc::clone(&env),
+            Objective::TotalFlow,
+        )));
     }
-    v.push(Box::new(LpTopScheme::new(Arc::clone(&env), Objective::TotalFlow)));
-    v.push(Box::new(NcflowScheme::new(Arc::clone(&env), Objective::TotalFlow)));
-    v.push(Box::new(PopScheme::new(Arc::clone(&env), Objective::TotalFlow)));
+    v.push(Box::new(LpTopScheme::new(
+        Arc::clone(&env),
+        Objective::TotalFlow,
+    )));
+    v.push(Box::new(NcflowScheme::new(
+        Arc::clone(&env),
+        Objective::TotalFlow,
+    )));
+    v.push(Box::new(PopScheme::new(
+        Arc::clone(&env),
+        Objective::TotalFlow,
+    )));
     v.push(Box::new(TealScheme::new(engine)));
     v
 }
@@ -30,7 +46,12 @@ fn lineup(h: &mut Harness, kind: TopoKind, include_lp_all: bool) -> Vec<Box<dyn 
 /// Figure 6: average computation time and online satisfied demand across
 /// topologies.
 pub fn fig6(h: &mut Harness) {
-    let kinds = [TopoKind::Swan, TopoKind::UsCarrier, TopoKind::Kdl, TopoKind::Asn];
+    let kinds = [
+        TopoKind::Swan,
+        TopoKind::UsCarrier,
+        TopoKind::Kdl,
+        TopoKind::Asn,
+    ];
     let mut t = Table::new(
         "Figure 6: computation time (a) and online satisfied demand (b)",
         &["topology", "scheme", "avg comp time", "avg satisfied (%)"],
@@ -58,7 +79,11 @@ pub fn fig6(h: &mut Harness) {
         }
     }
     emit("fig6", &t.render());
-    emit_csv("fig6", "topology,scheme,comp_time_s,satisfied_pct", &rows_csv);
+    emit_csv(
+        "fig6",
+        "topology,scheme,comp_time_s,satisfied_pct",
+        &rows_csv,
+    );
 }
 
 /// Figure 7: CDFs of computation time and satisfied demand on the ASN
@@ -72,7 +97,9 @@ pub fn fig7(h: &mut Harness) {
     let tms = bed.test.clone();
     let mut t = Table::new(
         "Figure 7: per-matrix distributions on ASN (computation time / satisfied %)",
-        &["scheme", "time p10", "time p50", "time p90", "sat p10", "sat p50", "sat p90"],
+        &[
+            "scheme", "time p10", "time p50", "time p90", "sat p10", "sat p50", "sat p90",
+        ],
     );
     let mut rows_csv = Vec::new();
     for mut s in schemes {
@@ -100,7 +127,12 @@ pub fn fig7(h: &mut Harness) {
 pub fn fig13(h: &mut Harness) {
     let mut t = Table::new(
         "Figure 13: offline satisfied demand (%) vs computation time",
-        &["topology", "scheme", "avg comp time", "offline satisfied (%)"],
+        &[
+            "topology",
+            "scheme",
+            "avg comp time",
+            "offline satisfied (%)",
+        ],
     );
     let mut rows_csv = Vec::new();
     for kind in [TopoKind::Kdl, TopoKind::Asn] {
@@ -111,25 +143,30 @@ pub fn fig13(h: &mut Harness) {
         let tms = bed.test.clone();
         let bed_name = bed.name();
         for mut s in schemes {
-            let (sat, times) = run_offline(&env, env.topo(), &tms, s.as_mut());
-            let ts: Vec<f64> = times.iter().map(|d| d.as_secs_f64()).collect();
+            let (sat, total_time) =
+                run_offline_batched(&env, env.topo(), &tms, s.as_mut(), OFFLINE_BATCH);
+            let mean_time = total_time.as_secs_f64() / tms.len().max(1) as f64;
             t.row(vec![
                 bed_name.clone(),
                 s.name().to_string(),
-                metrics::fmt_secs(metrics::mean(&ts)),
+                metrics::fmt_secs(mean_time),
                 format!("{:.1}", metrics::mean(&sat)),
             ]);
             rows_csv.push(format!(
                 "{},{},{:.6},{:.2}",
                 bed_name,
                 s.name(),
-                metrics::mean(&ts),
+                mean_time,
                 metrics::mean(&sat)
             ));
         }
     }
     emit("fig13", &t.render());
-    emit_csv("fig13", "topology,scheme,comp_time_s,offline_satisfied_pct", &rows_csv);
+    emit_csv(
+        "fig13",
+        "topology,scheme,comp_time_s,offline_satisfied_pct",
+        &rows_csv,
+    );
 }
 
 /// Figure 18: allocation performance over time (per-interval satisfied

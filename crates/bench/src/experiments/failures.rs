@@ -99,7 +99,11 @@ pub fn fig8(h: &mut Harness) {
         rows_csv.push(csv);
     }
     emit("fig8", &t.render());
-    emit_csv("fig8", "scheme,no_failure,one_failure,two_failures", &rows_csv);
+    emit_csv(
+        "fig8",
+        "scheme,no_failure,one_failure,two_failures",
+        &rows_csv,
+    );
 }
 
 /// Figure 9: many simultaneous failures on the ASN testbed. The paper
@@ -114,8 +118,10 @@ pub fn fig9(h: &mut Harness) {
     let env = Arc::clone(&bed.env);
     let tm = bed.test[0].clone();
     let scale = bed.spec.scale;
-    let counts: Vec<usize> =
-        [0usize, 50, 100, 200].iter().map(|&c| (c as f64 * scale).round() as usize).collect();
+    let counts: Vec<usize> = [0usize, 50, 100, 200]
+        .iter()
+        .map(|&c| (c as f64 * scale).round() as usize)
+        .collect();
 
     let mut schemes: Vec<Box<dyn Scheme>> = vec![
         Box::new(NcflowScheme::new(Arc::clone(&env), Objective::TotalFlow)),
@@ -129,7 +135,13 @@ pub fn fig9(h: &mut Harness) {
             "Figure 9: satisfied demand (%) under mass failures on ASN \
              (counts scaled x{scale:.2} from 0/50/100/200)"
         ),
-        &["scheme", "no failure", "~50 failures", "~100 failures", "~200 failures"],
+        &[
+            "scheme",
+            "no failure",
+            "~50 failures",
+            "~100 failures",
+            "~200 failures",
+        ],
     );
     let mut rows_csv = Vec::new();
     for s in &mut schemes {
@@ -138,8 +150,7 @@ pub fn fig9(h: &mut Harness) {
         for (ci, &nf) in counts.iter().enumerate() {
             let mut vals = Vec::new();
             for trial in 0..trials {
-                let failed =
-                    sample_failed_edges(env.topo(), nf, (ci * 10 + trial) as u64);
+                let failed = sample_failed_edges(env.topo(), nf, (ci * 10 + trial) as u64);
                 vals.push(failure_pct(&env, s.as_mut(), &tm, &failed, interval));
             }
             let m = metrics::mean(&vals);

@@ -43,7 +43,12 @@ pub struct Harness {
 impl Harness {
     /// `fast` shrinks every testbed and budget for smoke runs.
     pub fn new(fast: bool) -> Self {
-        Harness { fast, beds: HashMap::new(), models: HashMap::new(), lp_time: HashMap::new() }
+        Harness {
+            fast,
+            beds: HashMap::new(),
+            models: HashMap::new(),
+            lp_time: HashMap::new(),
+        }
     }
 
     /// Whether fast mode is on.
@@ -59,7 +64,10 @@ impl Harness {
             } else {
                 TestbedSpec::default_for(kind)
             };
-            eprintln!("[harness] building testbed {:?} (scale {:.2})...", kind, spec.scale);
+            eprintln!(
+                "[harness] building testbed {:?} (scale {:.2})...",
+                kind, spec.scale
+            );
             self.beds.insert(kind, Testbed::build(spec));
         }
         &self.beds[&kind]
@@ -68,7 +76,11 @@ impl Harness {
     /// Default training budget.
     pub fn budget(&self) -> TrainBudget {
         if self.fast {
-            TrainBudget { epochs: 2, lr: 3e-3, max_agents_per_step: 200 }
+            TrainBudget {
+                epochs: 2,
+                lr: 3e-3,
+                max_agents_per_step: 200,
+            }
         } else {
             TrainBudget::default()
         }

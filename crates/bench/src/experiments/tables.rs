@@ -33,12 +33,27 @@ pub fn table2() {
         "Table 2: computation-time breakdown per scheme",
         &["algorithm", "computation time"],
     );
-    t.row(vec!["Teal".into(), "forward pass + fixed ADMM iterations (GPU-parallel)".into()]);
-    t.row(vec!["LP-all".into(), "full LP solve (simplex / ADMM-to-convergence)".into()]);
-    t.row(vec!["LP-top".into(), "LP solve + per-interval model rebuilding".into()]);
-    t.row(vec!["NCFlow".into(), "parallel cluster LPs + contracted LP + merge".into()]);
+    t.row(vec![
+        "Teal".into(),
+        "forward pass + fixed ADMM iterations (GPU-parallel)".into(),
+    ]);
+    t.row(vec![
+        "LP-all".into(),
+        "full LP solve (simplex / ADMM-to-convergence)".into(),
+    ]);
+    t.row(vec![
+        "LP-top".into(),
+        "LP solve + per-interval model rebuilding".into(),
+    ]);
+    t.row(vec![
+        "NCFlow".into(),
+        "parallel cluster LPs + contracted LP + merge".into(),
+    ]);
     t.row(vec!["POP".into(), "parallel replica LPs".into()]);
-    t.row(vec!["TEAVAR*".into(), "scenario-robust LP (small topologies only)".into()]);
+    t.row(vec![
+        "TEAVAR*".into(),
+        "scenario-robust LP (small topologies only)".into(),
+    ]);
     emit("table2", &t.render());
 }
 
@@ -49,7 +64,13 @@ pub fn table3() {
         "Table 3: topology details",
         &["topology", "avg shortest-path length", "network diameter"],
     );
-    for kind in [TopoKind::B4, TopoKind::Swan, TopoKind::UsCarrier, TopoKind::Kdl, TopoKind::Asn] {
+    for kind in [
+        TopoKind::B4,
+        TopoKind::Swan,
+        TopoKind::UsCarrier,
+        TopoKind::Kdl,
+        TopoKind::Asn,
+    ] {
         let topo = generate(kind, 1.0, 42);
         t.row(vec![
             kind.name().to_string(),
@@ -90,14 +111,16 @@ pub fn fig2(fast: bool) {
         &["threads", "time (s)", "speedup"],
     );
     let mut rows_csv = Vec::new();
-    let racer_times =
-        concurrent::measure_racers(&inst, Objective::TotalFlow, 8, 1e-3);
+    let racer_times = concurrent::measure_racers(&inst, Objective::TotalFlow, 8, 1e-3);
     let base = concurrent::race_time_with_threads(&racer_times, 1).as_secs_f64();
     for threads in [1usize, 2, 4, 8, 16] {
-        let secs =
-            concurrent::race_time_with_threads(&racer_times, threads).as_secs_f64();
+        let secs = concurrent::race_time_with_threads(&racer_times, threads).as_secs_f64();
         let speedup = base / secs.max(1e-12);
-        t.row(vec![threads.to_string(), format!("{secs:.3}"), format!("{speedup:.2}x")]);
+        t.row(vec![
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
         rows_csv.push(format!("{threads},{secs:.6},{speedup:.4}"));
     }
     emit("fig2", &t.render());
@@ -113,8 +136,17 @@ pub fn fig17(fast: bool) {
         "Figure 17: routable demands on each edge (%), distribution summary",
         &["topology", "mean", "p25", "p50", "p75", "max"],
     );
-    for kind in [TopoKind::B4, TopoKind::UsCarrier, TopoKind::Kdl, TopoKind::Asn] {
-        let scale = if kind == TopoKind::Asn && fast { 0.3 } else { 1.0 };
+    for kind in [
+        TopoKind::B4,
+        TopoKind::UsCarrier,
+        TopoKind::Kdl,
+        TopoKind::Asn,
+    ] {
+        let scale = if kind == TopoKind::Asn && fast {
+            0.3
+        } else {
+            1.0
+        };
         let topo = generate(kind, scale, 42);
         let mut pairs = topo.all_pairs();
         if pairs.len() > sample {
@@ -140,7 +172,7 @@ pub fn fig17(fast: bool) {
 /// Benchmarked component timings for Table 2's measured column (B4-sized).
 pub fn table2_measured() {
     use std::sync::Arc;
-    use teal_core::{Env, EngineConfig, TealConfig, TealEngine, TealModel};
+    use teal_core::{EngineConfig, Env, TealConfig, TealEngine, TealModel};
     let env = Arc::new(Env::for_topology(teal_topology::b4()));
     let tm = teal_traffic::TrafficMatrix::new(vec![20.0; env.num_demands()]);
     let mut t = Table::new(
@@ -151,17 +183,32 @@ pub fn table2_measured() {
     let engine = TealEngine::new(model, EngineConfig::paper_default(12));
     let mut schemes: Vec<Box<dyn teal_sim::Scheme>> = vec![
         Box::new(teal_sim::TealScheme::new(engine)),
-        Box::new(teal_sim::LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow)),
-        Box::new(teal_sim::LpTopScheme::new(Arc::clone(&env), Objective::TotalFlow)),
-        Box::new(teal_sim::NcflowScheme::new(Arc::clone(&env), Objective::TotalFlow)),
-        Box::new(teal_sim::PopScheme::new(Arc::clone(&env), Objective::TotalFlow)),
+        Box::new(teal_sim::LpAllScheme::new(
+            Arc::clone(&env),
+            Objective::TotalFlow,
+        )),
+        Box::new(teal_sim::LpTopScheme::new(
+            Arc::clone(&env),
+            Objective::TotalFlow,
+        )),
+        Box::new(teal_sim::NcflowScheme::new(
+            Arc::clone(&env),
+            Objective::TotalFlow,
+        )),
+        Box::new(teal_sim::PopScheme::new(
+            Arc::clone(&env),
+            Objective::TotalFlow,
+        )),
         Box::new(teal_sim::TeavarScheme::new(Arc::clone(&env))),
     ];
     for s in &mut schemes {
         let t0 = Instant::now();
         let _ = s.allocate(env.topo(), &tm);
         let dt = t0.elapsed();
-        t.row(vec![s.name().to_string(), teal_sim::metrics::fmt_secs(dt.as_secs_f64())]);
+        t.row(vec![
+            s.name().to_string(),
+            teal_sim::metrics::fmt_secs(dt.as_secs_f64()),
+        ]);
     }
     emit("table2_measured", &t.render());
 }

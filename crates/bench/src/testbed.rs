@@ -11,9 +11,7 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::sync::Arc;
-use teal_core::{
-    train_coma, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel,
-};
+use teal_core::{train_coma, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel};
 use teal_topology::{generate, PathSet, TopoKind};
 use teal_traffic::{SplitSpec, TrafficConfig, TrafficMatrix, TrafficModel};
 
@@ -44,7 +42,13 @@ impl TestbedSpec {
             TopoKind::Kdl => (0.11, 2400),
             TopoKind::Asn => (0.10, 3000),
         };
-        TestbedSpec { kind, scale, max_demands, split_shrink: 0.04, seed: 42 }
+        TestbedSpec {
+            kind,
+            scale,
+            max_demands,
+            split_shrink: 0.04,
+            seed: 42,
+        }
     }
 
     /// A smaller variant for quick smoke runs.
@@ -93,7 +97,14 @@ impl Testbed {
         traffic.calibrate(&topo, &paths);
         let env = Arc::new(Env::new(topo, paths));
         let (train, val, test) = SplitSpec::paper(spec.split_shrink).generate(&traffic);
-        Testbed { spec, env, traffic, train, val, test }
+        Testbed {
+            spec,
+            env,
+            traffic,
+            train,
+            val,
+            test,
+        }
     }
 
     /// Display name like "ASN(x0.10)".
@@ -119,7 +130,11 @@ pub struct TrainBudget {
 
 impl Default for TrainBudget {
     fn default() -> Self {
-        TrainBudget { epochs: 6, lr: 3e-3, max_agents_per_step: 600 }
+        TrainBudget {
+            epochs: 6,
+            lr: 3e-3,
+            max_agents_per_step: 600,
+        }
     }
 }
 
@@ -183,8 +198,15 @@ mod tests {
         });
         let engine = train_teal_engine(
             &bed,
-            TealConfig { gnn_layers: 3, ..TealConfig::default() },
-            TrainBudget { epochs: 1, lr: 3e-3, max_agents_per_step: 50 },
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+            TrainBudget {
+                epochs: 1,
+                lr: 3e-3,
+                max_agents_per_step: 50,
+            },
         );
         let (alloc, _) = engine.allocate(&bed.test[0]);
         assert!(alloc.demand_feasible(1e-6));

@@ -42,13 +42,26 @@ impl NaiveDnnModel {
         let mut layers = Vec::new();
         let mut din = nd;
         for l in 0..depth - 1 {
-            layers.push(Linear::new(&mut store, &format!("dnn.h{l}"), din, hidden, &mut rng));
+            layers.push(Linear::new(
+                &mut store,
+                &format!("dnn.h{l}"),
+                din,
+                hidden,
+                &mut rng,
+            ));
             din = hidden;
         }
         layers.push(Linear::new(&mut store, "dnn.out", din, nd * k, &mut rng));
         let logstd = store.register("logstd", Tensor::full(1, k, -1.0));
         let demand_rows = Arc::new((0..nd).map(|d| d * k).collect());
-        NaiveDnnModel { env, store, layers, logstd, demand_rows, slope: 0.1 }
+        NaiveDnnModel {
+            env,
+            store,
+            layers,
+            logstd,
+            demand_rows,
+            slope: 0.1,
+        }
     }
 }
 
@@ -64,18 +77,32 @@ impl PolicyModel for NaiveDnnModel {
     fn forward(&self, g: &mut Graph, input: &ModelInput) -> Forward {
         let nd = self.env.num_demands();
         let k = self.env.k();
+        let batch = input.batch;
         let mut bounds = Vec::new();
-        // Demand vector from the per-path initialization (slot 0 per demand).
+        // Demand vector from the per-path initialization (slot 0 per demand,
+        // repeated per batch block).
         let paths = g.input(input.path_init.clone());
-        let demands = g.gather_rows(paths, Arc::clone(&self.demand_rows)); // [D,1]
-        let mut h = g.reshape(demands, 1, nd);
+        let demands = if batch == 1 {
+            g.gather_rows(paths, Arc::clone(&self.demand_rows)) // [D,1]
+        } else {
+            let per = nd * k;
+            let idx: Vec<usize> = (0..batch)
+                .flat_map(|b| self.demand_rows.iter().map(move |&r| b * per + r))
+                .collect();
+            g.gather_rows(paths, Arc::new(idx)) // [B*D,1]
+        };
+        let mut h = g.reshape(demands, batch, nd);
         let n = self.layers.len();
         for (i, layer) in self.layers.iter().enumerate() {
             let (lin, b) = layer.forward(&self.store, g, h);
             bounds.push(b);
-            h = if i + 1 < n { g.leaky_relu(lin, self.slope) } else { lin };
+            h = if i + 1 < n {
+                g.leaky_relu(lin, self.slope)
+            } else {
+                lin
+            };
         }
-        let mu = g.reshape(h, nd, k);
+        let mu = g.reshape(h, batch * nd, k);
         let logstd = self.store.bind(g, self.logstd);
         Forward::new(mu, None, logstd, bounds, self.logstd)
     }
@@ -165,11 +192,14 @@ impl NaiveGnnModel {
     fn node_features(&self, input: &ModelInput) -> Tensor {
         let n = self.env.topo().num_nodes();
         let k = self.env.k();
-        let mut feats = Tensor::zeros(n, 2);
-        for (d, &(s, t)) in self.env.paths().pairs().iter().enumerate() {
-            let v = input.path_init.get(d * k, 0);
-            feats.set(s, 0, feats.get(s, 0) + v);
-            feats.set(t, 1, feats.get(t, 1) + v);
+        let per = self.env.paths().num_paths();
+        let mut feats = Tensor::zeros(input.batch * n, 2);
+        for b in 0..input.batch {
+            for (d, &(s, t)) in self.env.paths().pairs().iter().enumerate() {
+                let v = input.path_init.get(b * per + d * k, 0);
+                feats.set(b * n + s, 0, feats.get(b * n + s, 0) + v);
+                feats.set(b * n + t, 1, feats.get(b * n + t, 1) + v);
+            }
         }
         feats
     }
@@ -185,18 +215,35 @@ impl PolicyModel for NaiveGnnModel {
     }
 
     fn forward(&self, g: &mut Graph, input: &ModelInput) -> Forward {
+        let batch = input.batch;
         let mut bounds = Vec::new();
         let mut h = g.input(self.node_features(input));
         for layer in &self.gnn_layers {
-            let msg = g.spmm(&self.adjacency, h);
+            let msg = g.spmm_batch(&self.adjacency, h, batch);
             let cat = g.concat_cols(h, msg);
             let (lin, b) = layer.forward(&self.store, g, cat);
             bounds.push(b);
             h = g.leaky_relu(lin, self.slope);
         }
-        let src = g.gather_rows(h, Arc::clone(&self.src_idx));
-        let dst = g.gather_rows(h, Arc::clone(&self.dst_idx));
-        let pair = g.concat_cols(src, dst); // [D, 2h]
+        let (src, dst) = if batch == 1 {
+            (
+                g.gather_rows(h, Arc::clone(&self.src_idx)),
+                g.gather_rows(h, Arc::clone(&self.dst_idx)),
+            )
+        } else {
+            let n = self.env.topo().num_nodes();
+            let offset = |idx: &[usize]| -> Arc<Vec<usize>> {
+                Arc::new(
+                    (0..batch)
+                        .flat_map(|b| idx.iter().map(move |&i| b * n + i))
+                        .collect(),
+                )
+            };
+            let src_idx = offset(&self.src_idx);
+            let dst_idx = offset(&self.dst_idx);
+            (g.gather_rows(h, src_idx), g.gather_rows(h, dst_idx))
+        };
+        let pair = g.concat_cols(src, dst); // [B*D, 2h]
         let (h0, b0) = self.head[0].forward(&self.store, g, pair);
         bounds.push(b0);
         let a0 = g.leaky_relu(h0, self.slope);
@@ -256,7 +303,13 @@ impl GlobalPolicyModel {
             Linear::new(&mut store2, "global.out", hidden, out_dim, &mut rng),
         ];
         let logstd = store2.register("logstd", Tensor::full(1, k, -1.0));
-        Ok(GlobalPolicyModel { inner, store2, giant, logstd, slope: 0.1 })
+        Ok(GlobalPolicyModel {
+            inner,
+            store2,
+            giant,
+            logstd,
+            slope: 0.1,
+        })
     }
 
     /// Parameter count of the giant head alone.
@@ -279,18 +332,21 @@ impl PolicyModel for GlobalPolicyModel {
         // NOTE: the inner model's policy network output is discarded; only
         // its FlowGNN embeddings are consumed, as in the ablation.
         let inner_fwd = self.inner.forward(g, input);
-        let embed = inner_fwd.embeddings.expect("TealModel always yields embeddings");
+        let embed = inner_fwd
+            .embeddings
+            .expect("TealModel always yields embeddings");
         let nd = self.env().num_demands();
         let k = self.env().k();
-        let (p, d) = g.value(embed).shape();
-        let flat = g.reshape(embed, 1, p * d);
+        let batch = input.batch;
+        let (rows, d) = g.value(embed).shape();
+        let flat = g.reshape(embed, batch, (rows / batch) * d);
         let mut bounds = inner_fwd.into_bounds();
         let (h, b0) = self.giant[0].forward(&self.store2, g, flat);
         bounds.push(b0);
         let a = g.leaky_relu(h, self.slope);
         let (out, b1) = self.giant[1].forward(&self.store2, g, a);
         bounds.push(b1);
-        let mu = g.reshape(out, nd, k);
+        let mu = g.reshape(out, batch * nd, k);
         let logstd = self.store2.bind(g, self.logstd);
         Forward::new(mu, None, logstd, bounds, self.logstd)
     }
@@ -327,7 +383,7 @@ mod tests {
     use crate::coma::{train_coma, validate, ComaConfig};
     use crate::model::TealConfig;
     use teal_topology::{PathSet, Topology};
-    use teal_traffic::{TrafficConfig, TrafficModel, TrafficMatrix};
+    use teal_traffic::{TrafficConfig, TrafficMatrix, TrafficModel};
 
     fn tiny_env() -> Arc<Env> {
         let mut t = Topology::new("tiny", 5);
@@ -356,7 +412,10 @@ mod tests {
         let tms = traffic(&env, 3, 9);
         let alloc = model.allocate_deterministic(&env.model_input(&tms[0], None));
         assert!(alloc.demand_feasible(1e-5));
-        let cfg = ComaConfig { epochs: 2, ..ComaConfig::default() };
+        let cfg = ComaConfig {
+            epochs: 2,
+            ..ComaConfig::default()
+        };
         let rep = train_coma(&mut model, &tms, &tms, &cfg);
         assert_eq!(rep.history.len(), 2);
     }
@@ -370,7 +429,10 @@ mod tests {
         assert!(alloc.demand_feasible(1e-5));
         let v = validate(&model, &env, &tms);
         assert!(v > 0.0 && v <= 100.0);
-        let cfg = ComaConfig { epochs: 2, ..ComaConfig::default() };
+        let cfg = ComaConfig {
+            epochs: 2,
+            ..ComaConfig::default()
+        };
         let _ = train_coma(&mut model, &tms, &tms, &cfg);
     }
 
@@ -379,18 +441,27 @@ mod tests {
         let env = tiny_env();
         let ok = GlobalPolicyModel::new(
             Arc::clone(&env),
-            TealConfig { gnn_layers: 3, ..TealConfig::default() },
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
             32,
             10_000_000,
         );
         assert!(ok.is_ok());
         let too_big = GlobalPolicyModel::new(
             Arc::clone(&env),
-            TealConfig { gnn_layers: 3, ..TealConfig::default() },
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
             32,
             100,
         );
-        assert!(too_big.is_err(), "size guard must reject oversized policies");
+        assert!(
+            too_big.is_err(),
+            "size guard must reject oversized policies"
+        );
     }
 
     #[test]
@@ -398,7 +469,10 @@ mod tests {
         let env = tiny_env();
         let mut model = GlobalPolicyModel::new(
             Arc::clone(&env),
-            TealConfig { gnn_layers: 2, ..TealConfig::default() },
+            TealConfig {
+                gnn_layers: 2,
+                ..TealConfig::default()
+            },
             16,
             10_000_000,
         )
@@ -407,8 +481,47 @@ mod tests {
         let alloc = model.allocate_deterministic(&env.model_input(&tms[0], None));
         assert!(alloc.demand_feasible(1e-5));
         assert!(model.giant_params() > 0);
-        let cfg = ComaConfig { epochs: 1, ..ComaConfig::default() };
+        let cfg = ComaConfig {
+            epochs: 1,
+            ..ComaConfig::default()
+        };
         let _ = train_coma(&mut model, &tms, &tms, &cfg);
+    }
+
+    #[test]
+    fn ablation_models_batch_equals_sequential() {
+        let env = tiny_env();
+        let tms = traffic(&env, 3, 14);
+        let models: Vec<Box<dyn PolicyModel>> = vec![
+            Box::new(NaiveDnnModel::new(Arc::clone(&env), 16, 3, 5)),
+            Box::new(NaiveGnnModel::new(Arc::clone(&env), 12, 2, 6)),
+            Box::new(
+                GlobalPolicyModel::new(
+                    Arc::clone(&env),
+                    TealConfig {
+                        gnn_layers: 2,
+                        ..TealConfig::default()
+                    },
+                    16,
+                    10_000_000,
+                )
+                .unwrap(),
+            ),
+        ];
+        for model in &models {
+            let batched = model.allocate_batch(&env.batch_input(&tms, None));
+            assert_eq!(batched.len(), tms.len(), "{}", model.name());
+            for (tm, b) in tms.iter().zip(&batched) {
+                let seq = model.allocate_deterministic(&env.model_input(tm, None));
+                for (x, y) in b.splits().iter().zip(seq.splits()) {
+                    assert!(
+                        (x - y).abs() <= 1e-6,
+                        "{}: batched {x} vs sequential {y}",
+                        model.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct DirectConfig {
 
 impl Default for DirectConfig {
     fn default() -> Self {
-        DirectConfig { epochs: 12, lr: 2e-3, grad_clip: 5.0 }
+        DirectConfig {
+            epochs: 12,
+            lr: 2e-3,
+            grad_clip: 5.0,
+        }
     }
 }
 
@@ -65,7 +69,13 @@ pub fn train_direct(
     history
 }
 
-fn step(model: &mut dyn PolicyModel, env: &Env, tm: &TrafficMatrix, cfg: &DirectConfig, opt: &mut Adam) {
+fn step(
+    model: &mut dyn PolicyModel,
+    env: &Env,
+    tm: &TrafficMatrix,
+    cfg: &DirectConfig,
+    opt: &mut Adam,
+) {
     let input = env.model_input(tm, None);
     let mut g = Graph::new();
     let fwd = model.forward(&mut g, &input);
@@ -78,7 +88,7 @@ fn step(model: &mut dyn PolicyModel, env: &Env, tm: &TrafficMatrix, cfg: &Direct
     let splits = g.softmax_rows(fwd.mu); // [D, k]
     let flat = g.reshape(splits, nd * k, 1); // [P, 1]
     let vols: Vec<f32> = (0..nd)
-        .flat_map(|d| std::iter::repeat((tm.demand(d) * inv) as f32).take(k))
+        .flat_map(|d| std::iter::repeat_n((tm.demand(d) * inv) as f32, k))
         .collect();
     let vol_const = g.input(Tensor::from_vec(nd * k, 1, vols));
     let flows = g.mul(flat, vol_const); // [P, 1]
@@ -86,8 +96,12 @@ fn step(model: &mut dyn PolicyModel, env: &Env, tm: &TrafficMatrix, cfg: &Direct
     // Per-edge loads via the transposed incidence (E x P).
     let at = env.incidence().transposed();
     let loads = g.spmm(&at, flows); // [E, 1]
-    let caps: Vec<f32> =
-        env.topo().edges().iter().map(|e| (e.capacity * inv) as f32).collect();
+    let caps: Vec<f32> = env
+        .topo()
+        .edges()
+        .iter()
+        .map(|e| (e.capacity * inv) as f32)
+        .collect();
     let cap_const = g.input(Tensor::from_vec(caps.len(), 1, caps));
     let over = g.sub(loads, cap_const);
     let overuse = g.relu(over);
@@ -153,8 +167,7 @@ mod tests {
     }
 
     fn traffic(env: &Env, n: usize, seed: u64) -> Vec<TrafficMatrix> {
-        let mut model =
-            TrafficModel::new(&env.topo().all_pairs(), TrafficConfig::default(), seed);
+        let mut model = TrafficModel::new(&env.topo().all_pairs(), TrafficConfig::default(), seed);
         model.calibrate(env.topo(), env.paths());
         model.series(0, n)
     }
@@ -162,21 +175,32 @@ mod tests {
     #[test]
     fn direct_training_does_not_regress() {
         let env = tiny_env();
-        let mut model = TealModel::new(Arc::clone(&env), TealConfig {
-            gnn_layers: 3,
-            ..TealConfig::default()
-        });
+        let mut model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
         let train = traffic(&env, 6, 21);
         let val = traffic(&env, 3, 77);
         let before = validate(&model, &env, &val);
-        let hist = train_direct(&mut model, &train, &val, &DirectConfig {
-            epochs: 8,
-            lr: 5e-3,
-            grad_clip: 5.0,
-        });
+        let hist = train_direct(
+            &mut model,
+            &train,
+            &val,
+            &DirectConfig {
+                epochs: 8,
+                lr: 5e-3,
+                grad_clip: 5.0,
+            },
+        );
         let after = validate(&model, &env, &val);
         assert_eq!(hist.len(), 8);
-        assert!(after >= before - 1e-6, "before {before:.2}% after {after:.2}%");
+        assert!(
+            after >= before - 1e-6,
+            "before {before:.2}% after {after:.2}%"
+        );
     }
 
     #[test]
@@ -190,6 +214,9 @@ mod tests {
         let s = surrogate_value(&env, &tm, &alloc);
         let inst = env.instance(&tm);
         let intended = teal_lp::evaluate(&inst, &alloc).intended_flow;
-        assert!(s < intended, "surrogate {s} must be below intended {intended}");
+        assert!(
+            s < intended,
+            "surrogate {s} must be below intended {intended}"
+        );
     }
 }

@@ -1,17 +1,30 @@
 //! The deployed Teal engine (§3.1, Figure 3): one neural forward pass
 //! followed by 2–5 warm-started ADMM iterations.
 //!
+//! The serving path is split in two layers:
+//!
+//! * [`ServingContext`] owns everything fixed per topology — the trained
+//!   model, the engine configuration, and a prebuilt [`AdmmSkeleton`]
+//!   (incidence index + normalized capacities). Nothing is rebuilt per
+//!   traffic matrix: `allocate` mints an O(paths) per-matrix solver from the
+//!   shared skeleton. All methods take `&self`, so one context wrapped in an
+//!   `Arc` safely serves concurrent `allocate` calls from many threads.
+//! * [`TealEngine`] is a thin stateless facade over an
+//!   `Arc<ServingContext>` preserving the original single-object API.
+//!
 //! `allocate` measures the wall-clock time of the full pipeline — the number
 //! reported as Teal's computation time in the paper's figures. Because the
 //! forward pass is a fixed sequence of matrix products and ADMM runs a fixed
 //! iteration count, the runtime is independent of the traffic values (the
-//! stability highlighted in Figure 7a).
+//! stability highlighted in Figure 7a). [`ServingContext::allocate_batch`]
+//! pushes a whole batch of matrices through *one* set of matrix products and
+//! fine-tunes them with ADMM in parallel — the multi-matrix throughput path.
 
 use crate::env::Env;
 use crate::model::PolicyModel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use teal_lp::{AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
+use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
 use teal_topology::Topology;
 use teal_traffic::TrafficMatrix;
 
@@ -37,20 +50,34 @@ impl EngineConfig {
 
     /// No fine-tuning (ablation / non-linear objectives).
     pub fn without_admm(objective: Objective) -> Self {
-        EngineConfig { admm: None, objective }
+        EngineConfig {
+            admm: None,
+            objective,
+        }
     }
 }
 
-/// A trained model plus the fine-tuning stage, ready to serve allocations.
-pub struct TealEngine<M: PolicyModel> {
+/// Per-topology serving state: a trained model plus the precomputed ADMM
+/// skeleton, ready to serve allocations concurrently.
+pub struct ServingContext<M: PolicyModel> {
     model: M,
     cfg: EngineConfig,
+    /// Prebuilt per-topology ADMM state (absent when fine-tuning is off).
+    skeleton: Option<AdmmSkeleton>,
 }
 
-impl<M: PolicyModel> TealEngine<M> {
-    /// Wrap a (trained) model.
+impl<M: PolicyModel> ServingContext<M> {
+    /// Wrap a (trained) model, precomputing the ADMM skeleton once.
     pub fn new(model: M, cfg: EngineConfig) -> Self {
-        TealEngine { model, cfg }
+        let skeleton = cfg.admm.map(|_| {
+            let env = model.env();
+            AdmmSkeleton::new(env.topo(), env.paths(), cfg.objective)
+        });
+        ServingContext {
+            model,
+            cfg,
+            skeleton,
+        }
     }
 
     /// The underlying model.
@@ -58,9 +85,9 @@ impl<M: PolicyModel> TealEngine<M> {
         &self.model
     }
 
-    /// Mutable access (e.g. to continue training).
-    pub fn model_mut(&mut self) -> &mut M {
-        &mut self.model
+    /// The configuration this context serves under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
     }
 
     /// The environment.
@@ -71,34 +98,174 @@ impl<M: PolicyModel> TealEngine<M> {
     /// Allocate a traffic matrix on the trained topology. Returns the
     /// allocation and the measured computation time.
     pub fn allocate(&self, tm: &TrafficMatrix) -> (Allocation, Duration) {
-        self.allocate_inner(tm, None)
-    }
-
-    /// Allocate against a topology with altered capacities (e.g. failed
-    /// links zeroed) *without retraining* — the §5.3 scenario. Paths stay
-    /// the ones precomputed on the original topology.
-    pub fn allocate_on(&self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
-        self.allocate_inner(tm, Some(topo))
-    }
-
-    fn allocate_inner(
-        &self,
-        tm: &TrafficMatrix,
-        topo_override: Option<&Topology>,
-    ) -> (Allocation, Duration) {
-        let env = self.model.env();
         let start = Instant::now();
-        let input = env.model_input(tm, topo_override);
+        let env = self.model.env();
+        let input = env.model_input(tm, None);
         let mut alloc = self.model.allocate_deterministic(&input);
-        if let Some(admm_cfg) = self.cfg.admm {
-            let topo = topo_override.unwrap_or_else(|| env.topo());
-            let inst = TeInstance::new(topo, env.paths(), tm);
-            let solver = AdmmSolver::new(&inst, self.cfg.objective);
-            let (tuned, _) = solver.run(&alloc, admm_cfg);
+        if let (Some(admm_cfg), Some(skel)) = (self.cfg.admm, &self.skeleton) {
+            let (tuned, _) = skel.solver(tm).run(&alloc, admm_cfg);
             alloc = tuned;
         }
         alloc.project_demand_constraints();
         (alloc, start.elapsed())
+    }
+
+    /// Allocate against a topology with altered capacities (e.g. failed
+    /// links zeroed) *without retraining* — the §5.3 scenario. Paths stay
+    /// the ones precomputed on the original topology; only the capacity
+    /// vector of the ADMM skeleton is rebuilt.
+    pub fn allocate_on(&self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
+        let start = Instant::now();
+        let env = self.model.env();
+        let input = env.model_input(tm, Some(topo));
+        let mut alloc = self.model.allocate_deterministic(&input);
+        if let (Some(admm_cfg), Some(skel)) = (self.cfg.admm, &self.skeleton) {
+            let (tuned, _) = skel.with_topology(topo).solver(tm).run(&alloc, admm_cfg);
+            alloc = tuned;
+        }
+        alloc.project_demand_constraints();
+        (alloc, start.elapsed())
+    }
+
+    /// Allocate a whole batch of traffic matrices: batched forward passes
+    /// in cache-blocked sub-batches (one set of matrix products per
+    /// `SUB_BATCH` matrices), then ADMM
+    /// fine-tuning of every matrix in parallel across CPU threads. Returns
+    /// the allocations (aligned with `tms`) and the total wall-clock time.
+    pub fn allocate_batch(&self, tms: &[TrafficMatrix]) -> (Vec<Allocation>, Duration) {
+        self.allocate_batch_inner(tms, None)
+    }
+
+    /// Batched allocation against a failure-modified topology.
+    pub fn allocate_batch_on(
+        &self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> (Vec<Allocation>, Duration) {
+        self.allocate_batch_inner(tms, Some(topo))
+    }
+
+    /// Matrices per forward-pass sub-batch: large enough to amortize
+    /// per-pass overhead, small enough that the working set of each layer
+    /// stays cache-resident on modest hardware.
+    const SUB_BATCH: usize = 4;
+
+    fn allocate_batch_inner(
+        &self,
+        tms: &[TrafficMatrix],
+        topo_override: Option<&Topology>,
+    ) -> (Vec<Allocation>, Duration) {
+        if tms.is_empty() {
+            return (Vec::new(), Duration::ZERO);
+        }
+        let start = Instant::now();
+        let env = self.model.env();
+        // Cache-blocked batched forward: sub-batches share one set of
+        // matrix products each.
+        let mut raw = Vec::with_capacity(tms.len());
+        for chunk in tms.chunks(Self::SUB_BATCH) {
+            let input = env.batch_input(chunk, topo_override);
+            raw.extend(self.model.allocate_batch(&input));
+        }
+        let mut out = match (self.cfg.admm, &self.skeleton) {
+            (Some(admm_cfg), Some(skel)) => {
+                let skel = match topo_override {
+                    Some(topo) => skel.with_topology(topo),
+                    None => skel.clone(),
+                };
+                // Outer parallelism across matrices; the per-matrix solvers
+                // run serial sweeps so threads are not oversubscribed.
+                let inner_cfg = AdmmConfig {
+                    serial: true,
+                    ..admm_cfg
+                };
+                let slots: Vec<Option<Allocation>> = teal_nn::par::par_map(tms.len(), 1, |i| {
+                    let (tuned, _) = skel.solver(&tms[i]).run(&raw[i], inner_cfg);
+                    Some(tuned)
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("admm worker produced no result"))
+                    .collect()
+            }
+            _ => raw,
+        };
+        for alloc in &mut out {
+            alloc.project_demand_constraints();
+        }
+        (out, start.elapsed())
+    }
+}
+
+/// A trained model plus the fine-tuning stage, ready to serve allocations:
+/// a thin facade over an [`Arc`]-shared [`ServingContext`].
+pub struct TealEngine<M: PolicyModel> {
+    ctx: Arc<ServingContext<M>>,
+}
+
+impl<M: PolicyModel> Clone for TealEngine<M> {
+    fn clone(&self) -> Self {
+        TealEngine {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+}
+
+impl<M: PolicyModel> TealEngine<M> {
+    /// Wrap a (trained) model.
+    pub fn new(model: M, cfg: EngineConfig) -> Self {
+        TealEngine {
+            ctx: Arc::new(ServingContext::new(model, cfg)),
+        }
+    }
+
+    /// The shared serving context (clone the `Arc` to serve from threads).
+    pub fn context(&self) -> &Arc<ServingContext<M>> {
+        &self.ctx
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &M {
+        self.ctx.model()
+    }
+
+    /// Mutable access (e.g. to continue training). Panics if the context is
+    /// currently shared with other threads — stop serving before mutating.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut Arc::get_mut(&mut self.ctx)
+            .expect("ServingContext is shared; cannot mutate the model while serving")
+            .model
+    }
+
+    /// The environment.
+    pub fn env(&self) -> &Arc<Env> {
+        self.ctx.env()
+    }
+
+    /// Allocate a traffic matrix on the trained topology. Returns the
+    /// allocation and the measured computation time.
+    pub fn allocate(&self, tm: &TrafficMatrix) -> (Allocation, Duration) {
+        self.ctx.allocate(tm)
+    }
+
+    /// Allocate against a topology with altered capacities (see
+    /// [`ServingContext::allocate_on`]).
+    pub fn allocate_on(&self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
+        self.ctx.allocate_on(topo, tm)
+    }
+
+    /// Batched allocation (see [`ServingContext::allocate_batch`]).
+    pub fn allocate_batch(&self, tms: &[TrafficMatrix]) -> (Vec<Allocation>, Duration) {
+        self.ctx.allocate_batch(tms)
+    }
+
+    /// Batched allocation on a failure-modified topology.
+    pub fn allocate_batch_on(
+        &self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> (Vec<Allocation>, Duration) {
+        self.ctx.allocate_batch_on(topo, tms)
     }
 }
 
@@ -110,10 +277,13 @@ mod tests {
 
     fn engine() -> TealEngine<TealModel> {
         let env = Arc::new(Env::for_topology(b4()));
-        let model = TealModel::new(Arc::clone(&env), TealConfig {
-            gnn_layers: 3,
-            ..TealConfig::default()
-        });
+        let model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
         TealEngine::new(model, EngineConfig::paper_default(12))
     }
 
@@ -129,10 +299,13 @@ mod tests {
     #[test]
     fn admm_reduces_overuse_versus_raw_model() {
         let env = Arc::new(Env::for_topology(b4()));
-        let model = TealModel::new(Arc::clone(&env), TealConfig {
-            gnn_layers: 3,
-            ..TealConfig::default()
-        });
+        let model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
         // Heavy demands so the untrained softmax output oversubscribes.
         let tm = TrafficMatrix::new(vec![150.0; env.num_demands()]);
         let raw = model.allocate_deterministic(&env.model_input(&tm, None));
@@ -172,5 +345,63 @@ mod tests {
         let (a, b) = (t1.as_secs_f64(), t2.as_secs_f64());
         let ratio = if a > b { a / b } else { b / a };
         assert!(ratio < 20.0, "runtime ratio {ratio} too unstable");
+    }
+
+    #[test]
+    fn batch_matches_sequential_allocation() {
+        let eng = engine();
+        let nd = eng.env().num_demands();
+        let tms: Vec<TrafficMatrix> = (0..5)
+            .map(|i| TrafficMatrix::new(vec![10.0 + 17.0 * i as f64; nd]))
+            .collect();
+        let (batched, _) = eng.allocate_batch(&tms);
+        assert_eq!(batched.len(), tms.len());
+        for (tm, b) in tms.iter().zip(&batched) {
+            let (seq, _) = eng.allocate(tm);
+            assert!(b.demand_feasible(1e-6));
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                assert!(
+                    (x - y).abs() <= 1e-6,
+                    "batched {x} vs sequential {y} differ beyond 1e-6"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_failed_topology_matches_sequential() {
+        let eng = engine();
+        let nd = eng.env().num_demands();
+        let failed = eng.env().topo().with_failed_link(0, 1);
+        let tms: Vec<TrafficMatrix> = (0..3)
+            .map(|i| TrafficMatrix::new(vec![8.0 + i as f64; nd]))
+            .collect();
+        let (batched, _) = eng.allocate_batch_on(&failed, &tms);
+        for (tm, b) in tms.iter().zip(&batched) {
+            let (seq, _) = eng.allocate_on(&failed, tm);
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                assert!((x - y).abs() <= 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_contexts_agree_with_sequential() {
+        let eng = engine();
+        let ctx = Arc::clone(eng.context());
+        let nd = eng.env().num_demands();
+        let tm_a = TrafficMatrix::new(vec![25.0; nd]);
+        let tm_b = TrafficMatrix::new(vec![60.0; nd]);
+        let (seq_a, _) = ctx.allocate(&tm_a);
+        let (seq_b, _) = ctx.allocate(&tm_b);
+
+        let ctx2 = Arc::clone(&ctx);
+        let (par_a, par_b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| ctx.allocate(&tm_a).0);
+            let hb = s.spawn(move || ctx2.allocate(&tm_b).0);
+            (ha.join().expect("thread a"), hb.join().expect("thread b"))
+        });
+        assert_eq!(seq_a, par_a, "concurrent allocate diverged on matrix A");
+        assert_eq!(seq_b, par_b, "concurrent allocate diverged on matrix B");
     }
 }

@@ -25,10 +25,14 @@ impl Env {
     /// Build the environment (computes the incidence structure once).
     pub fn new(topo: Topology, paths: PathSet) -> Self {
         let triplets = paths.incidence_triplets();
-        let incidence =
-            CsrPair::from_triplets(paths.num_paths(), topo.num_edges(), &triplets);
+        let incidence = CsrPair::from_triplets(paths.num_paths(), topo.num_edges(), &triplets);
         let mean_cap = topo.total_capacity() / topo.num_edges().max(1) as f64;
-        Env { topo, paths, incidence, mean_cap: mean_cap.max(1e-12) }
+        Env {
+            topo,
+            paths,
+            incidence,
+            mean_cap: mean_cap.max(1e-12),
+        }
     }
 
     /// Convenience: compute 4 shortest paths for every ordered pair.
@@ -76,46 +80,104 @@ impl Env {
     /// LP instance against an alternative topology (e.g. with failed links);
     /// the path set stays the one precomputed on the original topology,
     /// matching the paper's failure model.
-    pub fn instance_on<'a>(
-        &'a self,
-        topo: &'a Topology,
-        tm: &'a TrafficMatrix,
-    ) -> TeInstance<'a> {
+    pub fn instance_on<'a>(&'a self, topo: &'a Topology, tm: &'a TrafficMatrix) -> TeInstance<'a> {
         TeInstance::new(topo, &self.paths, tm)
     }
 
     /// Per-traffic-matrix model inputs: normalized PathNode and EdgeNode
     /// initializations (§3.2 — PathNodes start from the demand volume, and
     /// EdgeNodes from the link capacity). An optional topology override
-    /// injects failed-link capacities without retraining.
+    /// injects failed-link capacities without retraining. Equivalent to
+    /// [`Env::batch_input`] with a single matrix.
     pub fn model_input(&self, tm: &TrafficMatrix, topo_override: Option<&Topology>) -> ModelInput {
+        self.batch_input(std::slice::from_ref(tm), topo_override)
+    }
+
+    /// Batched model inputs: one forward pass consumes a whole minibatch of
+    /// traffic matrices. Per-matrix blocks are stacked vertically (batch ⊗
+    /// rows), so `path_init` is `[batch * num_paths, 1]` and `edge_init` is
+    /// `[batch * num_edges, 1]`; the edge block is replicated per matrix
+    /// (capacities are shared across the batch).
+    pub fn batch_input(
+        &self,
+        tms: &[TrafficMatrix],
+        topo_override: Option<&Topology>,
+    ) -> ModelInput {
+        assert!(
+            !tms.is_empty(),
+            "batch_input requires at least one traffic matrix"
+        );
         let topo = topo_override.unwrap_or(&self.topo);
-        assert_eq!(topo.num_edges(), self.topo.num_edges(), "override edge count mismatch");
+        assert_eq!(
+            topo.num_edges(),
+            self.topo.num_edges(),
+            "override edge count mismatch"
+        );
+        let batch = tms.len();
         let k = self.k();
         let inv = 1.0 / self.mean_cap;
-        let mut path_init = Vec::with_capacity(self.paths.num_paths());
-        for d in 0..self.num_demands() {
-            let v = (tm.demand(d) * inv) as f32;
-            for _ in 0..k {
-                path_init.push(v);
+        let mut path_init = Vec::with_capacity(batch * self.paths.num_paths());
+        for tm in tms {
+            assert_eq!(
+                tm.len(),
+                self.num_demands(),
+                "traffic matrix arity mismatch"
+            );
+            for d in 0..self.num_demands() {
+                let v = (tm.demand(d) * inv) as f32;
+                for _ in 0..k {
+                    path_init.push(v);
+                }
             }
         }
-        let edge_init: Vec<f32> =
-            topo.edges().iter().map(|e| (e.capacity * inv) as f32).collect();
+        let edge_block: Vec<f32> = topo
+            .edges()
+            .iter()
+            .map(|e| (e.capacity * inv) as f32)
+            .collect();
+        let mut edge_init = Vec::with_capacity(batch * edge_block.len());
+        for _ in 0..batch {
+            edge_init.extend_from_slice(&edge_block);
+        }
         ModelInput {
             path_init: Tensor::from_vec(path_init.len(), 1, path_init),
             edge_init: Tensor::from_vec(edge_init.len(), 1, edge_init),
+            batch,
         }
     }
 }
 
-/// Per-traffic-matrix tensors fed into the models.
+/// Model-input tensors for a minibatch of traffic matrices. Per-matrix
+/// blocks are stacked vertically; `batch == 1` reproduces the original
+/// single-matrix layout exactly.
 #[derive(Clone, Debug)]
 pub struct ModelInput {
-    /// `[num_paths, 1]` — demand volume of the path's demand (normalized).
+    /// `[batch * num_paths, 1]` — demand volume of the path's demand
+    /// (normalized), one block per traffic matrix.
     pub path_init: Tensor,
-    /// `[num_edges, 1]` — link capacity (normalized).
+    /// `[batch * num_edges, 1]` — link capacity (normalized), replicated
+    /// per traffic matrix.
     pub edge_init: Tensor,
+    /// Number of traffic matrices stacked in this input.
+    pub batch: usize,
+}
+
+impl ModelInput {
+    /// Extract the single-matrix input of batch element `b`.
+    pub fn element(&self, b: usize) -> ModelInput {
+        assert!(
+            b < self.batch,
+            "batch element {b} out of range {}",
+            self.batch
+        );
+        let p = self.path_init.rows() / self.batch;
+        let e = self.edge_init.rows() / self.batch;
+        ModelInput {
+            path_init: Tensor::from_vec(p, 1, self.path_init.data()[b * p..(b + 1) * p].to_vec()),
+            edge_init: Tensor::from_vec(e, 1, self.edge_init.data()[b * e..(b + 1) * e].to_vec()),
+            batch: 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +203,31 @@ mod tests {
         assert_eq!(input.edge_init.shape(), (env.topo().num_edges(), 1));
         // A demand equal to the mean capacity normalizes to 1.
         assert!((input.path_init.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_input_stacks_per_matrix_blocks() {
+        let env = Env::for_topology(b4());
+        let tm_a = TrafficMatrix::new(vec![env.mean_cap(); env.num_demands()]);
+        let tm_b = TrafficMatrix::new(vec![2.0 * env.mean_cap(); env.num_demands()]);
+        let batched = env.batch_input(&[tm_a.clone(), tm_b.clone()], None);
+        assert_eq!(batched.batch, 2);
+        let p = env.paths().num_paths();
+        let e = env.topo().num_edges();
+        assert_eq!(batched.path_init.shape(), (2 * p, 1));
+        assert_eq!(batched.edge_init.shape(), (2 * e, 1));
+        // Each block matches the single-matrix input exactly.
+        let single_a = env.model_input(&tm_a, None);
+        let single_b = env.model_input(&tm_b, None);
+        assert_eq!(&batched.path_init.data()[..p], single_a.path_init.data());
+        assert_eq!(&batched.path_init.data()[p..], single_b.path_init.data());
+        assert_eq!(&batched.edge_init.data()[..e], single_a.edge_init.data());
+        assert_eq!(&batched.edge_init.data()[e..], single_b.edge_init.data());
+        // Element extraction round-trips.
+        let elem = batched.element(1);
+        assert_eq!(elem.batch, 1);
+        assert_eq!(elem.path_init, single_b.path_init);
+        assert_eq!(elem.edge_init, single_b.edge_init);
     }
 
     #[test]

@@ -189,9 +189,9 @@ impl<'a> FlowSim<'a> {
 
         // 1. Apply load deltas on the demand's edges, remembering changes.
         let mut changed_edges: Vec<(usize, f64, f64)> = Vec::new(); // (e, old_load, old_ratio)
-        for j in 0..k {
+        for (j, &ns) in new_splits.iter().enumerate().take(k) {
             let p = d * k + j;
-            let delta = (new_splits[j].max(0.0) - self.splits[p].max(0.0)) * vol;
+            let delta = (ns.max(0.0) - self.splits[p].max(0.0)) * vol;
             if delta == 0.0 {
                 continue;
             }
@@ -326,7 +326,9 @@ mod tests {
     fn counterfactual_matches_full_recompute() {
         let env = diamond_env();
         let tm = TrafficMatrix::new(
-            (0..env.num_demands()).map(|d| 3.0 + (d % 5) as f64 * 2.0).collect(),
+            (0..env.num_demands())
+                .map(|d| 3.0 + (d % 5) as f64 * 2.0)
+                .collect(),
         );
         let alloc = uniform_alloc(&env);
         let mut sim = FlowSim::new(&env, &tm, None);
@@ -380,7 +382,12 @@ mod tests {
         sim.set_allocation(&alloc);
         let inst = TeInstance::new(env.topo(), env.paths(), &tm);
         let reference = -evaluate(&inst, &alloc).max_link_util;
-        assert!((sim.reward() - reference).abs() < 1e-9, "{} vs {}", sim.reward(), reference);
+        assert!(
+            (sim.reward() - reference).abs() < 1e-9,
+            "{} vs {}",
+            sim.reward(),
+            reference
+        );
     }
 
     #[test]

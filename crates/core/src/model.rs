@@ -6,6 +6,7 @@ use crate::env::{Env, ModelInput};
 use std::sync::Arc;
 use teal_lp::Allocation;
 use teal_nn::graph::softmax_row_inplace;
+use teal_nn::tensor as tensor_ops;
 use teal_nn::{BoundLinear, Graph, Linear, ParamId, ParamStore, Tensor, Var};
 
 /// Hyperparameters of the full Teal model (§4 defaults).
@@ -68,7 +69,13 @@ impl Forward {
         bounds: Vec<BoundLinear>,
         logstd_id: ParamId,
     ) -> Self {
-        Forward { mu, embeddings, logstd, bounds, logstd_id }
+        Forward {
+            mu,
+            embeddings,
+            logstd,
+            bounds,
+            logstd_id,
+        }
     }
 
     /// The bound layers of this pass.
@@ -119,22 +126,51 @@ pub trait PolicyModel {
     /// mode, Appendix B — "the mean value of the Gaussian is directly used
     /// as the action during deployment").
     fn allocate_deterministic(&self, input: &ModelInput) -> Allocation {
+        assert_eq!(
+            input.batch, 1,
+            "allocate_deterministic takes a single-matrix input"
+        );
         let mut g = Graph::new();
         let fwd = self.forward(&mut g, input);
         mu_to_allocation(g.value(fwd.mu))
+    }
+
+    /// Deterministic allocations for a whole minibatch in one forward pass:
+    /// the tentpole of the batched serving path. Models whose `forward`
+    /// honors `ModelInput::batch` inherit this for free; the default is
+    /// exact-equal (up to f32 order-of-operations, well below 1e-6 here) to
+    /// calling [`PolicyModel::allocate_deterministic`] per matrix.
+    fn allocate_batch(&self, input: &ModelInput) -> Vec<Allocation> {
+        let mut g = Graph::new();
+        let fwd = self.forward(&mut g, input);
+        mu_to_allocations(g.value(fwd.mu), input.batch)
     }
 }
 
 /// Convert a `[D, k]` logit tensor to a softmax allocation.
 pub fn mu_to_allocation(mu: &Tensor) -> Allocation {
-    let (d, k) = mu.shape();
-    let mut splits = Vec::with_capacity(d * k);
-    for r in 0..d {
-        let mut row: Vec<f32> = mu.row(r).to_vec();
-        softmax_row_inplace(&mut row);
-        splits.extend(row.iter().map(|&v| v as f64));
+    mu_to_allocations(mu, 1).pop().expect("batch of one")
+}
+
+/// Split a `[batch * D, k]` logit tensor into per-matrix softmax allocations.
+pub fn mu_to_allocations(mu: &Tensor, batch: usize) -> Vec<Allocation> {
+    let (rows, k) = mu.shape();
+    assert!(
+        batch >= 1 && rows % batch == 0,
+        "logit rows {rows} not divisible by batch {batch}"
+    );
+    let d = rows / batch;
+    let mut out = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let mut splits = Vec::with_capacity(d * k);
+        for r in b * d..(b + 1) * d {
+            let mut row: Vec<f32> = mu.row(r).to_vec();
+            softmax_row_inplace(&mut row);
+            splits.extend(row.iter().map(|&v| v as f64));
+        }
+        out.push(Allocation::from_splits(k, splits));
     }
-    Allocation::from_splits(k, splits)
+    out
 }
 
 /// FlowGNN: alternating bipartite GNN layers (capacity constraints) and
@@ -169,12 +205,25 @@ impl FlowGnn {
         for l in 0..layers {
             path_layers.push(Linear::new(store, &format!("gnn{l}.path"), 2 * d, d, rng));
             edge_layers.push(Linear::new(store, &format!("gnn{l}.edge"), 2 * d, d, rng));
-            dnn_layers.push(Linear::new(store, &format!("gnn{l}.dnn"), k * d, k * d, rng));
+            dnn_layers.push(Linear::new(
+                store,
+                &format!("gnn{l}.dnn"),
+                k * d,
+                k * d,
+                rng,
+            ));
             if l + 1 < layers {
                 d += growth;
             }
         }
-        FlowGnn { path_layers, edge_layers, dnn_layers, k, slope, growth }
+        FlowGnn {
+            path_layers,
+            edge_layers,
+            dnn_layers,
+            k,
+            slope,
+            growth,
+        }
     }
 
     /// Final embedding dimension: `1 + (layers - 1) * growth`.
@@ -182,7 +231,47 @@ impl FlowGnn {
         1 + (self.path_layers.len() - 1) * self.growth
     }
 
-    /// Forward: returns PathNode embeddings `[P, out_dim]`.
+    /// Tape-free inference forward: the same arithmetic as
+    /// [`FlowGnn::forward`] on plain tensors, with every intermediate freed
+    /// as soon as the next layer has consumed it. Deployment (and the
+    /// batched serving path) runs this; training uses the recorded variant.
+    fn infer(&self, store: &ParamStore, env: &Env, input: &ModelInput) -> Tensor {
+        let a = env.incidence();
+        let batch = input.batch;
+        let path_init = &input.path_init;
+        let edge_init = &input.edge_init;
+        let mut p = path_init.clone();
+        let mut e = edge_init.clone();
+        let num_demands = env.num_demands();
+        let k = self.k;
+        let layers = self.path_layers.len();
+        for l in 0..layers {
+            let msg_to_path = a.fwd.spmm_batch(&e, batch);
+            let msg_to_edge = a.bwd.spmm_batch(&p, batch);
+            // Fused [x | msg] * W: the concat buffer is never materialized.
+            let p_act = self.path_layers[l].infer_act2(store, &p, &msg_to_path, self.slope);
+            drop(msg_to_path);
+            let e_new = self.edge_layers[l].infer_act2(store, &e, &msg_to_edge, self.slope);
+            drop(msg_to_edge);
+            e = e_new;
+            let d = self.path_layers[l].out_dim();
+            let grouped = p_act.into_reshaped(batch * num_demands, k * d);
+            let dnn_act = self.dnn_layers[l].infer_act(store, &grouped, self.slope);
+            p = dnn_act.into_reshaped(batch * num_demands * k, d);
+            if l + 1 < layers {
+                for _ in 0..self.growth {
+                    p = tensor_ops::concat_cols(&p, path_init);
+                    e = tensor_ops::concat_cols(&e, edge_init);
+                }
+            }
+        }
+        p
+    }
+
+    /// Forward: returns PathNode embeddings `[batch * P, out_dim]`. The
+    /// batch dimension rides along as vertically stacked per-matrix blocks:
+    /// dense layers are row-wise and need no change, and message passing
+    /// applies the incidence operator block-diagonally via `spmm_batch`.
     fn forward(
         &self,
         store: &ParamStore,
@@ -193,6 +282,7 @@ impl FlowGnn {
     ) -> Var {
         let a = env.incidence(); // paths x edges
         let at = a.transposed();
+        let batch = input.batch;
         let path_init = g.input(input.path_init.clone());
         let edge_init = g.input(input.edge_init.clone());
         let mut p = path_init;
@@ -202,24 +292,21 @@ impl FlowGnn {
         let layers = self.path_layers.len();
         for l in 0..layers {
             // GNN sublayer: bipartite message passing (capacity constraints).
-            let msg_to_path = g.spmm(a, e); // [P, d]
-            let msg_to_edge = g.spmm(&at, p); // [E, d]
+            let msg_to_path = g.spmm_batch(a, e, batch); // [B*P, d]
+            let msg_to_edge = g.spmm_batch(&at, p, batch); // [B*E, d]
             let p_cat = g.concat_cols(p, msg_to_path);
-            let (p_lin, b1) = self.path_layers[l].forward(store, g, p_cat);
-            let p_act = g.leaky_relu(p_lin, self.slope);
+            let (p_act, b1) = self.path_layers[l].forward_act(store, g, p_cat, self.slope);
             bounds.push(b1);
             let e_cat = g.concat_cols(e, msg_to_edge);
-            let (e_lin, b2) = self.edge_layers[l].forward(store, g, e_cat);
-            let e_act = g.leaky_relu(e_lin, self.slope);
+            let (e_act, b2) = self.edge_layers[l].forward_act(store, g, e_cat, self.slope);
             bounds.push(b2);
             // DNN sublayer: coordinate the k PathNodes of each demand
             // (demand constraints).
             let d = self.path_layers[l].out_dim();
-            let grouped = g.reshape(p_act, num_demands, k * d);
-            let (dnn_lin, b3) = self.dnn_layers[l].forward(store, g, grouped);
-            let dnn_act = g.leaky_relu(dnn_lin, self.slope);
+            let grouped = g.reshape(p_act, batch * num_demands, k * d);
+            let (dnn_act, b3) = self.dnn_layers[l].forward_act(store, g, grouped, self.slope);
             bounds.push(b3);
-            p = g.reshape(dnn_act, num_demands * k, d);
+            p = g.reshape(dnn_act, batch * num_demands * k, d);
             e = e_act;
             // Dimension growth: re-append the initialization values (§4).
             if l + 1 < layers {
@@ -271,9 +358,22 @@ impl PolicyNet {
         let mut h = x;
         let n = self.layers.len();
         for (i, layer) in self.layers.iter().enumerate() {
-            let (lin, b) = layer.forward(store, g, h);
+            // Slope 1.0 = identity activation on the output layer.
+            let slope = if i + 1 < n { self.slope } else { 1.0 };
+            let (act, b) = layer.forward_act(store, g, h, slope);
             bounds.push(b);
-            h = if i + 1 < n { g.leaky_relu(lin, self.slope) } else { lin };
+            h = act;
+        }
+        h
+    }
+
+    /// Tape-free inference variant of [`PolicyNet::forward`].
+    fn infer(&self, store: &ParamStore, x: Tensor) -> Tensor {
+        let mut h = x;
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let slope = if i + 1 < n { self.slope } else { 1.0 };
+            h = layer.infer_act(store, &h, slope);
         }
         h
     }
@@ -313,14 +413,32 @@ impl TealModel {
             cfg.leaky_slope,
             &mut rng,
         );
-        let logstd =
-            store.register("logstd", Tensor::full(1, k, cfg.init_logstd));
-        TealModel { env, store, gnn, policy, logstd, name: "Teal".to_string() }
+        let logstd = store.register("logstd", Tensor::full(1, k, cfg.init_logstd));
+        TealModel {
+            env,
+            store,
+            gnn,
+            policy,
+            logstd,
+            name: "Teal".to_string(),
+        }
     }
 
     /// Total trainable scalars (policy-network compactness is a §3.3 claim).
     pub fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    /// Tape-free inference: mean logits `[batch * D, k]` for a (batched)
+    /// input. Identical arithmetic to the recorded forward pass, but no
+    /// autograd bookkeeping and intermediates freed eagerly — the serving
+    /// hot path.
+    pub fn infer_mu(&self, input: &ModelInput) -> Tensor {
+        let embed = self.gnn.infer(&self.store, &self.env, input);
+        let k = self.env.k();
+        let flat =
+            embed.into_reshaped(input.batch * self.env.num_demands(), k * self.gnn.out_dim());
+        self.policy.infer(&self.store, flat)
     }
 }
 
@@ -335,9 +453,15 @@ impl PolicyModel for TealModel {
 
     fn forward(&self, g: &mut Graph, input: &ModelInput) -> Forward {
         let mut bounds = Vec::new();
-        let embed = self.gnn.forward(&self.store, g, &self.env, input, &mut bounds);
+        let embed = self
+            .gnn
+            .forward(&self.store, g, &self.env, input, &mut bounds);
         let k = self.env.k();
-        let flat = g.reshape(embed, self.env.num_demands(), k * self.gnn.out_dim());
+        let flat = g.reshape(
+            embed,
+            input.batch * self.env.num_demands(),
+            k * self.gnn.out_dim(),
+        );
         let mu = self.policy.forward(&self.store, g, flat, &mut bounds);
         let logstd = self.store.bind(g, self.logstd);
         Forward::new(mu, Some(embed), logstd, bounds, self.logstd)
@@ -349,6 +473,20 @@ impl PolicyModel for TealModel {
 
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.store
+    }
+
+    /// Deployment override: tape-free inference (same math, no autograd).
+    fn allocate_deterministic(&self, input: &ModelInput) -> Allocation {
+        assert_eq!(
+            input.batch, 1,
+            "allocate_deterministic takes a single-matrix input"
+        );
+        mu_to_allocation(&self.infer_mu(input))
+    }
+
+    /// Deployment override: batched tape-free inference.
+    fn allocate_batch(&self, input: &ModelInput) -> Vec<Allocation> {
+        mu_to_allocations(&self.infer_mu(input), input.batch)
     }
 }
 
@@ -385,7 +523,55 @@ mod tests {
         assert!(alloc.demand_feasible(1e-5));
         for d in 0..env.num_demands() {
             let s: f64 = alloc.demand_splits(d).iter().sum();
-            assert!((s - 1.0).abs() < 1e-4, "softmax splits must sum to 1, got {s}");
+            assert!(
+                (s - 1.0).abs() < 1e-4,
+                "softmax splits must sum to 1, got {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn tape_free_inference_matches_recorded_forward() {
+        // The serving path (infer_mu) and the training path (forward on a
+        // tape) must produce the same logits: same kernels, same
+        // accumulation order.
+        let env = small_env();
+        let model = TealModel::new(Arc::clone(&env), TealConfig::default());
+        let tms: Vec<TrafficMatrix> = (0..2)
+            .map(|i| TrafficMatrix::new(vec![3.0 + 9.0 * i as f64; env.num_demands()]))
+            .collect();
+        let input = env.batch_input(&tms, None);
+        let mut g = Graph::new();
+        let fwd = model.forward(&mut g, &input);
+        let recorded = g.value(fwd.mu);
+        let inferred = model.infer_mu(&input);
+        assert!(
+            inferred.approx_eq(recorded, 1e-6),
+            "tape-free inference diverged from the recorded forward"
+        );
+    }
+
+    #[test]
+    fn batched_forward_shapes_and_equivalence() {
+        let env = small_env();
+        let model = TealModel::new(Arc::clone(&env), TealConfig::default());
+        let tms: Vec<TrafficMatrix> = (0..3)
+            .map(|i| TrafficMatrix::new(vec![2.0 + 3.0 * i as f64; env.num_demands()]))
+            .collect();
+        let input = env.batch_input(&tms, None);
+        let mut g = Graph::new();
+        let fwd = model.forward(&mut g, &input);
+        assert_eq!(g.value(fwd.mu).shape(), (3 * env.num_demands(), 4));
+        let emb = fwd.embeddings.unwrap();
+        assert_eq!(g.value(emb).shape(), (3 * env.paths().num_paths(), 6));
+
+        let batched = model.allocate_batch(&input);
+        assert_eq!(batched.len(), 3);
+        for (tm, b) in tms.iter().zip(&batched) {
+            let seq = model.allocate_deterministic(&env.model_input(tm, None));
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                assert!((x - y).abs() <= 1e-6, "batched {x} vs sequential {y}");
+            }
         }
     }
 
@@ -432,7 +618,10 @@ mod tests {
     fn variable_layer_counts() {
         let env = small_env();
         for layers in [4usize, 6, 8] {
-            let cfg = TealConfig { gnn_layers: layers, ..TealConfig::default() };
+            let cfg = TealConfig {
+                gnn_layers: layers,
+                ..TealConfig::default()
+            };
             let model = TealModel::new(Arc::clone(&env), cfg);
             let tm = TrafficMatrix::new(vec![1.0; env.num_demands()]);
             let input = env.model_input(&tm, None);

@@ -29,7 +29,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        TsneConfig { perplexity: 20.0, iters: 250, lr: 100.0, seed: 0 }
+        TsneConfig {
+            perplexity: 20.0,
+            iters: 250,
+            lr: 100.0,
+            seed: 0,
+        }
     }
 }
 
@@ -137,13 +142,21 @@ fn joint_affinities(x: &Tensor, perplexity: f64) -> Vec<f64> {
                 sum += e;
                 entsum += beta * d2 * e;
             }
-            let entropy = if sum > 0.0 { sum.ln() + entsum / sum } else { 0.0 };
+            let entropy = if sum > 0.0 {
+                sum.ln() + entsum / sum
+            } else {
+                0.0
+            };
             if (entropy - target_entropy).abs() < 1e-5 {
                 break;
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e20 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e20 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -200,8 +213,12 @@ pub fn busy_path_labels(reference: &Allocation) -> Vec<bool> {
 pub fn separation_score(points: &[(f64, f64)], labels: &[bool]) -> f64 {
     assert_eq!(points.len(), labels.len());
     let centroid = |class: bool| -> Option<((f64, f64), f64)> {
-        let members: Vec<&(f64, f64)> =
-            points.iter().zip(labels).filter(|(_, &l)| l == class).map(|(p, _)| p).collect();
+        let members: Vec<&(f64, f64)> = points
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l == class)
+            .map(|(p, _)| p)
+            .collect();
         if members.is_empty() {
             return None;
         }
@@ -248,22 +265,36 @@ mod tests {
     #[test]
     fn tsne_separates_blobs() {
         let (x, labels) = blobs(30);
-        let pts = tsne(&x, &TsneConfig { iters: 150, ..TsneConfig::default() });
+        let pts = tsne(
+            &x,
+            &TsneConfig {
+                iters: 150,
+                ..TsneConfig::default()
+            },
+        );
         let score = separation_score(&pts, &labels);
-        assert!(score > 2.0, "separation score {score} too low for clean blobs");
+        assert!(
+            score > 2.0,
+            "separation score {score} too low for clean blobs"
+        );
     }
 
     #[test]
     fn tsne_trivial_sizes() {
         assert!(tsne(&Tensor::zeros(0, 3), &TsneConfig::default()).is_empty());
-        assert_eq!(tsne(&Tensor::zeros(1, 3), &TsneConfig::default()), vec![(0.0, 0.0)]);
+        assert_eq!(
+            tsne(&Tensor::zeros(1, 3), &TsneConfig::default()),
+            vec![(0.0, 0.0)]
+        );
     }
 
     #[test]
     fn busy_labels_one_per_demand() {
         let alloc = Allocation::from_splits(
             4,
-            vec![0.1, 0.6, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.25, 0.25, 0.25, 0.25],
+            vec![
+                0.1, 0.6, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.25, 0.25, 0.25, 0.25,
+            ],
         );
         let labels = busy_path_labels(&alloc);
         assert_eq!(labels.iter().filter(|&&b| b).count(), 2); // all-zero demand has none

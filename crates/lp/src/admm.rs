@@ -20,6 +20,9 @@
 //! documented Gurobi substitution; see DESIGN.md).
 
 use crate::problem::{Allocation, Objective, TeInstance};
+use std::sync::Arc;
+use teal_topology::{PathSet, Topology};
+use teal_traffic::TrafficMatrix;
 
 /// ADMM hyperparameters.
 #[derive(Clone, Copy, Debug)]
@@ -41,12 +44,22 @@ impl AdmmConfig {
     /// The paper's fine-tuning setting: 2 iterations for topologies under
     /// 100 nodes, 5 otherwise (§4).
     pub fn fine_tune(num_nodes: usize) -> Self {
-        AdmmConfig { rho: 1.0, max_iters: if num_nodes < 100 { 2 } else { 5 }, tol: 0.0, serial: false }
+        AdmmConfig {
+            rho: 1.0,
+            max_iters: if num_nodes < 100 { 2 } else { 5 },
+            tol: 0.0,
+            serial: false,
+        }
     }
 
     /// Solve-to-convergence setting used as the LP-all substitute.
     pub fn to_convergence() -> Self {
-        AdmmConfig { rho: 1.0, max_iters: 4000, tol: 1e-5, serial: false }
+        AdmmConfig {
+            rho: 1.0,
+            max_iters: 4000,
+            tol: 1e-5,
+            serial: false,
+        }
     }
 }
 
@@ -59,8 +72,146 @@ pub struct AdmmReport {
     pub primal_residual: f64,
 }
 
-/// Pre-indexed ADMM solver for one `(topology, path set)` pair. Building the
-/// index is O(nnz) and is reused across traffic matrices.
+/// Immutable path-edge incidence indexing shared by every solver built for
+/// one `(topology, path set)` pair. Building it walks every hop of every
+/// candidate path, which dominates solver-construction cost — hoisting it
+/// behind an `Arc` is what makes per-traffic-matrix solver construction
+/// an O(paths) copy instead of an O(nnz) rebuild.
+struct AdmmIndex {
+    /// Flattened incidence entries: `(path, edge)` per non-zero.
+    entries: Vec<(u32, u32)>,
+    /// Entry ids of each path (demand-major path indexing).
+    path_entries: Vec<Vec<u32>>,
+    /// Entry ids of each edge.
+    edge_entries: Vec<Vec<u32>>,
+}
+
+/// Everything about an ADMM deployment that does *not* depend on the traffic
+/// matrix: the incidence index, normalized capacities, and the per-path
+/// objective discounts. Build once per `(topology, path set, objective)`
+/// and mint a cheap [`AdmmSolver`] per traffic matrix with
+/// [`AdmmSkeleton::solver`] — the zero-rebuild serving path.
+#[derive(Clone)]
+pub struct AdmmSkeleton {
+    num_demands: usize,
+    k: usize,
+    num_edges: usize,
+    /// Capacity normalizer (1 / mean capacity).
+    alpha: f64,
+    /// Normalized capacities per edge.
+    caps: Arc<Vec<f64>>,
+    /// Per-path objective multiplier (1 for `TotalFlow`; latency discount
+    /// for `DelayPenalizedFlow`).
+    discount: Arc<Vec<f64>>,
+    index: Arc<AdmmIndex>,
+}
+
+impl AdmmSkeleton {
+    /// Build the per-topology solver state under a linear objective
+    /// (`TotalFlow` or `DelayPenalizedFlow`; `MinMaxLinkUtil` uses
+    /// [`crate::pathlp::solve_mlu`] instead).
+    pub fn new(topo: &Topology, paths: &PathSet, obj: Objective) -> Self {
+        assert!(
+            !matches!(obj, Objective::MinMaxLinkUtil),
+            "ADMM handles linear objectives; use solve_mlu for MLU"
+        );
+        let num_edges = topo.num_edges();
+        // Normalize volumes/capacities by the mean capacity so ρ=1 is well
+        // conditioned on every topology.
+        let mean_cap = topo.total_capacity() / num_edges.max(1) as f64;
+        let alpha = if mean_cap > 0.0 { 1.0 / mean_cap } else { 1.0 };
+        let caps: Vec<f64> = topo.edges().iter().map(|e| e.capacity * alpha).collect();
+
+        let discount: Vec<f64> = match obj {
+            Objective::DelayPenalizedFlow(gamma) => {
+                let max_w = paths
+                    .paths()
+                    .iter()
+                    .map(|p| p.weight)
+                    .fold(0.0f64, f64::max)
+                    .max(1e-12);
+                paths
+                    .paths()
+                    .iter()
+                    .map(|p| (1.0 - gamma * p.weight / max_w).max(0.0))
+                    .collect()
+            }
+            _ => vec![1.0; paths.num_paths()],
+        };
+
+        let mut entries = Vec::new();
+        let mut path_entries = vec![Vec::new(); paths.num_paths()];
+        let mut edge_entries = vec![Vec::new(); num_edges];
+        for (p, path) in paths.paths().iter().enumerate() {
+            for &e in &path.edges {
+                let id = entries.len() as u32;
+                entries.push((p as u32, e as u32));
+                path_entries[p].push(id);
+                edge_entries[e].push(id);
+            }
+        }
+        AdmmSkeleton {
+            num_demands: paths.num_demands(),
+            k: paths.k(),
+            num_edges,
+            alpha,
+            caps: Arc::new(caps),
+            discount: Arc::new(discount),
+            index: Arc::new(AdmmIndex {
+                entries,
+                path_entries,
+                edge_entries,
+            }),
+        }
+    }
+
+    /// Rebind to a topology with altered capacities (e.g. failed links
+    /// zeroed) while sharing the incidence index and discounts: only the
+    /// capacity vector is recomputed, so failure overrides stay cheap.
+    pub fn with_topology(&self, topo: &Topology) -> AdmmSkeleton {
+        assert_eq!(
+            topo.num_edges(),
+            self.num_edges,
+            "override edge count mismatch"
+        );
+        let mean_cap = topo.total_capacity() / self.num_edges.max(1) as f64;
+        let alpha = if mean_cap > 0.0 { 1.0 / mean_cap } else { 1.0 };
+        let caps: Vec<f64> = topo.edges().iter().map(|e| e.capacity * alpha).collect();
+        AdmmSkeleton {
+            alpha,
+            caps: Arc::new(caps),
+            ..self.clone()
+        }
+    }
+
+    /// Mint the solver for one traffic matrix: computes the normalized
+    /// volumes and objective coefficients (O(paths)) and shares everything
+    /// else with the skeleton.
+    pub fn solver(&self, tm: &TrafficMatrix) -> AdmmSolver {
+        assert_eq!(tm.len(), self.num_demands, "traffic matrix arity mismatch");
+        let vols: Vec<f64> = tm.demands().iter().map(|v| v * self.alpha).collect();
+        let k = self.k;
+        let vcoef: Vec<f64> = self
+            .discount
+            .iter()
+            .enumerate()
+            .map(|(p, disc)| vols[p / k] * disc)
+            .collect();
+        AdmmSolver {
+            num_demands: self.num_demands,
+            k,
+            num_edges: self.num_edges,
+            vols,
+            caps: Arc::clone(&self.caps),
+            vcoef,
+            index: Arc::clone(&self.index),
+        }
+    }
+}
+
+/// Pre-indexed ADMM solver for one `(topology, path set, traffic matrix)`
+/// triple. Constructed either directly from a [`TeInstance`] or — on the
+/// serving path — cheaply from a shared [`AdmmSkeleton`].
 pub struct AdmmSolver {
     num_demands: usize,
     k: usize,
@@ -68,15 +219,11 @@ pub struct AdmmSolver {
     /// Normalized demand volumes per demand.
     vols: Vec<f64>,
     /// Normalized capacities per edge.
-    caps: Vec<f64>,
+    caps: Arc<Vec<f64>>,
     /// Normalized per-path objective coefficients.
     vcoef: Vec<f64>,
-    /// Flattened incidence entries: `(path, edge)` per non-zero.
-    entries: Vec<(u32, u32)>,
-    /// Entry ids of each path (demand-major path indexing).
-    path_entries: Vec<Vec<u32>>,
-    /// Entry ids of each edge.
-    edge_entries: Vec<Vec<u32>>,
+    /// Shared incidence index.
+    index: Arc<AdmmIndex>,
 }
 
 struct State {
@@ -92,45 +239,11 @@ struct State {
 impl AdmmSolver {
     /// Build the solver for an instance under a linear objective
     /// (`TotalFlow` or `DelayPenalizedFlow`; `MinMaxLinkUtil` uses
-    /// [`crate::pathlp::solve_mlu`] instead).
+    /// [`crate::pathlp::solve_mlu`] instead). One-shot convenience — serving
+    /// paths should build an [`AdmmSkeleton`] once and mint per-matrix
+    /// solvers from it.
     pub fn new(inst: &TeInstance, obj: Objective) -> Self {
-        assert!(
-            !matches!(obj, Objective::MinMaxLinkUtil),
-            "ADMM handles linear objectives; use solve_mlu for MLU"
-        );
-        let num_edges = inst.topo.num_edges();
-        // Normalize volumes/capacities by the mean capacity so ρ=1 is well
-        // conditioned on every topology.
-        let mean_cap = inst.topo.total_capacity() / num_edges.max(1) as f64;
-        let alpha = if mean_cap > 0.0 { 1.0 / mean_cap } else { 1.0 };
-
-        let vols: Vec<f64> = inst.tm.demands().iter().map(|v| v * alpha).collect();
-        let caps: Vec<f64> = inst.topo.edges().iter().map(|e| e.capacity * alpha).collect();
-        let vcoef: Vec<f64> =
-            inst.value_coefficients(obj).iter().map(|v| v * alpha).collect();
-
-        let mut entries = Vec::new();
-        let mut path_entries = vec![Vec::new(); inst.paths.num_paths()];
-        let mut edge_entries = vec![Vec::new(); num_edges];
-        for (p, path) in inst.paths.paths().iter().enumerate() {
-            for &e in &path.edges {
-                let id = entries.len() as u32;
-                entries.push((p as u32, e as u32));
-                path_entries[p].push(id);
-                edge_entries[e].push(id);
-            }
-        }
-        AdmmSolver {
-            num_demands: inst.num_demands(),
-            k: inst.k(),
-            num_edges,
-            vols,
-            caps,
-            vcoef,
-            entries,
-            path_entries,
-            edge_entries,
-        }
+        AdmmSkeleton::new(inst.topo, inst.paths, obj).solver(inst.tm)
     }
 
     /// Run ADMM starting from `init` (which is projected onto the demand
@@ -152,7 +265,7 @@ impl AdmmSolver {
         let mut warm = init.clone();
         warm.project_demand_constraints();
 
-        let nnz = self.entries.len();
+        let nnz = self.index.entries.len();
         let mut st = State {
             f: warm.splits().to_vec(),
             z: vec![0.0; nnz],
@@ -164,7 +277,7 @@ impl AdmmSolver {
         };
         // Initialize z to match the warm-started flows and slacks to the
         // residual capacities, so iteration 1 starts near-consistent.
-        for (i, &(p, _)) in self.entries.iter().enumerate() {
+        for (i, &(p, _)) in self.index.entries.iter().enumerate() {
             st.z[i] = st.f[p as usize] * self.vols[p as usize / self.k];
         }
         for d in 0..self.num_demands {
@@ -172,7 +285,10 @@ impl AdmmSolver {
             st.s1[d] = (1.0 - sum).max(0.0);
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            let sum: f64 = self.index.edge_entries[e]
+                .iter()
+                .map(|&i| st.z[i as usize])
+                .sum();
             st.s3[e] = (self.caps[e] - sum).max(0.0);
         }
 
@@ -202,7 +318,13 @@ impl AdmmSolver {
 
         let mut out = Allocation::from_splits(self.k, st.f);
         out.project_demand_constraints();
-        (out, AdmmReport { iterations, primal_residual: residual })
+        (
+            out,
+            AdmmReport {
+                iterations,
+                primal_residual: residual,
+            },
+        )
     }
 
     /// Per-demand F-update (parallel across demand chunks). Returns the
@@ -231,12 +353,12 @@ impl AdmmSolver {
                 for (j, bj) in b.iter_mut().enumerate().take(k) {
                     let p = d * k + j;
                     let mut acc = solver.vcoef[p] - l1[d] - rho * (s1[d] - 1.0);
-                    for &i in &solver.path_entries[p] {
+                    for &i in &solver.index.path_entries[p] {
                         let i = i as usize;
                         acc += -l4[i] * vol + rho * vol * z[i];
                     }
                     *bj = acc;
-                    diag[j] = rho * vol * vol * solver.path_entries[p].len() as f64;
+                    diag[j] = rho * vol * vol * solver.index.path_entries[p].len() as f64;
                 }
                 // Sherman-Morrison solve of (diag + rho*11^T) x = b.
                 let mut sum_binv = 0.0;
@@ -252,7 +374,10 @@ impl AdmmSolver {
                 }
             }
         });
-        prev.iter().zip(&st.f).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        prev.iter()
+            .zip(&st.f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
 
     /// Per-edge z-update (parallel across edges). Returns the max absolute
@@ -267,12 +392,41 @@ impl AdmmSolver {
         // z entries are not contiguous per edge, so compute per-edge results
         // into a scratch copy first (indexable in parallel by edge).
         let mut new_z = st.z.clone();
-        {
-            let new_z_cell: Vec<std::sync::atomic::AtomicU64> =
-                new_z.iter().map(|v| std::sync::atomic::AtomicU64::new(v.to_bits())).collect();
+        if serial {
+            // Single-threaded fast path (the batched serving engine runs one
+            // serial solver per matrix): plain writes, one reusable scratch
+            // buffer, no atomics.
+            let mut bs: Vec<f64> = Vec::new();
+            for e in 0..self.num_edges {
+                let ents = &solver.index.edge_entries[e];
+                if ents.is_empty() {
+                    continue;
+                }
+                let n = ents.len() as f64;
+                let mut sum_b = 0.0;
+                bs.clear();
+                for &i in ents {
+                    let i = i as usize;
+                    let (p, _) = solver.index.entries[i];
+                    let vol = solver.vols[p as usize / k];
+                    let b =
+                        -l3[e] - rho * (s3[e] - solver.caps[e]) + l4[i] + rho * f[p as usize] * vol;
+                    bs.push(b);
+                    sum_b += b;
+                }
+                let corr = sum_b / rho / (1.0 + n);
+                for (&i, b) in ents.iter().zip(&bs) {
+                    new_z[i as usize] = b / rho - corr;
+                }
+            }
+        } else {
+            let new_z_cell: Vec<std::sync::atomic::AtomicU64> = new_z
+                .iter()
+                .map(|v| std::sync::atomic::AtomicU64::new(v.to_bits()))
+                .collect();
             let edges: Vec<usize> = (0..self.num_edges).collect();
             par_iter(&edges, 64, serial, |&e| {
-                let ents = &solver.edge_entries[e];
+                let ents = &solver.index.edge_entries[e];
                 if ents.is_empty() {
                     return;
                 }
@@ -281,11 +435,10 @@ impl AdmmSolver {
                 let mut bs: Vec<f64> = Vec::with_capacity(ents.len());
                 for &i in ents {
                     let i = i as usize;
-                    let (p, _) = solver.entries[i];
+                    let (p, _) = solver.index.entries[i];
                     let vol = solver.vols[p as usize / k];
-                    let b = -l3[e] - rho * (s3[e] - solver.caps[e])
-                        + l4[i]
-                        + rho * f[p as usize] * vol;
+                    let b =
+                        -l3[e] - rho * (s3[e] - solver.caps[e]) + l4[i] + rho * f[p as usize] * vol;
                     bs.push(b);
                     sum_b += b;
                 }
@@ -300,12 +453,11 @@ impl AdmmSolver {
                 *v = f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed));
             }
         }
-        let dz = st
-            .z
-            .iter()
-            .zip(&new_z)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let dz =
+            st.z.iter()
+                .zip(&new_z)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
         st.z = new_z;
         dz
     }
@@ -318,7 +470,10 @@ impl AdmmSolver {
             st.s1[d] = (1.0 - sum - st.l1[d] / rho).max(0.0);
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            let sum: f64 = self.index.edge_entries[e]
+                .iter()
+                .map(|&i| st.z[i as usize])
+                .sum();
             st.s3[e] = (self.caps[e] - sum - st.l3[e] / rho).max(0.0);
         }
     }
@@ -333,12 +488,15 @@ impl AdmmSolver {
             resid = resid.max(g.abs());
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.edge_entries[e].iter().map(|&i| st.z[i as usize]).sum();
+            let sum: f64 = self.index.edge_entries[e]
+                .iter()
+                .map(|&i| st.z[i as usize])
+                .sum();
             let g = sum + st.s3[e] - self.caps[e];
             st.l3[e] += rho * g;
             resid = resid.max(g.abs());
         }
-        for (i, &(p, _)) in self.entries.iter().enumerate() {
+        for (i, &(p, _)) in self.index.entries.iter().enumerate() {
             let g = st.f[p as usize] * self.vols[p as usize / k] - st.z[i];
             st.l4[i] += rho * g;
             resid = resid.max(g.abs());
@@ -357,9 +515,14 @@ where
     if len == 0 {
         return;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads =
-        if serial { 1 } else { hw.min(8).min(len.div_ceil(min_chunk)).max(1) };
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if serial {
+        1
+    } else {
+        hw.min(8).min(len.div_ceil(min_chunk)).max(1)
+    };
     if threads <= 1 {
         f(0, data);
         return;
@@ -384,9 +547,14 @@ where
     if len == 0 {
         return;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads =
-        if serial { 1 } else { hw.min(8).min(len.div_ceil(min_chunk)).max(1) };
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if serial {
+        1
+    } else {
+        hw.min(8).min(len.div_ceil(min_chunk)).max(1)
+    };
     if threads <= 1 {
         items.iter().for_each(&f);
         return;
@@ -434,7 +602,10 @@ mod tests {
                 continue;
             }
             let coeffs = plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
-            rows.push(simplex::Row { coeffs, rhs: inst.topo.edge(e).capacity });
+            rows.push(simplex::Row {
+                coeffs,
+                rhs: inst.topo.edge(e).capacity,
+            });
         }
         let r = simplex::solve(&vc, &rows, 50_000);
         assert_eq!(r.status, simplex::SimplexStatus::Optimal);
@@ -451,8 +622,7 @@ mod tests {
         let tm = TrafficMatrix::new(vec![30.0]);
         let inst = TeInstance::new(&topo, &paths, &tm);
         let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
-        let (alloc, report) =
-            solver.run(&Allocation::zeros(1, 4), AdmmConfig::to_convergence());
+        let (alloc, report) = solver.run(&Allocation::zeros(1, 4), AdmmConfig::to_convergence());
         let stats = evaluate(&inst, &alloc);
         let opt = simplex_optimum(&inst);
         assert!(
@@ -492,7 +662,15 @@ mod tests {
         bad_proj.project_demand_constraints();
         let before = evaluate(&inst, &bad_proj).total_overuse;
         let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
-        let (tuned, _) = solver.run(&bad, AdmmConfig { rho: 1.0, max_iters: 5, tol: 0.0, serial: false });
+        let (tuned, _) = solver.run(
+            &bad,
+            AdmmConfig {
+                rho: 1.0,
+                max_iters: 5,
+                tol: 0.0,
+                serial: false,
+            },
+        );
         let after = evaluate(&inst, &tuned).total_overuse;
         assert!(after < before, "overuse before {before}, after {after}");
     }
@@ -506,10 +684,14 @@ mod tests {
         let inst = TeInstance::new(&topo, &paths, &tm);
         let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
         // Near-optimal warm start.
-        let (near_opt, _) =
-            solver.run(&Allocation::zeros(2, 4), AdmmConfig::to_convergence());
+        let (near_opt, _) = solver.run(&Allocation::zeros(2, 4), AdmmConfig::to_convergence());
         let opt_flow = evaluate(&inst, &near_opt).realized_flow;
-        let cfg5 = AdmmConfig { rho: 1.0, max_iters: 5, tol: 0.0, serial: false };
+        let cfg5 = AdmmConfig {
+            rho: 1.0,
+            max_iters: 5,
+            tol: 0.0,
+            serial: false,
+        };
         let (from_warm, _) = solver.run(&near_opt, cfg5);
         let warm_flow = evaluate(&inst, &from_warm).realized_flow;
         // Five fine-tuning iterations on a near-optimal warm start must
@@ -528,8 +710,10 @@ mod tests {
         let tm = TrafficMatrix::new(vec![0.0]);
         let inst = TeInstance::new(&topo, &paths, &tm);
         let solver = AdmmSolver::new(&inst, Objective::TotalFlow);
-        let (alloc, _) =
-            solver.run(&Allocation::shortest_path(1, 4), AdmmConfig::to_convergence());
+        let (alloc, _) = solver.run(
+            &Allocation::shortest_path(1, 4),
+            AdmmConfig::to_convergence(),
+        );
         assert!(alloc.splits().iter().all(|&v| v == 0.0));
     }
 }

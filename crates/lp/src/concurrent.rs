@@ -56,7 +56,12 @@ pub fn race_solve(inst: &TeInstance, obj: Objective, threads: usize, tol: f64) -
                 // Each racer is a *serial* instance (as Gurobi's concurrent
                 // mode runs serial algorithms per thread); it checks the
                 // shared flag each iteration and stops once someone won.
-                let cfg = AdmmConfig { rho, max_iters: 20_000, tol, serial: true };
+                let cfg = AdmmConfig {
+                    rho,
+                    max_iters: 20_000,
+                    tol,
+                    serial: true,
+                };
                 let init = Allocation::zeros(inst_nd, inst_k);
                 let (result, _rep) = solver.run_with_cancel(&init, cfg, Some(done));
                 // First finisher wins; racers cancelled by the flag find
@@ -71,7 +76,11 @@ pub fn race_solve(inst: &TeInstance, obj: Objective, threads: usize, tol: f64) -
     .expect("racing solver panicked");
 
     let (idx, alloc, elapsed) = winner.into_inner().unwrap().expect("no racer finished");
-    RaceResult { alloc, elapsed, winner: idx }
+    RaceResult {
+        alloc,
+        elapsed,
+        winner: idx,
+    }
 }
 
 /// Measure each racing configuration's *serial* solve time, one at a time.
@@ -90,9 +99,13 @@ pub fn measure_racers(
 ) -> Vec<Duration> {
     let solver = AdmmSolver::new(inst, obj);
     let mut times = Vec::with_capacity(num_configs);
-    for t in 0..num_configs.min(RHO_LADDER.len()) {
-        let rho = RHO_LADDER[t];
-        let cfg = AdmmConfig { rho, max_iters: 20_000, tol, serial: true };
+    for &rho in RHO_LADDER.iter().take(num_configs) {
+        let cfg = AdmmConfig {
+            rho,
+            max_iters: 20_000,
+            tol,
+            serial: true,
+        };
         let init = Allocation::zeros(inst.num_demands(), inst.k());
         let start = Instant::now();
         let _ = solver.run(&init, cfg);

@@ -159,7 +159,10 @@ mod tests {
         let opt = evaluate(&inst, &opt_alloc).realized_flow;
         let (fl_alloc, report) = solve(&inst, 0.05, 1_000_000);
         let fl = evaluate(&inst, &fl_alloc).realized_flow;
-        assert!(fl > 0.8 * opt, "fleischer {fl} vs optimal {opt} ({report:?})");
+        assert!(
+            fl > 0.8 * opt,
+            "fleischer {fl} vs optimal {opt} ({report:?})"
+        );
         assert!(fl_alloc.demand_feasible(1e-9));
     }
 

@@ -49,7 +49,11 @@ impl FlowStats {
 pub fn evaluate_with_gamma(inst: &TeInstance, alloc: &Allocation, delay_gamma: f64) -> FlowStats {
     let k = inst.k();
     assert_eq!(alloc.k(), k, "allocation k mismatch");
-    assert_eq!(alloc.num_demands(), inst.num_demands(), "allocation size mismatch");
+    assert_eq!(
+        alloc.num_demands(),
+        inst.num_demands(),
+        "allocation size mismatch"
+    );
 
     let num_edges = inst.topo.num_edges();
     let mut loads = vec![0.0f64; num_edges];

@@ -64,7 +64,10 @@ pub fn build_rows(inst: &TeInstance) -> Vec<Row> {
     let k = inst.k();
     let mut rows = Vec::with_capacity(inst.num_demands() + inst.topo.num_edges());
     for d in 0..inst.num_demands() {
-        rows.push(Row { coeffs: (0..k).map(|j| (d * k + j, 1.0)).collect(), rhs: 1.0 });
+        rows.push(Row {
+            coeffs: (0..k).map(|j| (d * k + j, 1.0)).collect(),
+            rhs: 1.0,
+        });
     }
     let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
     for (e, plist) in e2p.iter().enumerate() {
@@ -80,7 +83,10 @@ pub fn build_rows(inst: &TeInstance) -> Vec<Row> {
                 (p, inst.tm.demand(p / k))
             })
             .collect();
-        rows.push(Row { coeffs, rhs: inst.topo.edge(e).capacity });
+        rows.push(Row {
+            coeffs,
+            rhs: inst.topo.edge(e).capacity,
+        });
     }
     rows
 }
@@ -100,12 +106,24 @@ pub fn solve_lp(inst: &TeInstance, obj: Objective, cfg: &LpConfig) -> (Allocatio
                 debug_assert_ne!(r.status, SimplexStatus::Unbounded);
                 let mut alloc = Allocation::from_splits(k, r.x);
                 alloc.project_demand_constraints();
-                (alloc, LpInfo { method: LpMethod::Simplex, iterations: r.iterations })
+                (
+                    alloc,
+                    LpInfo {
+                        method: LpMethod::Simplex,
+                        iterations: r.iterations,
+                    },
+                )
             } else {
                 let solver = AdmmSolver::new(inst, obj);
                 let init = Allocation::zeros(inst.num_demands(), k);
                 let (alloc, rep) = solver.run(&init, cfg.admm);
-                (alloc, LpInfo { method: LpMethod::Admm, iterations: rep.iterations })
+                (
+                    alloc,
+                    LpInfo {
+                        method: LpMethod::Admm,
+                        iterations: rep.iterations,
+                    },
+                )
             }
         }
     }
@@ -121,7 +139,13 @@ pub fn solve_mlu(inst: &TeInstance, iters: usize) -> (Allocation, LpInfo) {
     let nd = inst.num_demands();
     let mut alloc = Allocation::shortest_path(nd, k);
     if nd == 0 {
-        return (alloc, LpInfo { method: LpMethod::Subgradient, iterations: 0 });
+        return (
+            alloc,
+            LpInfo {
+                method: LpMethod::Subgradient,
+                iterations: 0,
+            },
+        );
     }
     let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
     let mut best = alloc.clone();
@@ -178,7 +202,13 @@ pub fn solve_mlu(inst: &TeInstance, iters: usize) -> (Allocation, LpInfo) {
             project_simplex(row);
         }
     }
-    (best, LpInfo { method: LpMethod::Subgradient, iterations: iters })
+    (
+        best,
+        LpInfo {
+            method: LpMethod::Subgradient,
+            iterations: iters,
+        },
+    )
 }
 
 fn mlu_of(inst: &TeInstance, alloc: &Allocation) -> f64 {
@@ -261,7 +291,10 @@ mod tests {
         let tm = TrafficMatrix::new(vec![25.0, 4.0]);
         let inst = TeInstance::new(&topo, &paths, &tm);
         let (exact, _) = solve_lp(&inst, Objective::TotalFlow, &LpConfig::default());
-        let cfg = LpConfig { simplex_budget: 0, ..LpConfig::default() };
+        let cfg = LpConfig {
+            simplex_budget: 0,
+            ..LpConfig::default()
+        };
         let (approx, info) = solve_lp(&inst, Objective::TotalFlow, &cfg);
         assert_eq!(info.method, LpMethod::Admm);
         let fe = evaluate(&inst, &exact).realized_flow;
@@ -306,8 +339,16 @@ mod tests {
         let paths = PathSet::compute(&topo, &pairs, 4);
         let tm = TrafficMatrix::new(vec![5.0]);
         let inst = TeInstance::new(&topo, &paths, &tm);
-        let (alloc, _) = solve_lp(&inst, Objective::DelayPenalizedFlow(0.9), &LpConfig::default());
+        let (alloc, _) = solve_lp(
+            &inst,
+            Objective::DelayPenalizedFlow(0.9),
+            &LpConfig::default(),
+        );
         // With light load and a strong penalty, everything goes on path 0.
-        assert!(alloc.demand_splits(0)[0] > 0.9, "splits {:?}", alloc.demand_splits(0));
+        assert!(
+            alloc.demand_splits(0)[0] > 0.9,
+            "splits {:?}",
+            alloc.demand_splits(0)
+        );
     }
 }

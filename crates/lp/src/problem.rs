@@ -108,12 +108,19 @@ pub struct Allocation {
 impl Allocation {
     /// All-zero allocation for `num_demands` demands with `k` paths each.
     pub fn zeros(num_demands: usize, k: usize) -> Self {
-        Allocation { k, splits: vec![0.0; num_demands * k] }
+        Allocation {
+            k,
+            splits: vec![0.0; num_demands * k],
+        }
     }
 
     /// Wrap a raw split vector (length must be a multiple of `k`).
     pub fn from_splits(k: usize, splits: Vec<f64>) -> Self {
-        assert_eq!(splits.len() % k, 0, "split vector length not a multiple of k");
+        assert_eq!(
+            splits.len() % k,
+            0,
+            "split vector length not a multiple of k"
+        );
         Allocation { k, splits }
     }
 

@@ -57,7 +57,7 @@ pub fn solve(c: &[f64], rows: &[Row], max_iter: usize) -> SimplexResult {
         }
     }
     let width = n + m + 1; // structural + slack + rhs
-    // Tableau rows: m constraint rows then the objective row (reduced costs).
+                           // Tableau rows: m constraint rows then the objective row (reduced costs).
     let mut t = vec![0.0f64; (m + 1) * width];
     let idx = |r: usize, c: usize| r * width + c;
     for (i, row) in rows.iter().enumerate() {
@@ -137,7 +137,12 @@ pub fn solve(c: &[f64], rows: &[Row], max_iter: usize) -> SimplexResult {
         }
     }
     let objective = c.iter().zip(&x).map(|(a, b)| a * b).sum();
-    SimplexResult { x, objective, iterations, status }
+    SimplexResult {
+        x,
+        objective,
+        iterations,
+        status,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +150,10 @@ mod tests {
     use super::*;
 
     fn row(coeffs: &[(usize, f64)], rhs: f64) -> Row {
-        Row { coeffs: coeffs.to_vec(), rhs }
+        Row {
+            coeffs: coeffs.to_vec(),
+            rhs,
+        }
     }
 
     #[test]
@@ -231,7 +239,10 @@ mod tests {
                             coeffs.push((j, rng.gen_range(0.1..2.0)));
                         }
                     }
-                    Row { coeffs, rhs: rng.gen_range(0.0..5.0) }
+                    Row {
+                        coeffs,
+                        rhs: rng.gen_range(0.0..5.0),
+                    }
                 })
                 .collect();
             // Bound all variables so the LP cannot be unbounded.
@@ -243,7 +254,11 @@ mod tests {
             assert_eq!(r.status, SimplexStatus::Optimal);
             for rr in &all {
                 let lhs: f64 = rr.coeffs.iter().map(|&(j, v)| v * r.x[j]).sum();
-                assert!(lhs <= rr.rhs + 1e-6, "constraint violated: {lhs} > {}", rr.rhs);
+                assert!(
+                    lhs <= rr.rhs + 1e-6,
+                    "constraint violated: {lhs} > {}",
+                    rr.rhs
+                );
             }
         }
     }

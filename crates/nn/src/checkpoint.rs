@@ -77,7 +77,9 @@ pub fn to_string(store: &ParamStore) -> String {
 /// architecture).
 pub fn load_str(store: &mut ParamStore, data: &str) -> Result<(), CheckpointError> {
     let mut lines = data.lines();
-    let header = lines.next().ok_or_else(|| CheckpointError::Format("empty file".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Format("empty file".into()))?;
     if header.trim() != MAGIC {
         return Err(CheckpointError::Format(format!("bad magic {header:?}")));
     }
@@ -102,7 +104,9 @@ pub fn load_str(store: &mut ParamStore, data: &str) -> Result<(), CheckpointErro
             .ok_or_else(|| CheckpointError::Format(format!("missing tensor header {i}")))?;
         let mut parts = head.split_whitespace();
         if parts.next() != Some("tensor") {
-            return Err(CheckpointError::Format(format!("bad tensor header {head:?}")));
+            return Err(CheckpointError::Format(format!(
+                "bad tensor header {head:?}"
+            )));
         }
         let name = parts
             .next()
@@ -219,7 +223,10 @@ mod tests {
         // Different arity.
         let mut small = ParamStore::new();
         small.register("w", Tensor::zeros(3, 4));
-        assert!(matches!(load_str(&mut small, &text), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            load_str(&mut small, &text),
+            Err(CheckpointError::Mismatch(_))
+        ));
         // Different shape under the same names.
         let mut wrong_shape = ParamStore::new();
         let mut rng = seeded(9);
@@ -236,7 +243,10 @@ mod tests {
     #[test]
     fn rejects_corrupt_input() {
         let mut store = sample_store(1);
-        assert!(matches!(load_str(&mut store, ""), Err(CheckpointError::Format(_))));
+        assert!(matches!(
+            load_str(&mut store, ""),
+            Err(CheckpointError::Format(_))
+        ));
         assert!(matches!(
             load_str(&mut store, "not-a-checkpoint\n"),
             Err(CheckpointError::Format(_))
@@ -255,7 +265,11 @@ mod tests {
         let mut target = sample_store(6);
         let before = target.snapshot();
         // Corrupt the last value.
-        let bad = text.trim_end().rsplit_once(' ').map(|(a, _)| format!("{a} zz")).unwrap();
+        let bad = text
+            .trim_end()
+            .rsplit_once(' ')
+            .map(|(a, _)| format!("{a} zz"))
+            .unwrap();
         assert!(load_str(&mut target, &bad).is_err());
         for (t, b) in target.snapshot().iter().zip(&before) {
             assert!(t.approx_eq(b, 0.0), "store mutated by failed load");

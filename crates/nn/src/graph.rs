@@ -11,7 +11,7 @@
 //! finite differences in this module's tests and in property tests.
 
 use crate::sparse::CsrPair;
-use crate::tensor::{matmul_a_bt, matmul_at_b, Tensor};
+use crate::tensor::{linear_act_into, matmul_a_bt, matmul_at_b, Tensor};
 use std::sync::Arc;
 
 /// Handle to a node on the tape.
@@ -25,6 +25,20 @@ enum Op {
     MatMul(Var, Var),
     /// Fixed-structure sparse times dense: `y = A x`.
     SpMM(CsrPair, Var),
+    /// Batched sparse times dense: `x` stacks `batch` blocks of `A.cols`
+    /// rows vertically; `y` stacks the `batch` products. Backward applies
+    /// `A^T` to each block of `dy`.
+    SpMMBatch(CsrPair, Var, usize),
+    /// Fused dense layer `y = leaky(x w + b)` (slope 0 = ReLU, slope 1 =
+    /// identity). One output buffer instead of the three a
+    /// matmul/add_row/leaky chain allocates; the backward recovers the
+    /// activation mask from the sign of `y`.
+    LinearAct {
+        x: Var,
+        w: Var,
+        b: Var,
+        slope: f32,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -81,7 +95,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, needs_grad, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            needs_grad,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -132,6 +151,44 @@ impl Graph {
         self.push(v, Op::SpMM(a.clone(), x), ng)
     }
 
+    /// Batched sparse product: `x` is `batch` vertically stacked
+    /// `[A.cols, d]` blocks; the result stacks the per-block products
+    /// `A * x_b`. With `batch == 1` this is exactly [`Graph::spmm`]; larger
+    /// batches push a whole minibatch of traffic matrices through one
+    /// message-passing step.
+    pub fn spmm_batch(&mut self, a: &CsrPair, x: Var, batch: usize) -> Var {
+        let v = a.fwd.spmm_batch(self.value(x), batch);
+        let ng = self.needs(x);
+        self.push(v, Op::SpMMBatch(a.clone(), x, batch), ng)
+    }
+
+    /// Fused dense layer: `leaky(x w + b)` with negative-side `slope`
+    /// (`0.0` = plain ReLU, `1.0` = no activation). `b` is a `[1, n]` bias
+    /// row. Requires `slope >= 0` so the backward pass can recover the
+    /// activation mask from the output's sign.
+    pub fn linear_leaky(&mut self, x: Var, w: Var, b: Var, slope: f32) -> Var {
+        assert!(
+            slope >= 0.0,
+            "linear_leaky requires slope >= 0 (0.0 = ReLU, 1.0 = identity)"
+        );
+        let tx = self.value(x);
+        let tw = self.value(w);
+        let tb = self.value(b);
+        assert_eq!(tx.cols(), tw.rows(), "linear_leaky shape mismatch");
+        assert_eq!(tb.rows(), 1, "linear_leaky bias must be a row vector");
+        assert_eq!(tb.cols(), tw.cols(), "linear_leaky bias width mismatch");
+        let (m, k) = tx.shape();
+        let n = tw.cols();
+        let mut out = Tensor::zeros(m, n);
+        crate::par::par_row_chunks_mut(out.data_mut(), n, m * k * n, |row0, chunk| {
+            let rows = chunk.len() / n;
+            let sub = &tx.data()[row0 * k..(row0 + rows) * k];
+            linear_act_into(sub, k, tw, tb.data(), slope, chunk);
+        });
+        let ng = self.needs(x) || self.needs(w) || self.needs(b);
+        self.push(out, Op::LinearAct { x, w, b, slope }, ng)
+    }
+
     /// Elementwise sum of two same-shape tensors.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let mut v = self.value(a).clone();
@@ -153,7 +210,12 @@ impl Graph {
         let ta = self.value(a);
         let tb = self.value(b);
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
@@ -332,7 +394,11 @@ impl Graph {
 
     /// Run the reverse sweep from a scalar loss node.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
         self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
@@ -360,6 +426,44 @@ impl Graph {
                     let x = *x;
                     let dx = csr.bwd.spmm(&dy);
                     self.accumulate(x, dx);
+                }
+                Op::SpMMBatch(csr, x, batch) => {
+                    let (x, batch) = (*x, *batch);
+                    let dx = csr.bwd.spmm_batch(&dy, batch);
+                    self.accumulate(x, dx);
+                }
+                Op::LinearAct { x, w, b, slope } => {
+                    let (x, w, b, slope) = (*x, *w, *b, *slope);
+                    // Pre-activation gradient: the activation mask is the
+                    // sign of the output. For slope 0 (ReLU) negative
+                    // pre-activations produce y == 0, so the mask is
+                    // `y <= 0`; for slope > 0 it is `y < 0`.
+                    let y = &self.nodes[i].value;
+                    let mut dpre = dy;
+                    if slope == 0.0 {
+                        for (g, &yv) in dpre.data_mut().iter_mut().zip(y.data()) {
+                            if yv <= 0.0 {
+                                *g = 0.0;
+                            }
+                        }
+                    } else if slope != 1.0 {
+                        for (g, &yv) in dpre.data_mut().iter_mut().zip(y.data()) {
+                            if yv < 0.0 {
+                                *g *= slope;
+                            }
+                        }
+                    }
+                    if self.needs(x) {
+                        let dx = matmul_a_bt(&dpre, self.value(w));
+                        self.accumulate(x, dx);
+                    }
+                    if self.needs(w) {
+                        let dw = matmul_at_b(self.value(x), &dpre);
+                        self.accumulate(w, dw);
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, col_sums(&dpre));
+                    }
                 }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
@@ -590,7 +694,11 @@ mod tests {
     }
 
     fn rand_tensor(rng: &mut impl Rng, r: usize, c: usize) -> Tensor {
-        Tensor::from_vec(r, c, (0..r * c).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
+        Tensor::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect(),
+        )
     }
 
     #[test]
@@ -613,7 +721,8 @@ mod tests {
     fn grad_spmm() {
         let mut rng = seeded(2);
         let x = rand_tensor(&mut rng, 3, 2);
-        let a = CsrPair::from_triplets(4, 3, &[(0, 0, 1.0), (1, 2, 2.0), (3, 1, -1.5), (2, 0, 0.5)]);
+        let a =
+            CsrPair::from_triplets(4, 3, &[(0, 0, 1.0), (1, 2, 2.0), (3, 1, -1.5), (2, 0, 0.5)]);
         check_grad(
             &x,
             |g, p| {
@@ -623,6 +732,124 @@ mod tests {
             },
             1e-2,
         );
+    }
+
+    #[test]
+    fn grad_spmm_batch() {
+        let mut rng = seeded(12);
+        // Two stacked [3, 2] blocks flowing through a 4x3 sparse operator.
+        let x = rand_tensor(&mut rng, 6, 2);
+        let a =
+            CsrPair::from_triplets(4, 3, &[(0, 0, 1.0), (1, 2, 2.0), (3, 1, -1.5), (2, 0, 0.5)]);
+        check_grad(
+            &x,
+            |g, p| {
+                let y = g.spmm_batch(&a, p, 2);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_batch_value_matches_blockwise_spmm() {
+        let mut rng = seeded(13);
+        let x = rand_tensor(&mut rng, 6, 3);
+        let a = CsrPair::from_triplets(4, 3, &[(0, 1, 2.0), (2, 0, -1.0), (3, 2, 0.5)]);
+        let mut g = Graph::new();
+        let xi = g.input(x.clone());
+        let batched = g.spmm_batch(&a, xi, 2);
+        let x0 = g.input(Tensor::from_vec(3, 3, x.data()[..9].to_vec()));
+        let x1 = g.input(Tensor::from_vec(3, 3, x.data()[9..].to_vec()));
+        let y0 = g.spmm(&a, x0);
+        let y1 = g.spmm(&a, x1);
+        let vb = g.value(batched).clone();
+        for r in 0..4 {
+            assert_eq!(vb.row(r), g.value(y0).row(r));
+            assert_eq!(vb.row(r + 4), g.value(y1).row(r));
+        }
+    }
+
+    #[test]
+    fn grad_linear_leaky() {
+        let mut rng = seeded(14);
+        let w = rand_tensor(&mut rng, 3, 4);
+        let x = rand_tensor(&mut rng, 5, 3);
+        let bias = rand_tensor(&mut rng, 1, 4);
+        // Gradient w.r.t. the weight matrix.
+        check_grad(
+            &w,
+            |g, p| {
+                let xi = g.input(x.clone());
+                let bi = g.input(bias.clone());
+                let y = g.linear_leaky(xi, p, bi, 0.1);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+        // Gradient w.r.t. the input, with identity activation (slope 1).
+        check_grad(
+            &x,
+            |g, p| {
+                let wi = g.input(w.clone());
+                let bi = g.input(bias.clone());
+                let y = g.linear_leaky(p, wi, bi, 1.0);
+                g.sum_all(y)
+            },
+            1e-2,
+        );
+        // Gradient w.r.t. the bias.
+        check_grad(
+            &bias,
+            |g, p| {
+                let xi = g.input(x.clone());
+                let wi = g.input(w.clone());
+                let y = g.linear_leaky(xi, wi, p, 0.1);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_linear_leaky_relu_slope_zero() {
+        let mut rng = seeded(16);
+        let w = rand_tensor(&mut rng, 3, 4);
+        let x = rand_tensor(&mut rng, 5, 3);
+        let bias = rand_tensor(&mut rng, 1, 4);
+        check_grad(
+            &w,
+            |g, p| {
+                let xi = g.input(x.clone());
+                let bi = g.input(bias.clone());
+                let y = g.linear_leaky(xi, p, bi, 0.0);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn linear_leaky_matches_op_chain() {
+        let mut rng = seeded(15);
+        let w = rand_tensor(&mut rng, 4, 3);
+        let x = rand_tensor(&mut rng, 6, 4);
+        let bias = rand_tensor(&mut rng, 1, 3);
+        let mut g = Graph::new();
+        let (xi, wi, bi) = (
+            g.input(x.clone()),
+            g.input(w.clone()),
+            g.input(bias.clone()),
+        );
+        let fused = g.linear_leaky(xi, wi, bi, 0.1);
+        let xw = g.matmul(xi, wi);
+        let pre = g.add_row(xw, bi);
+        let chained = g.leaky_relu(pre, 0.1);
+        assert!(g.value(fused).approx_eq(g.value(chained), 1e-6));
     }
 
     #[test]

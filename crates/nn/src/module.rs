@@ -118,7 +118,11 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients (for clipping / diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.grads.iter().map(|g| g.norm().powi(2)).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scale all gradients so the global norm is at most `max_norm`.
@@ -167,7 +171,12 @@ impl Linear {
     ) -> Self {
         let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -186,6 +195,72 @@ impl Linear {
         let b = store.bind(g, self.b);
         let xw = g.matmul(x, w);
         let y = g.add_row(xw, b);
+        (y, BoundLinear { layer: *self, w, b })
+    }
+
+    /// Tape-free fused inference: `leaky(x W + b)` straight from the store,
+    /// recording nothing. Deployment forwards use this so intermediate
+    /// buffers are freed (and recycled by the allocator) as soon as the next
+    /// layer has consumed them, instead of living on a tape until the end of
+    /// the pass.
+    pub fn infer_act(&self, store: &ParamStore, x: &Tensor, slope: f32) -> Tensor {
+        let w = store.get(self.w);
+        let b = store.get(self.b);
+        assert_eq!(x.cols(), w.rows(), "infer_act shape mismatch");
+        let (m, k) = x.shape();
+        let n = w.cols();
+        let mut out = Tensor::zeros(m, n);
+        crate::par::par_row_chunks_mut(out.data_mut(), n, m * k * n, |row0, chunk| {
+            let rows = chunk.len() / n;
+            let sub = &x.data()[row0 * k..(row0 + rows) * k];
+            crate::tensor::linear_act_into(sub, k, w, b.data(), slope, chunk);
+        });
+        out
+    }
+
+    /// Tape-free fused inference over an implicit column concatenation:
+    /// `leaky([a | b] W + bias)` without materializing `[a | b]`. Bit-
+    /// identical to concatenating then calling [`Linear::infer_act`], since
+    /// the accumulation order over `W`'s rows is the same.
+    pub fn infer_act2(&self, store: &ParamStore, a: &Tensor, b: &Tensor, slope: f32) -> Tensor {
+        let w = store.get(self.w);
+        let bias = store.get(self.b);
+        assert_eq!(a.rows(), b.rows(), "infer_act2 row mismatch");
+        assert_eq!(a.cols() + b.cols(), w.rows(), "infer_act2 shape mismatch");
+        let m = a.rows();
+        let (ka, kb) = (a.cols(), b.cols());
+        let n = w.cols();
+        let mut out = Tensor::zeros(m, n);
+        crate::par::par_row_chunks_mut(out.data_mut(), n, m * (ka + kb) * n, |row0, chunk| {
+            let rows = chunk.len() / n;
+            crate::tensor::linear2_act_into(
+                &a.data()[row0 * ka..(row0 + rows) * ka],
+                ka,
+                &b.data()[row0 * kb..(row0 + rows) * kb],
+                kb,
+                w,
+                bias.data(),
+                slope,
+                chunk,
+            );
+        });
+        out
+    }
+
+    /// Bind parameters and apply the fused affine + leaky-ReLU kernel
+    /// (`slope == 1.0` for no activation). One tape node and one output
+    /// buffer instead of three — the hot-path variant for wide batched
+    /// forwards.
+    pub fn forward_act(
+        &self,
+        store: &ParamStore,
+        g: &mut Graph,
+        x: Var,
+        slope: f32,
+    ) -> (Var, BoundLinear) {
+        let w = store.bind(g, self.w);
+        let b = store.bind(g, self.b);
+        let y = g.linear_leaky(x, w, b, slope);
         (y, BoundLinear { layer: *self, w, b })
     }
 }
@@ -227,8 +302,7 @@ mod tests {
         let mut rng = seeded(11);
         let id = store.register_xavier("w", 100, 100, &mut rng);
         let t = store.get(id);
-        let var =
-            t.data().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / t.len() as f64;
+        let var = t.data().iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / t.len() as f64;
         // Xavier-normal for 100x100: var = 2/200 = 0.01.
         assert!((var - 0.01).abs() < 0.002, "var {var}");
     }

@@ -11,13 +11,33 @@ use crate::tensor::{matmul_into, Tensor};
 /// Work sizes below this many fused multiply-adds stay single-threaded.
 const PAR_THRESHOLD: usize = 1 << 18;
 
+/// Worker cap for the dense/sparse kernels. Defaults to the machine's
+/// available parallelism; override with the `TEAL_NN_THREADS` environment
+/// variable (values < 1 or unparsable fall back to the default).
+pub fn max_threads() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match std::env::var("TEAL_NN_THREADS") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or(hw),
+            Err(_) => hw,
+        }
+    })
+}
+
 /// Number of worker threads to use for a problem of `work` FLOPs.
 fn thread_count(work: usize) -> usize {
     if work < PAR_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(8).max(1)
+    max_threads().max(1)
 }
 
 /// Dense matmul that transparently parallelizes across output rows.
@@ -47,6 +67,34 @@ pub fn pmatmul(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
+/// Run `f(first_row, chunk)` over row-aligned mutable chunks of a row-major
+/// buffer, in parallel when `work` (FLOPs) justifies it. Unlike
+/// [`par_chunks_mut`], chunk boundaries never split a row — required by the
+/// sparse kernels, whose per-row accumulation must stay on one thread.
+pub fn par_row_chunks_mut<F>(data: &mut [f32], row_width: usize, work: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let width = row_width.max(1);
+    let rows = data.len() / width;
+    let threads = thread_count(work).min(rows.max(1));
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (i, chunk) in data.chunks_mut(rows_per * width).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i * rows_per, chunk));
+        }
+    })
+    .expect("par_row_chunks_mut worker panicked");
+}
+
 /// Copy `rows` rows of `t` starting at `lo` into a new tensor.
 fn slice_rows(t: &Tensor, lo: usize, rows: usize) -> Tensor {
     let n = t.cols();
@@ -66,8 +114,7 @@ where
     if len == 0 {
         return;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = hw.min(8).min(len.div_ceil(min_chunk)).max(1);
+    let threads = max_threads().min(len.div_ceil(min_chunk)).max(1);
     if threads <= 1 {
         f(0, data);
         return;
@@ -83,9 +130,9 @@ where
 }
 
 /// Map `f` over indices `0..n` in parallel, collecting results in order.
-pub fn par_map<T: Send, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+pub fn par_map<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
 where
-    T: Default + Clone,
+    T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
     let mut out = vec![T::default(); n];
@@ -114,8 +161,16 @@ mod tests {
     #[test]
     fn pmatmul_matches_serial_large() {
         let mut rng = seeded(3);
-        let a = Tensor::from_vec(257, 64, (0..257 * 64).map(|_| rng.gen::<f32>() - 0.5).collect());
-        let b = Tensor::from_vec(64, 96, (0..64 * 96).map(|_| rng.gen::<f32>() - 0.5).collect());
+        let a = Tensor::from_vec(
+            257,
+            64,
+            (0..257 * 64).map(|_| rng.gen::<f32>() - 0.5).collect(),
+        );
+        let b = Tensor::from_vec(
+            64,
+            96,
+            (0..64 * 96).map(|_| rng.gen::<f32>() - 0.5).collect(),
+        );
         assert!(pmatmul(&a, &b).approx_eq(&matmul(&a, &b), 1e-4));
     }
 

@@ -27,7 +27,10 @@ impl Csr {
     /// Build from COO triplets. Duplicate coordinates are summed.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds {rows}x{cols}"
+            );
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -48,7 +51,13 @@ impl Csr {
         }
         let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        Csr { rows, cols, row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -88,23 +97,48 @@ impl Csr {
     }
 
     /// Sparse-dense product `out = self * x` where `x` is `cols x d`.
+    /// Parallelizes across output rows once the multi-column right-hand side
+    /// is wide enough to amortize thread spawn.
     pub fn spmm(&self, x: &Tensor) -> Tensor {
-        assert_eq!(x.rows(), self.cols, "spmm shape mismatch");
+        self.spmm_batch(x, 1)
+    }
+
+    /// Block-diagonal batched product: `x` stacks `batch` matrices of shape
+    /// `[cols, d]` vertically, and the result stacks the `batch` products
+    /// `self * x_b` the same way. Equivalent to `(I_batch ⊗ self) * x`
+    /// without materializing the Kronecker structure; the batched forward
+    /// pass routes every traffic matrix through one call.
+    pub fn spmm_batch(&self, x: &Tensor, batch: usize) -> Tensor {
+        assert!(batch >= 1, "spmm_batch requires batch >= 1");
+        assert_eq!(
+            x.rows(),
+            self.cols * batch,
+            "spmm_batch shape mismatch: x has {} rows, expected {} x {}",
+            x.rows(),
+            batch,
+            self.cols
+        );
         let d = x.cols();
-        let mut out = Tensor::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            for i in lo..hi {
-                let c = self.col_idx[i] as usize;
-                let v = self.values[i];
-                let x_row = x.row(c);
-                for (o, &xv) in out_row.iter_mut().zip(x_row.iter()) {
-                    *o += v * xv;
+        let mut out = Tensor::zeros(self.rows * batch, d);
+        let work = self.nnz() * d * batch;
+        let rows = self.rows;
+        crate::par::par_row_chunks_mut(out.data_mut(), d, work, |row0, chunk| {
+            for (i, out_row) in chunk.chunks_mut(d).enumerate() {
+                let gr = row0 + i;
+                let (b, r) = (gr / rows, gr % rows);
+                let x_off = b * self.cols;
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                for e in lo..hi {
+                    let c = self.col_idx[e] as usize;
+                    let v = self.values[e];
+                    let x_row = x.row(x_off + c);
+                    for (o, &xv) in out_row.iter_mut().zip(x_row.iter()) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -138,12 +172,18 @@ impl CsrPair {
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         let fwd = Csr::from_triplets(rows, cols, triplets);
         let bwd = fwd.transposed();
-        CsrPair { fwd: Arc::new(fwd), bwd: Arc::new(bwd) }
+        CsrPair {
+            fwd: Arc::new(fwd),
+            bwd: Arc::new(bwd),
+        }
     }
 
     /// The pair for `A^T` (swaps the two directions).
     pub fn transposed(&self) -> CsrPair {
-        CsrPair { fwd: Arc::clone(&self.bwd), bwd: Arc::clone(&self.fwd) }
+        CsrPair {
+            fwd: Arc::clone(&self.bwd),
+            bwd: Arc::clone(&self.fwd),
+        }
     }
 }
 
@@ -160,7 +200,14 @@ mod tests {
         Csr::from_triplets(
             4,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (3, 1, 5.0), (3, 2, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 0, 3.0),
+                (2, 1, 4.0),
+                (3, 1, 5.0),
+                (3, 2, 6.0),
+            ],
         )
     }
 
@@ -204,6 +251,44 @@ mod tests {
         assert_eq!(p.bwd.rows(), 3);
         let t = p.transposed();
         assert_eq!(t.fwd.rows(), 3);
+    }
+
+    #[test]
+    fn spmm_batch_matches_per_block_spmm() {
+        let a = sample();
+        // Two stacked [3, 2] blocks with distinct values.
+        let x0 = Tensor::from_vec(3, 2, vec![1.0, -1.0, 0.5, 2.0, 3.0, 0.0]);
+        let x1 = Tensor::from_vec(3, 2, vec![-2.0, 4.0, 1.5, 0.0, -1.0, 2.5]);
+        let mut stacked = x0.data().to_vec();
+        stacked.extend_from_slice(x1.data());
+        let x = Tensor::from_vec(6, 2, stacked);
+        let y = a.spmm_batch(&x, 2);
+        assert_eq!(y.shape(), (8, 2));
+        let y0 = a.spmm(&x0);
+        let y1 = a.spmm(&x1);
+        for r in 0..4 {
+            assert_eq!(y.row(r), y0.row(r), "block 0 row {r}");
+            assert_eq!(y.row(r + 4), y1.row(r), "block 1 row {r}");
+        }
+    }
+
+    #[test]
+    fn spmm_wide_rhs_matches_dense() {
+        // Wide enough to cross the parallel threshold on a big matrix.
+        let mut triplets = Vec::new();
+        for r in 0..300 {
+            triplets.push((r, r % 7, 1.0 + r as f32 * 0.01));
+            triplets.push((r, (r * 3) % 7, -0.5));
+        }
+        let a = Csr::from_triplets(300, 7, &triplets);
+        let x = Tensor::from_vec(
+            7,
+            96,
+            (0..7 * 96).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let sparse = a.spmm(&x);
+        let dense = matmul(&a.to_dense(), &x);
+        assert!(sparse.approx_eq(&dense, 1e-4));
     }
 
     #[test]

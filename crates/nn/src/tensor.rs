@@ -32,12 +32,20 @@ impl Tensor {
 
     /// A tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A tensor filled with a constant value.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A 1 x 1 tensor holding a scalar.
@@ -136,8 +144,30 @@ impl Tensor {
 
     /// Reinterpret the buffer under a new shape with the same element count.
     pub fn reshaped(&self, rows: usize, cols: usize) -> Tensor {
-        assert_eq!(rows * cols, self.len(), "reshape must preserve element count");
-        Tensor { rows, cols, data: self.data.clone() }
+        assert_eq!(
+            rows * cols,
+            self.len(),
+            "reshape must preserve element count"
+        );
+        Tensor {
+            rows,
+            cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Reshape by consuming the tensor — no buffer copy.
+    pub fn into_reshaped(self, rows: usize, cols: usize) -> Tensor {
+        assert_eq!(
+            rows * cols,
+            self.len(),
+            "reshape must preserve element count"
+        );
+        Tensor {
+            rows,
+            cols,
+            data: self.data,
+        }
     }
 
     /// Transposed copy.
@@ -250,6 +280,108 @@ pub(crate) fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
             let b_row = &b.data[kk * n..(kk + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// Column-wise concatenation `[a | b]` into a fresh tensor.
+pub fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows, b.rows, "concat_cols row mismatch");
+    let (m, na) = a.shape();
+    let nb = b.cols;
+    let mut data = Vec::with_capacity(m * (na + nb));
+    for r in 0..m {
+        data.extend_from_slice(a.row(r));
+        data.extend_from_slice(b.row(r));
+    }
+    Tensor::from_vec(m, na + nb, data)
+}
+
+/// Fused dense layer kernel: `out = leaky(a * w + bias)` computed row by
+/// row, touching each output row exactly once while it is cache-resident.
+/// `slope == 1.0` makes the activation the identity (no-activation layers).
+/// Avoids the two intermediate tensors (and four extra memory passes) a
+/// matmul / bias-add / activation op chain would allocate — the difference
+/// between cache-resident and RAM-bound on wide batched inputs.
+pub fn linear_act_into(a: &[f32], k: usize, w: &Tensor, bias: &[f32], slope: f32, out: &mut [f32]) {
+    let n = w.cols;
+    debug_assert_eq!(k, w.rows, "linear_act shape mismatch");
+    debug_assert_eq!(bias.len(), n);
+    let m = out.len() / n;
+    debug_assert_eq!(a.len(), m * k);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.copy_from_slice(bias);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let w_row = &w.data[kk * n..(kk + 1) * n];
+            for (o, &wv) in out_row.iter_mut().zip(w_row.iter()) {
+                *o += a_ik * wv;
+            }
+        }
+        if slope != 1.0 {
+            for o in out_row.iter_mut() {
+                if *o < 0.0 {
+                    *o *= slope;
+                }
+            }
+        }
+    }
+}
+
+/// Fused two-input dense layer kernel: `out = leaky([a | b] * w + bias)`
+/// without materializing the column concatenation. `w`'s first `a_cols`
+/// rows apply to `a`, the rest to `b`. Used by the tape-free inference path
+/// where the concat buffer would be the largest allocation of the layer.
+#[allow(clippy::too_many_arguments)]
+pub fn linear2_act_into(
+    a: &[f32],
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    w: &Tensor,
+    bias: &[f32],
+    slope: f32,
+    out: &mut [f32],
+) {
+    let n = w.cols;
+    debug_assert_eq!(a_cols + b_cols, w.rows, "linear2_act shape mismatch");
+    debug_assert_eq!(bias.len(), n);
+    let m = out.len() / n;
+    debug_assert_eq!(a.len(), m * a_cols);
+    debug_assert_eq!(b.len(), m * b_cols);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.copy_from_slice(bias);
+        let a_row = &a[i * a_cols..(i + 1) * a_cols];
+        for (kk, &v) in a_row.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let w_row = &w.data[kk * n..(kk + 1) * n];
+            for (o, &wv) in out_row.iter_mut().zip(w_row.iter()) {
+                *o += v * wv;
+            }
+        }
+        let b_row = &b[i * b_cols..(i + 1) * b_cols];
+        for (kk, &v) in b_row.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let w_row = &w.data[(a_cols + kk) * n..(a_cols + kk + 1) * n];
+            for (o, &wv) in out_row.iter_mut().zip(w_row.iter()) {
+                *o += v * wv;
+            }
+        }
+        if slope != 1.0 {
+            for o in out_row.iter_mut() {
+                if *o < 0.0 {
+                    *o *= slope;
+                }
             }
         }
     }

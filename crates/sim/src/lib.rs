@@ -6,8 +6,11 @@ pub mod metrics;
 pub mod online;
 pub mod schemes;
 
-pub use online::{run_failure_interval, run_offline, run_online, IntervalRecord, OnlineResult};
+pub use online::{
+    run_failure_interval, run_offline, run_offline_batched, run_online, IntervalRecord,
+    OnlineResult,
+};
 pub use schemes::{
-    FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme,
-    ShortestPathScheme, TealScheme, TeavarScheme,
+    FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme, ShortestPathScheme,
+    TealScheme, TeavarScheme,
 };

@@ -9,7 +9,10 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = v.len() as f64;
-    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// The `p`-quantile (0 ≤ p ≤ 1) by nearest-rank interpolation.
@@ -39,8 +42,7 @@ pub fn std_dev(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    let var =
-        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
     var.sqrt()
 }
 

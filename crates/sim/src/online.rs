@@ -50,8 +50,7 @@ impl OnlineResult {
         if self.intervals.is_empty() {
             return 0.0;
         }
-        self.intervals.iter().map(|r| r.satisfied_pct).sum::<f64>()
-            / self.intervals.len() as f64
+        self.intervals.iter().map(|r| r.satisfied_pct).sum::<f64>() / self.intervals.len() as f64
     }
 
     /// All computation times observed.
@@ -120,8 +119,7 @@ pub fn run_online(
                 let w_old = (finish - t_start) / interval_s;
                 let old_flow = evaluate(&inst, &active).realized_flow;
                 let new_flow = evaluate(&inst, alloc).realized_flow;
-                satisfied =
-                    100.0 * (w_old * old_flow + (1.0 - w_old) * new_flow) / total;
+                satisfied = 100.0 * (w_old * old_flow + (1.0 - w_old) * new_flow) / total;
                 active = alloc.clone();
                 pending = None;
                 updated = true;
@@ -133,7 +131,12 @@ pub fn run_online(
             }
         }
         satisfied = satisfied.clamp(0.0, 100.0);
-        records.push(IntervalRecord { interval: i, satisfied_pct: satisfied, updated, comp_time });
+        records.push(IntervalRecord {
+            interval: i,
+            satisfied_pct: satisfied,
+            updated,
+            comp_time,
+        });
     }
     OnlineResult { intervals: records }
 }
@@ -156,6 +159,32 @@ pub fn run_offline(
         times.push(dt);
     }
     (satisfied, times)
+}
+
+/// Batched offline evaluation: matrices are handed to the scheme in chunks
+/// of `batch`, exercising the batched serving path (one set of matrix
+/// products plus parallel ADMM for Teal). Returns per-matrix satisfied
+/// percentages and the total computation time across all matrices; per-
+/// matrix time is the amortized `total / tms.len()`.
+pub fn run_offline_batched(
+    env: &Env,
+    topo: &Topology,
+    tms: &[TrafficMatrix],
+    scheme: &mut dyn Scheme,
+    batch: usize,
+) -> (Vec<f64>, Duration) {
+    let mut satisfied = Vec::with_capacity(tms.len());
+    let mut total_time = Duration::ZERO;
+    for chunk in tms.chunks(batch.max(1)) {
+        let (allocs, dt) = scheme.allocate_batch(topo, chunk);
+        total_time += dt;
+        for (tm, alloc) in chunk.iter().zip(&allocs) {
+            let inst = TeInstance::new(topo, env.paths(), tm);
+            let total = tm.total().max(1e-12);
+            satisfied.push((100.0 * evaluate(&inst, alloc).realized_flow / total).min(100.0));
+        }
+    }
+    (satisfied, total_time)
 }
 
 /// Figure 8/9-style failure experiment: links fail at the start of an
@@ -224,11 +253,7 @@ mod tests {
             fn name(&self) -> &str {
                 "Slow"
             }
-            fn allocate(
-                &mut self,
-                topo: &Topology,
-                tm: &TrafficMatrix,
-            ) -> (Allocation, Duration) {
+            fn allocate(&mut self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
                 let (a, dt) = self.0.allocate(topo, tm);
                 (a, dt + self.1)
             }

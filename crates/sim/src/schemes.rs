@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use teal_baselines::{solve_lp_top, solve_ncflow, solve_pop, solve_teavar, NcflowConfig, PopConfig, TeavarConfig};
+use teal_baselines::{
+    solve_lp_top, solve_ncflow, solve_pop, solve_teavar, NcflowConfig, PopConfig, TeavarConfig,
+};
 use teal_core::{Env, PolicyModel, TealEngine};
 use teal_lp::{fleischer, solve_lp, Allocation, LpConfig, Objective, TeInstance};
 use teal_topology::Topology;
@@ -18,6 +20,27 @@ pub trait Scheme {
     /// Compute an allocation. `topo` carries current capacities (failed
     /// links zeroed); candidate paths are the precomputed ones.
     fn allocate(&mut self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration);
+
+    /// Compute allocations for a batch of matrices, reporting the total
+    /// computation time. The default runs the per-matrix path sequentially
+    /// and sums the times each call *reports* (so schemes that model their
+    /// latency keep consistent timing across the per-matrix and batched
+    /// harnesses); schemes with a genuinely batched data path (Teal)
+    /// override it with a measured batched run.
+    fn allocate_batch(
+        &mut self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> (Vec<Allocation>, Duration) {
+        let mut out = Vec::with_capacity(tms.len());
+        let mut total = Duration::ZERO;
+        for tm in tms {
+            let (alloc, dt) = self.allocate(topo, tm);
+            total += dt;
+            out.push(alloc);
+        }
+        (out, total)
+    }
 }
 
 fn timed<F: FnOnce() -> Allocation>(f: F) -> (Allocation, Duration) {
@@ -39,7 +62,11 @@ pub struct LpAllScheme {
 impl LpAllScheme {
     /// LP-all with default settings.
     pub fn new(env: Arc<Env>, objective: Objective) -> Self {
-        LpAllScheme { env, objective, cfg: LpConfig::default() }
+        LpAllScheme {
+            env,
+            objective,
+            cfg: LpConfig::default(),
+        }
     }
 }
 
@@ -68,7 +95,12 @@ pub struct LpTopScheme {
 impl LpTopScheme {
     /// The paper's α = 10% configuration.
     pub fn new(env: Arc<Env>, objective: Objective) -> Self {
-        LpTopScheme { env, objective, alpha: 0.10, cfg: LpConfig::default() }
+        LpTopScheme {
+            env,
+            objective,
+            alpha: 0.10,
+            cfg: LpConfig::default(),
+        }
     }
 }
 
@@ -96,7 +128,11 @@ impl NcflowScheme {
     /// Cluster count per the paper's sqrt-scale heuristic.
     pub fn new(env: Arc<Env>, objective: Objective) -> Self {
         let cfg = NcflowConfig::paper_default(env.topo().num_nodes());
-        NcflowScheme { env, objective, cfg }
+        NcflowScheme {
+            env,
+            objective,
+            cfg,
+        }
     }
 }
 
@@ -124,7 +160,11 @@ impl PopScheme {
     /// Replica count per the paper's topology-size rule.
     pub fn new(env: Arc<Env>, objective: Objective) -> Self {
         let cfg = PopConfig::paper_default(env.topo().name());
-        PopScheme { env, objective, cfg }
+        PopScheme {
+            env,
+            objective,
+            cfg,
+        }
     }
 }
 
@@ -149,7 +189,10 @@ pub struct TeavarScheme {
 impl TeavarScheme {
     /// Default risk penalty.
     pub fn new(env: Arc<Env>) -> Self {
-        TeavarScheme { env, cfg: TeavarConfig::default() }
+        TeavarScheme {
+            env,
+            cfg: TeavarConfig::default(),
+        }
     }
 }
 
@@ -176,7 +219,11 @@ pub struct FleischerScheme {
 impl FleischerScheme {
     /// ε = 0.1 with a generous step budget.
     pub fn new(env: Arc<Env>) -> Self {
-        FleischerScheme { env, epsilon: 0.1, max_steps: 2_000_000 }
+        FleischerScheme {
+            env,
+            epsilon: 0.1,
+            max_steps: 2_000_000,
+        }
     }
 }
 
@@ -239,6 +286,14 @@ impl<M: PolicyModel> Scheme for TealScheme<M> {
     fn allocate(&mut self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
         self.engine.allocate_on(topo, tm)
     }
+
+    fn allocate_batch(
+        &mut self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> (Vec<Allocation>, Duration) {
+        self.engine.allocate_batch_on(topo, tms)
+    }
 }
 
 #[cfg(test)]
@@ -257,8 +312,13 @@ mod tests {
     #[test]
     fn all_schemes_produce_feasible_allocations() {
         let (env, tm) = setup();
-        let model =
-            TealModel::new(Arc::clone(&env), TealConfig { gnn_layers: 3, ..TealConfig::default() });
+        let model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
         let engine = TealEngine::new(model, EngineConfig::paper_default(12));
         let mut schemes: Vec<Box<dyn Scheme>> = vec![
             Box::new(LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow)),
@@ -277,6 +337,31 @@ mod tests {
             let inst = env.instance(&tm);
             let f = evaluate(&inst, &alloc).realized_flow;
             assert!(f >= 0.0, "{} negative flow", s.name());
+        }
+    }
+
+    #[test]
+    fn teal_batched_scheme_matches_sequential() {
+        let (env, _) = setup();
+        let model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
+        let engine = TealEngine::new(model, EngineConfig::paper_default(12));
+        let mut scheme = TealScheme::new(engine);
+        let tms: Vec<TrafficMatrix> = (0..4)
+            .map(|i| TrafficMatrix::new(vec![6.0 + 11.0 * i as f64; env.num_demands()]))
+            .collect();
+        let (batched, dt) = scheme.allocate_batch(env.topo(), &tms);
+        assert!(dt.as_nanos() > 0);
+        for (tm, b) in tms.iter().zip(&batched) {
+            let (seq, _) = scheme.allocate(env.topo(), tm);
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                assert!((x - y).abs() <= 1e-6, "batched {x} vs sequential {y}");
+            }
         }
     }
 

@@ -39,7 +39,13 @@ pub enum TopoKind {
 impl TopoKind {
     /// All five evaluation networks, in the paper's size order.
     pub fn all() -> [TopoKind; 5] {
-        [TopoKind::B4, TopoKind::Swan, TopoKind::UsCarrier, TopoKind::Kdl, TopoKind::Asn]
+        [
+            TopoKind::B4,
+            TopoKind::Swan,
+            TopoKind::UsCarrier,
+            TopoKind::Kdl,
+            TopoKind::Asn,
+        ]
     }
 
     /// Display name matching the paper.
@@ -82,13 +88,25 @@ pub fn generate(kind: TopoKind, scale: f64, seed: u64) -> Topology {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     match kind {
         TopoKind::B4 => b4(),
-        TopoKind::Swan => geometric_square("SWAN", scaled(kind, scale), link_target(kind, scale), seed),
-        TopoKind::UsCarrier => {
-            geometric_strip("UsCarrier", scaled(kind, scale), link_target(kind, scale), 4.5, 0.22, seed)
+        TopoKind::Swan => {
+            geometric_square("SWAN", scaled(kind, scale), link_target(kind, scale), seed)
         }
-        TopoKind::Kdl => {
-            geometric_strip("Kdl", scaled(kind, scale), link_target(kind, scale), 4.5, 0.12, seed)
-        }
+        TopoKind::UsCarrier => geometric_strip(
+            "UsCarrier",
+            scaled(kind, scale),
+            link_target(kind, scale),
+            4.5,
+            0.22,
+            seed,
+        ),
+        TopoKind::Kdl => geometric_strip(
+            "Kdl",
+            scaled(kind, scale),
+            link_target(kind, scale),
+            4.5,
+            0.12,
+            seed,
+        ),
         TopoKind::Asn => star_clusters("ASN", scaled(kind, scale), link_target(kind, scale), seed),
     }
 }
@@ -121,18 +139,18 @@ pub fn b4() -> Topology {
     let mut t = Topology::new("B4", 12);
     // Approximate site coordinates (used only for latency weights).
     let coords = [
-        (0.0, 2.0),  // 0
-        (0.5, 1.0),  // 1
-        (1.0, 2.5),  // 2
-        (1.5, 1.5),  // 3
-        (2.0, 0.5),  // 4
-        (2.5, 2.0),  // 5
-        (3.5, 1.0),  // 6
-        (4.5, 1.8),  // 7
-        (5.5, 1.0),  // 8
-        (6.5, 1.8),  // 9
-        (7.0, 0.8),  // 10
-        (7.5, 1.8),  // 11
+        (0.0, 2.0), // 0
+        (0.5, 1.0), // 1
+        (1.0, 2.5), // 2
+        (1.5, 1.5), // 3
+        (2.0, 0.5), // 4
+        (2.5, 2.0), // 5
+        (3.5, 1.0), // 6
+        (4.5, 1.8), // 7
+        (5.5, 1.0), // 8
+        (6.5, 1.8), // 9
+        (7.0, 0.8), // 10
+        (7.5, 1.8), // 11
     ];
     for (i, &(x, y)) in coords.iter().enumerate() {
         t.set_coords(i, x, y);
@@ -197,8 +215,9 @@ fn geometric(
 ) -> Topology {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea1_0001);
     let mut t = Topology::new(name, n);
-    let pts: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen::<f64>() * stretch, rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * stretch, rng.gen::<f64>()))
+        .collect();
     for (i, &(x, y)) in pts.iter().enumerate() {
         t.set_coords(i, x, y);
     }
@@ -212,8 +231,8 @@ fn geometric(
     let mut in_tree = vec![false; n];
     let mut best = vec![(f64::INFINITY, 0usize); n];
     in_tree[0] = true;
-    for v in 1..n {
-        best[v] = (dist(0, v), 0);
+    for (v, b) in best.iter_mut().enumerate().skip(1) {
+        *b = (dist(0, v), 0);
     }
     let mut mst_links = Vec::with_capacity(n - 1);
     for _ in 1..n {

@@ -99,16 +99,33 @@ impl Topology {
     }
 
     /// Add a single directed edge. Panics on duplicates or self-loops.
-    pub fn add_directed_edge(&mut self, src: NodeId, dst: NodeId, capacity: f64, weight: f64) -> EdgeId {
-        assert!(src < self.num_nodes && dst < self.num_nodes, "edge endpoint out of range");
+    pub fn add_directed_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: f64,
+        weight: f64,
+    ) -> EdgeId {
+        assert!(
+            src < self.num_nodes && dst < self.num_nodes,
+            "edge endpoint out of range"
+        );
         assert_ne!(src, dst, "self-loops are not allowed");
         assert!(
             !self.edge_index.contains_key(&(src, dst)),
             "duplicate edge {src}->{dst}"
         );
-        assert!(capacity >= 0.0 && weight >= 0.0, "negative capacity or weight");
+        assert!(
+            capacity >= 0.0 && weight >= 0.0,
+            "negative capacity or weight"
+        );
         let id = self.edges.len();
-        self.edges.push(Edge { src, dst, capacity, weight });
+        self.edges.push(Edge {
+            src,
+            dst,
+            capacity,
+            weight,
+        });
         self.adj[src].push((dst, id));
         self.edge_index.insert((src, dst), id);
         id
@@ -116,7 +133,13 @@ impl Topology {
 
     /// Add a bidirectional link as two directed edges with equal
     /// capacity/weight. Returns the two edge ids.
-    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity: f64, weight: f64) -> (EdgeId, EdgeId) {
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+        weight: f64,
+    ) -> (EdgeId, EdgeId) {
         let e1 = self.add_directed_edge(a, b, capacity, weight);
         let e2 = self.add_directed_edge(b, a, capacity, weight);
         (e1, e2)
@@ -163,7 +186,11 @@ impl Topology {
     /// (indexed by edge id). Used by solvers that iterate over residual
     /// capacities.
     pub fn with_capacities(&self, caps: &[f64]) -> Topology {
-        assert_eq!(caps.len(), self.edges.len(), "capacity vector length mismatch");
+        assert_eq!(
+            caps.len(),
+            self.edges.len(),
+            "capacity vector length mismatch"
+        );
         let mut t = self.clone();
         for (e, &c) in t.edges.iter_mut().zip(caps) {
             assert!(c >= 0.0, "negative capacity");

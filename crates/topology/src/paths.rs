@@ -78,7 +78,10 @@ pub fn dijkstra_masked(
     let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if node == dst {
             break;
@@ -94,7 +97,10 @@ pub fn dijkstra_masked(
             if nd < dist[next] {
                 dist[next] = nd;
                 prev[next] = Some((node, eid));
-                heap.push(HeapEntry { dist: nd, node: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
             }
         }
     }
@@ -112,7 +118,11 @@ pub fn dijkstra_masked(
     }
     nodes.reverse();
     edges.reverse();
-    Some(Path { nodes, edges, weight: dist[dst] })
+    Some(Path {
+        nodes,
+        edges,
+        weight: dist[dst],
+    })
 }
 
 /// Plain shortest path.
@@ -166,8 +176,7 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                 }
             }
             // Ban root nodes (except the spur) to keep paths simple.
-            let banned_nodes: HashSet<NodeId> =
-                root_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
 
             if let Some(spur) = dijkstra_masked(topo, spur_node, dst, &banned_edges, &banned_nodes)
             {
@@ -175,7 +184,11 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                 nodes.extend_from_slice(&spur.nodes);
                 let mut edges = root_edges.to_vec();
                 edges.extend_from_slice(&spur.edges);
-                let cand = Path { nodes, edges, weight: root_weight + spur.weight };
+                let cand = Path {
+                    nodes,
+                    edges,
+                    weight: root_weight + spur.weight,
+                };
                 if cand.is_simple()
                     && !accepted.iter().any(|p| p.edges == cand.edges)
                     && !candidates.iter().any(|p| p.edges == cand.edges)
@@ -234,7 +247,11 @@ impl PathSet {
             }
             paths.extend(found.into_iter().take(k));
         }
-        PathSet { k, pairs: pairs.to_vec(), paths }
+        PathSet {
+            k,
+            pairs: pairs.to_vec(),
+            paths,
+        }
     }
 
     /// Paths per demand (always exactly `k`).
@@ -306,9 +323,15 @@ fn parallel_paths(topo: &Topology, pairs: &[(NodeId, NodeId)], k: usize) -> Vec<
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(8);
     if threads <= 1 || n < 32 {
-        return pairs.iter().map(|&(s, t)| k_shortest_paths(topo, s, t, k)).collect();
+        return pairs
+            .iter()
+            .map(|&(s, t)| k_shortest_paths(topo, s, t, k))
+            .collect();
     }
     let mut out: Vec<Vec<Path>> = vec![Vec::new(); n];
     let chunk = n.div_ceil(threads);

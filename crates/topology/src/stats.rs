@@ -101,7 +101,7 @@ mod tests {
     fn b4_diameter_reasonable() {
         let t = b4();
         let d = hop_diameter(&t);
-        assert!(d >= 3 && d <= 7, "B4 diameter {d}");
+        assert!((3..=7).contains(&d), "B4 diameter {d}");
     }
 
     #[test]

@@ -75,7 +75,13 @@ impl TrafficModel {
             .iter()
             .map(|_| teal_nn_free_log_normal(&mut rng, 0.0, cfg.sigma))
             .collect();
-        TrafficModel { pairs: pairs.to_vec(), base, cfg, scale: 1.0, seed }
+        TrafficModel {
+            pairs: pairs.to_vec(),
+            base,
+            cfg,
+            scale: 1.0,
+            seed,
+        }
     }
 
     /// The demand pairs this model generates for.
@@ -92,7 +98,11 @@ impl TrafficModel {
     /// that shortest-path routing yields a p95 directed-link utilization of
     /// `cfg.target_utilization`.
     pub fn calibrate(&mut self, topo: &Topology, paths: &PathSet) {
-        assert_eq!(paths.pairs(), self.pairs.as_slice(), "path set / pair list mismatch");
+        assert_eq!(
+            paths.pairs(),
+            self.pairs.as_slice(),
+            "path set / pair list mismatch"
+        );
         let mut load = vec![0.0f64; topo.num_edges()];
         for (d, &b) in self.base.iter().enumerate() {
             // Paths are sorted by weight, so slot 0 is the shortest path.
@@ -186,7 +196,11 @@ impl SplitSpec {
     pub fn paper(shrink: f64) -> Self {
         assert!(shrink > 0.0 && shrink <= 1.0);
         let s = |n: usize| ((n as f64 * shrink).round() as usize).max(2);
-        SplitSpec { train: s(700), val: s(100), test: s(200) }
+        SplitSpec {
+            train: s(700),
+            val: s(100),
+            test: s(200),
+        }
     }
 
     /// Generate the three disjoint consecutive windows.
@@ -271,8 +285,11 @@ mod tests {
                 load[e] += v;
             }
         }
-        let mut utils: Vec<f64> =
-            load.iter().zip(topo.edges()).map(|(l, e)| l / e.capacity).collect();
+        let mut utils: Vec<f64> = load
+            .iter()
+            .zip(topo.edges())
+            .map(|(l, e)| l / e.capacity)
+            .collect();
         utils.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p95 = utils[((utils.len() - 1) as f64 * 0.95).round() as usize];
         assert!((p95 - 1.0).abs() < 0.05, "p95 {p95}");
@@ -311,7 +328,10 @@ mod tests {
     #[test]
     fn demands_nonnegative_under_diurnal_trough() {
         let pairs: Vec<(usize, usize)> = (0..50).map(|i| (i, i + 50)).collect();
-        let cfg = TrafficConfig { diurnal_amplitude: 0.9, ..TrafficConfig::default() };
+        let cfg = TrafficConfig {
+            diurnal_amplitude: 0.9,
+            ..TrafficConfig::default()
+        };
         let m = TrafficModel::new(&pairs, cfg, 3);
         for tm in m.series(0, 300) {
             assert!(tm.demands().iter().all(|d| *d >= 0.0));

@@ -79,7 +79,11 @@ impl TrafficMatrix {
         if total <= 0.0 {
             return 0.0;
         }
-        let top: f64 = self.top_indices(frac).iter().map(|&i| self.demands[i]).sum();
+        let top: f64 = self
+            .top_indices(frac)
+            .iter()
+            .map(|&i| self.demands[i])
+            .sum();
         top / total
     }
 }
@@ -93,8 +97,8 @@ pub fn inter_interval_variance(series: &[TrafficMatrix]) -> Vec<f64> {
     let mut mean = vec![0.0f64; n];
     let steps = (series.len() - 1) as f64;
     for w in series.windows(2) {
-        for d in 0..n {
-            mean[d] += (w[1].demand(d) - w[0].demand(d)) / steps;
+        for (d, m) in mean.iter_mut().enumerate() {
+            *m += (w[1].demand(d) - w[0].demand(d)) / steps;
         }
     }
     for w in series.windows(2) {

@@ -151,9 +151,11 @@ mod tests {
                 assert!((tm.total() - orig.total()).abs() < 1e-9 * orig.total());
                 // The originally-top demands now carry the target share.
                 let top = orig.top_indices(0.10);
-                let share: f64 =
-                    top.iter().map(|&i| tm.demand(i)).sum::<f64>() / tm.total();
-                assert!((share - target).abs() < 1e-9, "share {share} target {target}");
+                let share: f64 = top.iter().map(|&i| tm.demand(i)).sum::<f64>() / tm.total();
+                assert!(
+                    (share - target).abs() < 1e-9,
+                    "share {share} target {target}"
+                );
             }
         }
     }

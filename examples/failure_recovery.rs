@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example failure_recovery`
 
 use std::sync::Arc;
-use teal::core::{train_coma, ComaConfig, Env, EngineConfig, TealConfig, TealEngine, TealModel};
+use teal::core::{train_coma, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel};
 use teal::lp::evaluate;
 use teal::topology::b4;
 use teal::traffic::{TrafficConfig, TrafficModel};
@@ -23,7 +23,11 @@ fn main() {
     let tm = traffic.series(40, 1).remove(0);
 
     let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
-    let cfg = ComaConfig { epochs: 8, lr: 3e-3, ..ComaConfig::default() };
+    let cfg = ComaConfig {
+        epochs: 8,
+        lr: 3e-3,
+        ..ComaConfig::default()
+    };
     let _ = train_coma(&mut model, &train, &val, &cfg);
     let engine = TealEngine::new(model, EngineConfig::paper_default(12));
 
@@ -32,7 +36,10 @@ fn main() {
     let intact = env.instance(&tm);
     let base_pct = 100.0 * evaluate(&intact, &pre).realized_flow / tm.total();
     println!("no failure: {base_pct:.1}% satisfied\n");
-    println!("{:<12} {:>14} {:>16} {:>12}", "failed link", "stale routes", "Teal recomputed", "recompute");
+    println!(
+        "{:<12} {:>14} {:>16} {:>12}",
+        "failed link", "stale routes", "Teal recomputed", "recompute"
+    );
 
     // Fail each of the first 6 bidirectional links in turn.
     let mut seen = std::collections::HashSet::new();

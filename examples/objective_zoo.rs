@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 use teal::core::{
-    train_coma, ComaConfig, Env, EngineConfig, RewardKind, TealConfig, TealEngine, TealModel,
+    train_coma, ComaConfig, EngineConfig, Env, RewardKind, TealConfig, TealEngine, TealModel,
 };
 use teal::lp::{evaluate_with_gamma, Objective};
 use teal::topology::{generate, TopoKind};
@@ -28,7 +28,11 @@ fn main() {
 
     let gamma = 0.5;
     let objectives: [(&str, RewardKind, Objective); 3] = [
-        ("max total flow", RewardKind::TotalFlow, Objective::TotalFlow),
+        (
+            "max total flow",
+            RewardKind::TotalFlow,
+            Objective::TotalFlow,
+        ),
         ("min MLU", RewardKind::NegMaxUtil, Objective::MinMaxLinkUtil),
         (
             "max delay-penalized",
@@ -43,7 +47,12 @@ fn main() {
     );
     for (name, reward, obj) in objectives {
         let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
-        let cfg = ComaConfig { epochs: 8, lr: 3e-3, reward, ..ComaConfig::default() };
+        let cfg = ComaConfig {
+            epochs: 8,
+            lr: 3e-3,
+            reward,
+            ..ComaConfig::default()
+        };
         let _ = train_coma(&mut model, &train, &val, &cfg);
         // ADMM is used for the linear flow objective only, as in §5.5.
         let engine_cfg = if matches!(obj, Objective::TotalFlow) {

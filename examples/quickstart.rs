@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 use teal::core::{
-    train_coma, validate, ComaConfig, Env, EngineConfig, TealConfig, TealEngine, TealModel,
+    train_coma, validate, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel,
 };
 use teal::lp::{evaluate, solve_lp, LpConfig, Objective};
 use teal::topology::b4;
@@ -18,7 +18,11 @@ use teal::traffic::{TrafficConfig, TrafficModel};
 fn main() {
     // --- 1. Topology and candidate paths (4 shortest per demand, §2).
     let topo = b4();
-    println!("topology: {} nodes, {} directed edges", topo.num_nodes(), topo.num_edges());
+    println!(
+        "topology: {} nodes, {} directed edges",
+        topo.num_nodes(),
+        topo.num_edges()
+    );
     let env = Arc::new(Env::for_topology(topo));
     println!(
         "candidate paths: {} demands x {} paths",
@@ -38,7 +42,11 @@ fn main() {
     let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
     println!("model parameters: {}", model.num_parameters());
     let before = validate(&model, &env, &test);
-    let cfg = ComaConfig { epochs: 12, lr: 3e-3, ..ComaConfig::default() };
+    let cfg = ComaConfig {
+        epochs: 12,
+        lr: 3e-3,
+        ..ComaConfig::default()
+    };
     let report = train_coma(&mut model, &train, &val, &cfg);
     println!("untrained satisfied demand: {before:.1}%");
     for e in report.history.iter().step_by(3) {
@@ -70,5 +78,8 @@ fn main() {
         teal_sat / n,
         1e3 * teal_time / n
     );
-    println!("LP-all: {:.1}% satisfied demand (exact optimum)", lp_sat / n);
+    println!(
+        "LP-all: {:.1}% satisfied demand (exact optimum)",
+        lp_sat / n
+    );
 }

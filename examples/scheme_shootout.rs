@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use teal::core::{train_coma, ComaConfig, Env, EngineConfig, TealConfig, TealEngine, TealModel};
+use teal::core::{train_coma, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel};
 use teal::lp::Objective;
 use teal::sim::{
     run_online, FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme,
@@ -22,7 +22,11 @@ use teal::traffic::{TrafficConfig, TrafficModel};
 fn main() {
     // A scaled Kdl (chain-like carrier WAN) with a few hundred demands.
     let topo = generate(TopoKind::Kdl, 0.08, 11);
-    println!("topology: Kdl-like, {} nodes, {} edges", topo.num_nodes(), topo.num_edges());
+    println!(
+        "topology: Kdl-like, {} nodes, {} edges",
+        topo.num_nodes(),
+        topo.num_edges()
+    );
     let mut pairs = topo.all_pairs();
     pairs.truncate(900);
     let paths = PathSet::compute(&topo, &pairs, 4);
@@ -36,7 +40,12 @@ fn main() {
     // Brief training run (the paper trains for a week on GPUs; see
     // EXPERIMENTS.md for the quality this budget reaches).
     let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
-    let cfg = ComaConfig { epochs: 5, lr: 3e-3, agent_fraction: 0.5, ..ComaConfig::default() };
+    let cfg = ComaConfig {
+        epochs: 5,
+        lr: 3e-3,
+        agent_fraction: 0.5,
+        ..ComaConfig::default()
+    };
     eprintln!("training Teal ({} demands)...", env.num_demands());
     let _ = train_coma(&mut model, &train, &val, &cfg);
     let engine = TealEngine::new(model, EngineConfig::paper_default(env.topo().num_nodes()));
@@ -61,7 +70,10 @@ fn main() {
         Box::new(TealScheme::new(engine)),
     ];
 
-    println!("{:<12} {:>16} {:>22}", "scheme", "avg comp time", "online satisfied (%)");
+    println!(
+        "{:<12} {:>16} {:>22}",
+        "scheme", "avg comp time", "online satisfied (%)"
+    );
     for s in &mut schemes {
         let res = run_online(&env, env.topo(), &test, s.as_mut(), interval);
         println!(

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use teal::core::PolicyModel;
 use teal::core::{
-    train_coma, validate, ComaConfig, Env, EngineConfig, TealConfig, TealEngine, TealModel,
+    train_coma, validate, ComaConfig, EngineConfig, Env, TealConfig, TealEngine, TealModel,
 };
 use teal::lp::{evaluate, solve_lp, Allocation, LpConfig, Objective};
 use teal::topology::b4;
@@ -29,7 +29,11 @@ fn train_then_allocate_beats_untrained() {
 
     let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
     let untrained = validate(&model, &env, &test);
-    let cfg = ComaConfig { epochs: 8, lr: 3e-3, ..ComaConfig::default() };
+    let cfg = ComaConfig {
+        epochs: 8,
+        lr: 3e-3,
+        ..ComaConfig::default()
+    };
     let _ = train_coma(&mut model, &train, &val, &cfg);
     let trained = validate(&model, &env, &test);
     assert!(
@@ -62,12 +66,21 @@ fn scheme_quality_ordering_holds() {
     let ncflow = teal::baselines::solve_ncflow(
         &inst,
         Objective::TotalFlow,
-        &teal::baselines::NcflowConfig { clusters: 3, rounds: 2, lp: cfg },
+        &teal::baselines::NcflowConfig {
+            clusters: 3,
+            rounds: 2,
+            lp: cfg,
+        },
     );
     let pop = teal::baselines::solve_pop(
         &inst,
         Objective::TotalFlow,
-        &teal::baselines::PopConfig { replicas: 2, split_threshold: 0.25, seed: 1, lp: cfg },
+        &teal::baselines::PopConfig {
+            replicas: 2,
+            split_threshold: 0.25,
+            seed: 1,
+            lp: cfg,
+        },
     );
     let sp = Allocation::shortest_path(inst.num_demands(), inst.k());
 
@@ -76,7 +89,10 @@ fn scheme_quality_ordering_holds() {
     assert!(flow(&ncflow) <= f_all + 1e-6);
     assert!(flow(&pop) <= f_all + 1e-6);
     assert!(flow(&sp) <= f_all + 1e-6);
-    assert!(flow(&lp_top) >= flow(&sp) - 1e-6, "LP-top must not lose to pure shortest path");
+    assert!(
+        flow(&lp_top) >= flow(&sp) - 1e-6,
+        "LP-top must not lose to pure shortest path"
+    );
 }
 
 #[test]
@@ -86,7 +102,11 @@ fn training_is_deterministic_under_seed() {
     let val = traffic(&env, 4, 2, 5);
     let run = || {
         let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
-        let cfg = ComaConfig { epochs: 2, seed: 77, ..ComaConfig::default() };
+        let cfg = ComaConfig {
+            epochs: 2,
+            seed: 77,
+            ..ComaConfig::default()
+        };
         let rep = train_coma(&mut model, &train, &val, &cfg);
         (rep.best_val_satisfied_pct, model.store().snapshot())
     };
@@ -106,7 +126,10 @@ fn admm_fine_tuning_never_ruins_demand_feasibility() {
     for seed in 0..5 {
         let tm = traffic(&env, 0, 1, seed).remove(0);
         let (alloc, _) = engine.allocate(&tm);
-        assert!(alloc.demand_feasible(1e-6), "seed {seed} produced infeasible splits");
+        assert!(
+            alloc.demand_feasible(1e-6),
+            "seed {seed} produced infeasible splits"
+        );
     }
 }
 
@@ -117,7 +140,11 @@ fn failure_recovery_without_retraining() {
     let val = traffic(&env, 12, 3, 2);
     let tm = traffic(&env, 15, 1, 2).remove(0);
     let mut model = TealModel::new(Arc::clone(&env), TealConfig::default());
-    let cfg = ComaConfig { epochs: 5, lr: 3e-3, ..ComaConfig::default() };
+    let cfg = ComaConfig {
+        epochs: 5,
+        lr: 3e-3,
+        ..ComaConfig::default()
+    };
     let _ = train_coma(&mut model, &train, &val, &cfg);
     let engine = TealEngine::new(model, EngineConfig::paper_default(12));
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use teal::core::{Env, FlowSim};
+use teal::core::{Env, FlowSim, PolicyModel, TealConfig, TealModel};
 use teal::lp::simplex::{self, Row, SimplexStatus};
 use teal::lp::{evaluate, pathlp, AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
 use teal::nn::{Graph, Tensor};
@@ -18,7 +18,9 @@ fn random_topo(seed: u64, n: usize) -> Topology {
     }
     let mut s = seed;
     for _ in 0..n / 2 {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (s >> 16) as usize % n;
         let b = (s >> 32) as usize % n;
         if a != b && !t.has_link(a, b) {
@@ -190,6 +192,40 @@ proptest! {
         }
     }
 
+    /// Batched inference equals the sequential path: `allocate_batch` over a
+    /// minibatch must reproduce per-matrix `allocate_deterministic` outputs
+    /// within 1e-6 on random topologies, traffic, and batch sizes.
+    #[test]
+    fn batched_allocation_equals_sequential(seed in 0u64..30, volume in 1.0f64..150.0) {
+        let topo = random_topo(seed, 6);
+        let pairs = topo.all_pairs();
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let env = std::sync::Arc::new(Env::new(topo, paths));
+        let model = TealModel::new(
+            std::sync::Arc::clone(&env),
+            TealConfig { gnn_layers: 3, seed, ..TealConfig::default() },
+        );
+        let batch = 2 + (seed % 3) as usize;
+        let tms: Vec<TrafficMatrix> = (0..batch)
+            .map(|b| {
+                TrafficMatrix::new(
+                    (0..pairs.len())
+                        .map(|d| volume * (0.2 + ((b * 7 + d) % 5) as f64 * 0.4))
+                        .collect(),
+                )
+            })
+            .collect();
+        let batched = model.allocate_batch(&env.batch_input(&tms, None));
+        prop_assert_eq!(batched.len(), tms.len());
+        for (tm, b) in tms.iter().zip(&batched) {
+            let seq = model.allocate_deterministic(&env.model_input(tm, None));
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                prop_assert!((x - y).abs() <= 1e-6,
+                    "batched {} vs sequential {} differ beyond 1e-6", x, y);
+            }
+        }
+    }
+
     /// Traffic generation: non-negative demands and scale-invariance of the
     /// heavy-tail share statistic.
     #[test]
@@ -214,7 +250,11 @@ proptest! {
 #[test]
 fn env_incidence_consistent_on_generated_topologies() {
     for kind in [TopoKind::B4, TopoKind::Swan] {
-        let topo = generate(kind, 0.3_f64.max(if kind == TopoKind::B4 { 1.0 } else { 0.3 }), 3);
+        let topo = generate(
+            kind,
+            0.3_f64.max(if kind == TopoKind::B4 { 1.0 } else { 0.3 }),
+            3,
+        );
         let pairs: Vec<(usize, usize)> = topo.all_pairs().into_iter().take(50).collect();
         let paths = PathSet::compute(&topo, &pairs, 4);
         let env = Env::new(topo, paths);

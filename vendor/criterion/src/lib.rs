@@ -1,0 +1,328 @@
+//! Offline shim implementing the subset of the Criterion benchmarking API
+//! this workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurements are real (warm-up, then timed batches), but the statistics
+//! are deliberately simple: mean / min / max over the collected samples.
+//! Results are printed as a table and, when the `CRITERION_JSON_PATH`
+//! environment variable is set, appended as a JSON array to that path — the
+//! hook the CI workflow uses to persist `BENCH_throughput.json`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark id, e.g. `throughput/batched/B4`.
+    pub id: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time, nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hierarchical benchmark name: `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose a two-level id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A flat id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Measurement settings shared by a group or a bare `Criterion`.
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The top-level harness handle passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure under a flat name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.settings, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_bench(&id, self.settings, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a fixed input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API parity; measurement happens eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    record: Option<(f64, f64, f64, usize, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick a batch size that fits the measurement
+    /// budget, then time `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (at least one call) and single-shot estimate.
+        let warm_start = Instant::now();
+        let mut est_ns = f64::INFINITY;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            est_ns = est_ns.min(t0.elapsed().as_nanos() as f64);
+            if warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        let est_ns = est_ns.max(1.0);
+        let budget_per_sample =
+            self.settings.measurement_time.as_nanos() as f64 / self.settings.sample_size as f64;
+        let iters = ((budget_per_sample / est_ns).floor() as u64).clamp(1, 1_000_000);
+
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+            sum += per_iter;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        let mean = sum / self.settings.sample_size as f64;
+        self.record = Some((mean, min, max, self.settings.sample_size, iters));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, f: &mut F) {
+    let mut b = Bencher {
+        settings,
+        record: None,
+    };
+    f(&mut b);
+    let (mean_ns, min_ns, max_ns, samples, iters) = b
+        .record
+        .expect("benchmark closure never called Bencher::iter");
+    let rec = BenchRecord {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        samples,
+        iters,
+    };
+    eprintln!(
+        "bench {:<48} mean {:>12}  (min {}, max {}, {} samples x {} iters)",
+        rec.id,
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+        samples,
+        iters
+    );
+    RESULTS.lock().expect("results poisoned").push(rec);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Write all collected records as JSON to `CRITERION_JSON_PATH` (if set).
+/// Called automatically by `criterion_main!`.
+pub fn write_json_summary() {
+    let results = RESULTS.lock().expect("results poisoned");
+    let Ok(path) = std::env::var("CRITERION_JSON_PATH") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    } else {
+        eprintln!("criterion shim: wrote {} results to {path}", results.len());
+    }
+}
+
+/// Define a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; measuring there
+            // would only slow the suite down, so bail out like Criterion does.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+            $crate::write_json_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.warm_up_time(Duration::from_millis(5));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n * 100).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn records_are_collected() {
+        let before = RESULTS.lock().unwrap().len();
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        let results = RESULTS.lock().unwrap();
+        assert!(results.len() >= before + 2);
+        let rec = results.last().unwrap();
+        assert!(rec.mean_ns > 0.0);
+        assert!(rec.min_ns <= rec.mean_ns && rec.mean_ns <= rec.max_ns);
+    }
+}

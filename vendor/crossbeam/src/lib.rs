@@ -1,0 +1,82 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! The workspace only uses crossbeam for scoped threads; since Rust 1.63 the
+//! standard library provides the same guarantee (all threads joined before
+//! the scope returns), so this shim is a thin adapter that preserves the
+//! crossbeam call shape: `scope(|s| { s.spawn(|_| ...); }).expect(...)`.
+//!
+//! Panic semantics differ slightly from upstream: a panicking worker
+//! propagates the panic out of [`scope`] (via `std::thread::scope`) instead
+//! of surfacing as an `Err`, so the `Ok` returned here is unconditional.
+//! Every call site in this workspace immediately `expect`s the result, which
+//! behaves identically under both semantics.
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives a scope handle (unused by
+    /// this workspace, but part of the crossbeam signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned workers are joined before this
+/// returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Namespace parity with `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_join_and_mutate_borrowed_data() {
+        let mut data = vec![0usize; 64];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 16 + j;
+                    }
+                });
+            }
+        })
+        .expect("scope failed");
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn nested_spawn_via_handle() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .expect("scope failed");
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

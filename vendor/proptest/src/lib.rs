@@ -1,0 +1,280 @@
+//! Offline shim implementing the subset of the `proptest` API this
+//! workspace's property tests use: the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, range and `collection::vec` strategies,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! its case index and the sampled-input message produced by the assertion.
+//! Sampling is deterministic per test (seeded from the test's name), so
+//! failures reproduce exactly across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number-of-cases configuration, mirroring `proptest::test_runner`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic sample source handed to strategies.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Seed from a test name so every property has its own stable stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Gen {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator. Implemented for primitive ranges and `collection::vec`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                gen.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                gen.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// comes from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                gen.rng().gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+/// Run each property in the block `cases` times with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut gen = $crate::Gen::deterministic(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut gen);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            cfg.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}` ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Skip the current case when its sampled inputs don't fit the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Gen, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respected(x in 3u64..17, f in -1.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..2.0).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0.0f64..1.0, 4), w in crate::collection::vec(0u64..9, 1..5)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((1..5).contains(&w.len()));
+            prop_assume!(!w.is_empty());
+            prop_assert!(w.iter().all(|x| *x < 9));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_per_name() {
+        let mut a = Gen::deterministic("t");
+        let mut b = Gen::deterministic("t");
+        let s = 0u64..1000;
+        for _ in 0..16 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}
