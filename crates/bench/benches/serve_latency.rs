@@ -1,0 +1,148 @@
+//! Criterion bench: the `teal-serve` daemon under concurrent clients
+//! across two topologies, versus sequentially draining the same request
+//! stream through direct `ServingContext::allocate` calls.
+//!
+//! Each iteration serves `REQUESTS` requests (split over `CLIENTS` client
+//! threads for the daemon), so requests/sec = `REQUESTS / mean`. The
+//! criterion shim reports per-iteration p50/p99 alongside mean/min/max; the
+//! daemon's own per-request latency histogram (p50/p99) and batch-size
+//! distribution are printed after the run. The acceptance bar for the
+//! serving-daemon PR: `daemon_coalesced` must not lose to `sequential` on
+//! the same request stream (`BENCH_serve.json`).
+//!
+//! Run with `CRITERION_JSON_PATH=BENCH_serve.json` to persist the results
+//! the CI workflow publishes. Note the single-core CI caveat in ROADMAP.md:
+//! on 1 CPU the coalescing win is bounded by memory bandwidth; multicore
+//! hardware widens it via the parallel ADMM stage and the nn worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use teal_core::{EngineConfig, Env, ServingContext, TealConfig, TealModel};
+use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal_topology::{b4, generate, TopoKind};
+use teal_traffic::{TrafficConfig, TrafficModel};
+
+/// Requests per measured iteration.
+const REQUESTS: usize = 32;
+/// Concurrent client threads driving the daemon.
+const CLIENTS: usize = 4;
+
+/// One registered topology plus its request stream.
+struct Workload {
+    id: &'static str,
+    ctx: Arc<ServingContext<TealModel>>,
+    tms: Vec<teal_traffic::TrafficMatrix>,
+}
+
+fn workload(id: &'static str, topo: teal_topology::Topology, seed: u64) -> Workload {
+    let env = Arc::new(Env::for_topology(topo));
+    let mut traffic = TrafficModel::new(&env.topo().all_pairs(), TrafficConfig::default(), seed);
+    traffic.calibrate(env.topo(), env.paths());
+    let tms = traffic.series(0, REQUESTS);
+    let model = TealModel::new(
+        Arc::clone(&env),
+        TealConfig {
+            gnn_layers: 3,
+            ..TealConfig::default()
+        },
+    );
+    let ctx = Arc::new(ServingContext::new(
+        model,
+        EngineConfig::paper_default(env.topo().num_nodes()),
+    ));
+    Workload { id, ctx, tms }
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let loads = [
+        workload("b4", b4(), 7),
+        workload("swan", generate(TopoKind::Swan, 0.3, 7), 11),
+    ];
+    // The interleaved request stream both paths serve: (topology, matrix).
+    let stream: Vec<(usize, usize)> = (0..REQUESTS).map(|i| (i % loads.len(), i)).collect();
+    let label = format!("2topo_x{REQUESTS}req");
+
+    let mut group = c.benchmark_group("serve_latency");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Baseline: one caller draining the stream through direct context calls.
+    group.bench_with_input(BenchmarkId::new("sequential", &label), &(), |b, _| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(stream.len());
+            for &(w, i) in &stream {
+                out.push(loads[w].ctx.allocate(&loads[w].tms[i]).0);
+            }
+            out
+        })
+    });
+
+    // The daemon: persistent across iterations (that is the point of a
+    // serving process), concurrent clients submitting the same stream.
+    let registry = ModelRegistry::new();
+    for w in &loads {
+        registry.insert(
+            w.id,
+            ServingContext::new(
+                TealModel::new(
+                    Arc::clone(w.ctx.env()),
+                    TealConfig {
+                        gnn_layers: 3,
+                        ..TealConfig::default()
+                    },
+                ),
+                EngineConfig::paper_default(w.ctx.env().topo().num_nodes()),
+            ),
+        );
+    }
+    let daemon = ServeDaemon::start(registry, ServeConfig::default());
+    group.bench_with_input(BenchmarkId::new("daemon_coalesced", &label), &(), |b, _| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..CLIENTS {
+                    let daemon = &daemon;
+                    let loads = &loads;
+                    let stream = &stream;
+                    handles.push(s.spawn(move || {
+                        // Submit the window's requests, then redeem: the
+                        // queue fills while the dispatcher is busy, so
+                        // bursts coalesce into shared forward passes.
+                        let tickets: Vec<_> = stream
+                            .iter()
+                            .skip(t)
+                            .step_by(CLIENTS)
+                            .map(|&(w, i)| daemon.submit(loads[w].id, loads[w].tms[i].clone()))
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|t| t.wait().expect("served").allocation)
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .count()
+            })
+        })
+    });
+    group.finish();
+
+    let stats = daemon.stats();
+    eprintln!(
+        "serve_latency daemon telemetry: mean batch {:.2}, max queue depth {}",
+        stats.mean_batch_size(),
+        stats.max_queue_depth
+    );
+    for t in &stats.per_topology {
+        eprintln!(
+            "  {}: {} requests in {} batches, per-request p50 {:?} p99 {:?}",
+            t.topology, t.requests, t.batches, t.p50, t.p99
+        );
+    }
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

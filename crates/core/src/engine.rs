@@ -25,6 +25,7 @@ use crate::model::PolicyModel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
+use teal_nn::checkpoint::CheckpointError;
 use teal_topology::Topology;
 use teal_traffic::TrafficMatrix;
 
@@ -93,6 +94,49 @@ impl<M: PolicyModel> ServingContext<M> {
     /// The environment.
     pub fn env(&self) -> &Arc<Env> {
         self.model.env()
+    }
+
+    /// Rebuild this context around `model` (same environment, new weights),
+    /// reusing the prebuilt ADMM skeleton — the hot-swap hook used by the
+    /// `teal-serve` registry. Swapping weights never pays the per-topology
+    /// skeleton construction again.
+    pub fn with_model(&self, model: M) -> Self {
+        assert!(
+            Arc::ptr_eq(model.env(), self.model.env()),
+            "with_model requires a model built for the same environment"
+        );
+        ServingContext {
+            model,
+            cfg: self.cfg,
+            skeleton: self.skeleton.clone(),
+        }
+    }
+
+    /// Hot model-weight swap from checkpoint text (see
+    /// [`teal_nn::checkpoint`]): clone the current model, load the new
+    /// parameters into the clone, and return a fresh context sharing this
+    /// one's skeleton. The existing context is untouched, so in-flight
+    /// requests holding an `Arc` to it keep serving the old weights until
+    /// they finish — no torn reads, no mixed-weights responses.
+    pub fn with_checkpoint_str(&self, data: &str) -> Result<Self, CheckpointError>
+    where
+        M: Clone,
+    {
+        let mut model = self.model.clone();
+        teal_nn::checkpoint::load_str(model.store_mut(), data)?;
+        Ok(self.with_model(model))
+    }
+
+    /// [`ServingContext::with_checkpoint_str`] reading from a file path.
+    pub fn with_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, CheckpointError>
+    where
+        M: Clone,
+    {
+        let data = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        self.with_checkpoint_str(&data)
     }
 
     /// Allocate a traffic matrix on the trained topology. Returns the
@@ -383,6 +427,42 @@ mod tests {
                 assert!((x - y).abs() <= 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_swap_changes_weights_without_touching_original() {
+        let env = Arc::new(Env::for_topology(b4()));
+        let cfg_model = TealConfig {
+            gnn_layers: 3,
+            ..TealConfig::default()
+        };
+        let old = ServingContext::new(
+            TealModel::new(Arc::clone(&env), cfg_model),
+            EngineConfig::paper_default(12),
+        );
+        let tm = TrafficMatrix::new(vec![20.0; env.num_demands()]);
+        let (before, _) = old.allocate(&tm);
+
+        // Same architecture, different seed → a genuinely different model.
+        let donor = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                seed: 99,
+                ..cfg_model
+            },
+        );
+        let ckpt = teal_nn::checkpoint::to_string(donor.store());
+        let swapped = old.with_checkpoint_str(&ckpt).expect("swap");
+
+        // New context serves the donor's weights exactly.
+        let reference = ServingContext::new(donor, EngineConfig::paper_default(12));
+        let (want, _) = reference.allocate(&tm);
+        let (got, _) = swapped.allocate(&tm);
+        assert_eq!(got, want, "swapped context must serve the new weights");
+        // Old context is untouched (in-flight requests stay consistent).
+        let (after, _) = old.allocate(&tm);
+        assert_eq!(before, after, "original context mutated by swap");
+        assert_ne!(got, after, "swap had no effect");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`graph`] — a tape-based reverse-mode autograd engine;
 //! * [`module`] — parameter storage and `Linear` layers;
 //! * [`optim`] — Adam (the paper's optimizer) and SGD;
-//! * [`par`] — crossbeam-based CPU parallelism standing in for the GPU;
+//! * [`par`] — chunked CPU parallelism standing in for the GPU;
+//! * [`pool`] — the persistent worker pool behind [`par`] (no per-call
+//!   thread spawning on the serving hot path);
 //! * [`rng`] — seeded RNG and Box-Muller Gaussian sampling;
 //! * [`checkpoint`] — save/load trained parameters (the paper's week-long
 //!   training sessions need persistence).
@@ -22,6 +24,7 @@ pub mod graph;
 pub mod module;
 pub mod optim;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod sparse;
 pub mod tensor;

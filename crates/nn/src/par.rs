@@ -2,10 +2,15 @@
 //!
 //! The paper's speed argument rests on neural-network inference being "one
 //! fixed-cost batch of matrix multiplications" that parallel hardware chews
-//! through. We stand in for the GPU with crossbeam scoped threads: dense
-//! kernels split their output rows across a small thread pool once the
-//! problem is large enough to amortize the spawn cost.
+//! through. We stand in for the GPU with the persistent worker pool in
+//! [`crate::pool`]: dense and sparse kernels split their output rows into
+//! chunks once the problem is large enough to amortize the hand-off, and
+//! pool workers (plus the calling thread) claim chunks from a shared
+//! counter. No threads are spawned per call — the old crossbeam scoped
+//! threads cost a spawn/join per kernel invocation, which the serving
+//! daemon's request rate turns into real overhead.
 
+use crate::pool;
 use crate::tensor::{matmul_into, Tensor};
 
 /// Work sizes below this many fused multiply-adds stay single-threaded.
@@ -40,6 +45,40 @@ fn thread_count(work: usize) -> usize {
     max_threads().max(1)
 }
 
+/// Disjoint `(start, ptr, len)` sub-slices handed to pool chunks by index.
+///
+/// SAFETY invariant: the recorded ranges never overlap, and the pool claims
+/// each index exactly once, so reconstructing `&mut [T]` per index aliases
+/// nothing.
+struct RawChunks<T>(Vec<(usize, *mut T, usize)>);
+
+unsafe impl<T: Send> Send for RawChunks<T> {}
+unsafe impl<T: Send> Sync for RawChunks<T> {}
+
+/// Run `f(start, chunk)` over the given disjoint mutable chunks on the pool.
+fn run_chunked<T, F>(chunks: Vec<(usize, &mut [T])>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let table = RawChunks(
+        chunks
+            .into_iter()
+            .map(|(start, c)| (start, c.as_mut_ptr(), c.len()))
+            .collect(),
+    );
+    // Capture the Sync wrapper, not its inner Vec (precise closure capture
+    // would otherwise grab the non-Sync field directly).
+    let table = &table;
+    pool::run(table.0.len(), &|i| {
+        let (start, ptr, len) = table.0[i];
+        // SAFETY: see `RawChunks` — disjoint ranges, one claim per index,
+        // and the borrow that produced them is held across `pool::run`.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        f(start, chunk);
+    });
+}
+
 /// Dense matmul that transparently parallelizes across output rows.
 pub fn pmatmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols(), b.rows(), "pmatmul shape mismatch");
@@ -52,18 +91,17 @@ pub fn pmatmul(a: &Tensor, b: &Tensor) -> Tensor {
         return out;
     }
     let rows_per = m.div_ceil(threads);
-    let out_chunks: Vec<&mut [f32]> = out.data_mut().chunks_mut(rows_per * n).collect();
-    crossbeam::scope(|s| {
-        for (i, chunk) in out_chunks.into_iter().enumerate() {
-            let lo = i * rows_per;
-            let rows = chunk.len() / n;
-            s.spawn(move |_| {
-                let sub = slice_rows(a, lo, rows);
-                matmul_into(&sub, b, chunk);
-            });
-        }
-    })
-    .expect("pmatmul worker panicked");
+    let chunks: Vec<(usize, &mut [f32])> = out
+        .data_mut()
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(i, c)| (i * rows_per, c))
+        .collect();
+    run_chunked(chunks, |lo, chunk| {
+        let rows = chunk.len() / n;
+        let sub = slice_rows(a, lo, rows);
+        matmul_into(&sub, b, chunk);
+    });
     out
 }
 
@@ -86,13 +124,12 @@ where
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    crossbeam::scope(|s| {
-        for (i, chunk) in data.chunks_mut(rows_per * width).enumerate() {
-            let f = &f;
-            s.spawn(move |_| f(i * rows_per, chunk));
-        }
-    })
-    .expect("par_row_chunks_mut worker panicked");
+    let chunks: Vec<(usize, &mut [f32])> = data
+        .chunks_mut(rows_per * width)
+        .enumerate()
+        .map(|(i, c)| (i * rows_per, c))
+        .collect();
+    run_chunked(chunks, f);
 }
 
 /// Copy `rows` rows of `t` starting at `lo` into a new tensor.
@@ -120,13 +157,12 @@ where
         return;
     }
     let chunk = len.div_ceil(threads);
-    crossbeam::scope(|s| {
-        for (i, c) in data.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move |_| f(i * chunk, c));
-        }
-    })
-    .expect("par_chunks_mut worker panicked");
+    let chunks: Vec<(usize, &mut [T])> = data
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(i, c)| (i * chunk, c))
+        .collect();
+    run_chunked(chunks, f);
 }
 
 /// Map `f` over indices `0..n` in parallel, collecting results in order.

@@ -1,0 +1,248 @@
+//! Persistent worker pool for the dense/sparse kernels.
+//!
+//! The original `par` helpers spawned fresh crossbeam scoped threads on
+//! every kernel call; at serving rates (thousands of forward passes per TE
+//! interval on the batched path) the spawn/join cost is pure overhead. This
+//! module keeps `max_threads() - 1` workers alive for the life of the
+//! process and hands them *jobs*: an indexed task `f(0..n)` whose chunks
+//! workers and the submitting thread claim with one shared atomic counter.
+//!
+//! Design constraints, in order:
+//!
+//! * **The caller always participates.** A job makes progress even with
+//!   zero workers (single-CPU CI) or with every worker busy elsewhere, so
+//!   submission never deadlocks — including *nested* submission from inside
+//!   a worker (the outer ADMM parallel sweep calling the parallel matmul).
+//! * **Concurrent submitters are first-class.** The serving daemon's
+//!   dispatcher, test threads, and training all call kernels at once; jobs
+//!   queue up and any idle worker helps whichever job is at the front.
+//!   Every operation on the shared state (push job, claim chunk, retire
+//!   job) commutes with itself across submitters — there is no per-kernel
+//!   lock held while compute runs.
+//! * **Borrowed closures.** Kernels pass `&dyn Fn(usize)` borrowing stack
+//!   data. The pointer is type-erased to cross the thread boundary; safety
+//!   rests on [`run`] not returning until every claimed chunk has finished
+//!   (tracked by the `done` count) and on exhausted jobs never being
+//!   dereferenced again (the claim counter is monotone).
+//!
+//! Worker panics are caught per chunk and re-surfaced as a panic in the
+//! submitting thread, matching the old `crossbeam::scope(...).expect(...)`
+//! behavior closely enough for every call site in this workspace.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One indexed task: workers claim indices `0..n` until exhausted.
+struct Job {
+    /// Type- and lifetime-erased task. Only dereferenced between a
+    /// successful claim (`next.fetch_add < n`) and the matching `done`
+    /// increment, which [`run`] outlives by construction.
+    task: *const (dyn Fn(usize) + Sync),
+    n: usize,
+    /// Next unclaimed index; claims at or past `n` mean "exhausted".
+    next: AtomicUsize,
+    /// Set when any chunk panicked; the submitter re-panics.
+    poisoned: AtomicBool,
+    /// Chunks fully executed, with a condvar for the submitter's wait.
+    done: Mutex<usize>,
+    finished: Condvar,
+}
+
+// SAFETY: the raw task pointer is only dereferenced while the submitting
+// thread is parked inside `run`, which keeps the closure alive; all other
+// fields are Sync primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and execute chunks until the job is exhausted. Called by
+    /// workers and by the submitting thread alike.
+    fn help(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: `i < n`, so the submitter is still inside `run` and
+            // the closure is alive.
+            let task = unsafe { &*self.task };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+            let mut done = self.done.lock().expect("pool job lock");
+            *done += 1;
+            if *done == self.n {
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    /// Block until every chunk (including ones claimed by workers) is done.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("pool job lock");
+        while *done < self.n {
+            done = self.finished.wait(done).expect("pool job wait");
+        }
+    }
+}
+
+/// Queue shared between submitters and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+}
+
+/// The process-wide pool: `max_threads() - 1` parked workers plus every
+/// submitting thread.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("teal-nn-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue lock");
+            loop {
+                // Retire exhausted jobs the submitter has not removed yet.
+                while q
+                    .front()
+                    .is_some_and(|j| j.next.load(Ordering::Relaxed) >= j.n)
+                {
+                    q.pop_front();
+                }
+                if let Some(j) = q.front() {
+                    break Arc::clone(j);
+                }
+                q = shared.available.wait(q).expect("pool queue wait");
+            }
+        };
+        job.help();
+    }
+}
+
+fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(crate::par::max_threads().saturating_sub(1)))
+}
+
+/// Number of persistent worker threads (0 on a single-CPU machine — the
+/// submitting thread then runs every chunk itself).
+pub fn worker_count() -> usize {
+    global().workers
+}
+
+/// Execute `f(0)`, …, `f(n - 1)` across the pool, returning once all calls
+/// have finished. Each index is claimed by exactly one thread, so `f` may
+/// hand out disjoint `&mut` chunks through interior unsafe (see `par`).
+/// Panics in `f` propagate to the caller after all chunks settle.
+pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let pool = global();
+    if pool.workers == 0 || n == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    // Erase the borrow: `run` does not return until `done == n`, and no
+    // thread dereferences `task` after the claim counter passes `n`.
+    // SAFETY: pure lifetime erasure of a fat reference; validity is upheld
+    // by the wait-before-return protocol documented on `Job::task`.
+    let task: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+    };
+    let job = Arc::new(Job {
+        task,
+        n,
+        next: AtomicUsize::new(0),
+        poisoned: AtomicBool::new(false),
+        done: Mutex::new(0),
+        finished: Condvar::new(),
+    });
+    {
+        let mut q = pool.shared.queue.lock().expect("pool queue lock");
+        q.push_back(Arc::clone(&job));
+    }
+    pool.shared.available.notify_all();
+    job.help();
+    job.wait();
+    // Drop our queue entry eagerly (workers also skip exhausted fronts).
+    {
+        let mut q = pool.shared.queue.lock().expect("pool queue lock");
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if job.poisoned.load(Ordering::Acquire) {
+        panic!("teal-nn pool worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} hit count");
+        }
+    }
+
+    #[test]
+    fn empty_job_is_a_noop() {
+        run(0, &|_| panic!("must never be called"));
+    }
+
+    #[test]
+    fn nested_submission_completes() {
+        let total = AtomicUsize::new(0);
+        run(4, &|_| {
+            run(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn concurrent_submitters_each_complete() {
+        let sums: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for sum in &sums {
+                s.spawn(move || {
+                    run(100, &|i| {
+                        sum.fetch_add(i + 1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        for sum in &sums {
+            assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        }
+    }
+}

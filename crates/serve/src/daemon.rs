@@ -1,0 +1,398 @@
+//! The serving daemon: request queue, micro-batching coalescer, dispatcher.
+//!
+//! Concurrent callers [`ServeDaemon::submit`] `(topology id, traffic
+//! matrix)` pairs; a dispatcher thread drains the queue, groups requests by
+//! topology, and pushes each group through
+//! [`ServingContext::allocate_batch`] so unrelated clients' matrices share
+//! one set of forward-pass matrix products — the paper's "TE allocation as
+//! one fixed-cost batched compute step", turned into a service.
+//!
+//! The hot path is built from commutative operations: enqueue appends under
+//! a queue lock held for O(1), the dispatcher snapshots contexts from the
+//! [`ModelRegistry`] (see its docs), and responses land in per-request
+//! slots nobody else touches. There is no lock held across model compute.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use teal_core::PolicyModel;
+use teal_lp::Allocation;
+use teal_traffic::TrafficMatrix;
+
+use crate::registry::ModelRegistry;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No context registered under the requested topology id.
+    UnknownTopology(String),
+    /// The daemon is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A hot-swap checkpoint failed to parse or did not match the model.
+    Checkpoint(String),
+    /// The request itself could not be served (e.g. a traffic matrix whose
+    /// dimensions do not match the topology's demand set).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTopology(id) => write!(f, "unknown topology {id:?}"),
+            ServeError::ShuttingDown => write!(f, "serving daemon is shutting down"),
+            ServeError::Checkpoint(m) => write!(f, "checkpoint swap failed: {m}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served allocation plus per-request serving metadata.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The TE allocation for the submitted matrix.
+    pub allocation: Allocation,
+    /// End-to-end latency: enqueue → response ready.
+    pub latency: Duration,
+    /// How many requests shared the coalesced forward pass.
+    pub batch_size: usize,
+}
+
+/// One-shot response slot a [`Ticket`] waits on.
+struct ResponseSlot {
+    slot: Mutex<Option<Result<ServeReply, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, r: Result<ServeReply, ServeError>) {
+        let mut slot = self.slot.lock().expect("response lock");
+        *slot = Some(r);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a submitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Block until the response is ready.
+    pub fn wait(self) -> Result<ServeReply, ServeError> {
+        let mut slot = self.slot.slot.lock().expect("response lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.slot.ready.wait(slot).expect("response wait");
+        }
+    }
+
+    /// Non-blocking poll: true once [`Ticket::wait`] would return
+    /// immediately.
+    pub fn is_ready(&self) -> bool {
+        self.slot.slot.lock().expect("response lock").is_some()
+    }
+}
+
+/// One queued request.
+struct Request {
+    topology: String,
+    tm: TrafficMatrix,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Matrices per coalesced `allocate_batch` call. Larger batches
+    /// amortize more per-pass overhead but add queueing delay for the
+    /// requests at the front.
+    pub max_batch: usize,
+    /// After the first request of a drain arrives, linger this long for
+    /// stragglers before dispatching (micro-batching window). Zero
+    /// dispatches immediately.
+    pub linger: Duration,
+    /// Queue bound; submitters block once this many requests are waiting
+    /// (backpressure instead of unbounded memory growth).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            linger: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Shared state between submitters and the dispatcher.
+struct Inner<M: PolicyModel> {
+    registry: ModelRegistry<M>,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Request>>,
+    /// Signals the dispatcher that work (or shutdown) is pending.
+    nonempty: Condvar,
+    /// Signals submitters that queue space freed up.
+    space: Condvar,
+    shutdown: AtomicBool,
+    telemetry: Telemetry,
+}
+
+/// The long-running TE serving daemon (see module docs).
+pub struct ServeDaemon<M: PolicyModel + Send + Sync + 'static> {
+    inner: Arc<Inner<M>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
+    /// Start the dispatcher over `registry` (which may be empty; topologies
+    /// can be registered and swapped while serving).
+    pub fn start(registry: ModelRegistry<M>, cfg: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            registry,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            telemetry: Telemetry::default(),
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("teal-serve-dispatcher".into())
+                .spawn(move || dispatcher_loop(&inner))
+                .expect("spawn dispatcher")
+        };
+        ServeDaemon {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Start with default tuning.
+    pub fn with_defaults(registry: ModelRegistry<M>) -> Self {
+        Self::start(registry, ServeConfig::default())
+    }
+
+    /// The topology/model registry (register or hot-swap while serving).
+    pub fn registry(&self) -> &ModelRegistry<M> {
+        &self.inner.registry
+    }
+
+    /// A consistent copy of the serving statistics.
+    pub fn stats(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
+    }
+
+    /// Enqueue a request; returns a [`Ticket`] immediately. Blocks only
+    /// when the queue is at capacity (backpressure).
+    pub fn submit(&self, topology: impl Into<String>, tm: TrafficMatrix) -> Ticket {
+        let slot = ResponseSlot::new();
+        let req = Request {
+            topology: topology.into(),
+            tm,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            slot.fulfill(Err(ServeError::ShuttingDown));
+            return Ticket { slot };
+        }
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            while q.len() >= self.inner.cfg.queue_capacity
+                && !self.inner.shutdown.load(Ordering::Acquire)
+            {
+                q = self.inner.space.wait(q).expect("queue wait");
+            }
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                drop(q);
+                slot.fulfill(Err(ServeError::ShuttingDown));
+                return Ticket { slot };
+            }
+            q.push_back(req);
+            self.inner.telemetry.on_enqueue();
+        }
+        self.inner.nonempty.notify_one();
+        Ticket { slot }
+    }
+
+    /// Submit and block for the reply (convenience for synchronous callers).
+    pub fn allocate(
+        &self,
+        topology: impl Into<String>,
+        tm: TrafficMatrix,
+    ) -> Result<ServeReply, ServeError> {
+        self.submit(topology, tm).wait()
+    }
+
+    /// Stop accepting requests, serve everything already queued, and join
+    /// the dispatcher. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.nonempty.notify_all();
+        self.inner.space.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("dispatcher panicked");
+        }
+    }
+}
+
+impl<M: PolicyModel + Send + Sync + 'static> Drop for ServeDaemon<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Drain the queue, coalesce by topology, serve, repeat until shutdown.
+fn dispatcher_loop<M: PolicyModel>(inner: &Inner<M>) {
+    loop {
+        let drained = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            while q.is_empty() && !inner.shutdown.load(Ordering::Acquire) {
+                q = inner.nonempty.wait(q).expect("queue wait");
+            }
+            if q.is_empty() {
+                // Shutdown with an empty queue: done.
+                return;
+            }
+            // Micro-batching window: once work exists, linger briefly so
+            // concurrent submitters can pile on and share the forward pass.
+            if !inner.cfg.linger.is_zero() {
+                let deadline = Instant::now() + inner.cfg.linger;
+                while q.len() < inner.cfg.max_batch && !inner.shutdown.load(Ordering::Acquire) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = inner
+                        .nonempty
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue wait");
+                    q = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let drained: Vec<Request> = q.drain(..).collect();
+            inner.telemetry.on_drain(drained.len());
+            drop(q);
+            inner.space.notify_all();
+            drained
+        };
+        serve_drained(inner, drained);
+    }
+}
+
+/// Group a drained queue segment by topology and serve each group through
+/// the batched path.
+fn serve_drained<M: PolicyModel>(inner: &Inner<M>, drained: Vec<Request>) {
+    // Group by topology id, preserving arrival order within each group.
+    let mut groups: Vec<(String, Vec<Request>)> = Vec::new();
+    for req in drained {
+        match groups.iter_mut().find(|(id, _)| *id == req.topology) {
+            Some((_, g)) => g.push(req),
+            None => groups.push((req.topology.clone(), vec![req])),
+        }
+    }
+    for (topology, requests) in groups {
+        // One context snapshot per group: every request in the group is
+        // served by the same weights even if a hot swap lands mid-group.
+        let Some(ctx) = inner.registry.get(&topology) else {
+            for req in requests {
+                req.slot
+                    .fulfill(Err(ServeError::UnknownTopology(topology.clone())));
+                inner.telemetry.on_error();
+            }
+            continue;
+        };
+        let mut requests = requests;
+        while !requests.is_empty() {
+            let take = requests.len().min(inner.cfg.max_batch.max(1));
+            let chunk: Vec<Request> = requests.drain(..take).collect();
+            let tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
+            // The daemon must survive a malformed request (e.g. a matrix
+            // sized for a different topology): a panicking batch falls back
+            // to per-request serving so only the offender gets an error,
+            // and the dispatcher never dies with clients parked on slots.
+            let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.allocate_batch(&tms).0
+            }));
+            match batched {
+                // A model whose allocate_batch drops or invents results
+                // would silently strand zipped-out clients on their slots
+                // forever; fail the whole chunk loudly instead.
+                Ok(allocs) if allocs.len() != chunk.len() => {
+                    for req in chunk {
+                        inner.telemetry.on_error();
+                        req.slot.fulfill(Err(ServeError::BadRequest(format!(
+                            "model returned {} allocations for a batch of {}",
+                            allocs.len(),
+                            take
+                        ))));
+                    }
+                }
+                Ok(allocs) => {
+                    let batch_size = chunk.len();
+                    let latencies: Vec<Duration> =
+                        chunk.iter().map(|r| r.enqueued.elapsed()).collect();
+                    // Count the batch before unblocking any client, so a
+                    // caller that has its reply always sees itself in
+                    // `stats()`.
+                    inner.telemetry.on_batch(&topology, &latencies);
+                    for ((req, allocation), latency) in chunk.into_iter().zip(allocs).zip(latencies)
+                    {
+                        req.slot.fulfill(Ok(ServeReply {
+                            allocation,
+                            latency,
+                            batch_size,
+                        }));
+                    }
+                }
+                Err(_) => {
+                    for req in chunk {
+                        let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            ctx.allocate(&req.tm).0
+                        }));
+                        match one {
+                            Ok(allocation) => {
+                                let latency = req.enqueued.elapsed();
+                                inner.telemetry.on_batch(&topology, &[latency]);
+                                req.slot.fulfill(Ok(ServeReply {
+                                    allocation,
+                                    latency,
+                                    batch_size: 1,
+                                }));
+                            }
+                            Err(_) => {
+                                inner.telemetry.on_error();
+                                req.slot.fulfill(Err(ServeError::BadRequest(format!(
+                                    "allocation panicked for topology {topology:?} \
+                                     (matrix of {} demands)",
+                                    req.tm.len()
+                                ))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

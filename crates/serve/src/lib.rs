@@ -1,0 +1,80 @@
+//! `teal-serve`: a multi-topology TE serving daemon.
+//!
+//! The paper's pitch is that TE allocation becomes a *fixed-cost batched
+//! compute step* fast enough to run inside the TE control interval. The
+//! library crates realize the compute step ([`teal_core::ServingContext`]);
+//! this crate turns it into a long-running, concurrency-safe **service** —
+//! the bridge from "library" to the ROADMAP's "serve heavy traffic from
+//! millions of users".
+//!
+//! # Architecture
+//!
+//! ```text
+//!   clients (any thread)                dispatcher thread
+//!   ────────────────────                ─────────────────────────────
+//!   submit(topo, tm) ──► request queue ──► drain + linger (coalescer)
+//!        │                                   │ group by topology
+//!        │                                   ▼
+//!        │                        registry.get(topo)  ── snapshot read
+//!        │                                   │
+//!        │                                   ▼
+//!        │                    ServingContext::allocate_batch(tms)
+//!        │                       (one forward pass for the group,
+//!        ▼                        parallel warm-started ADMM)
+//!   Ticket::wait ◄──────────── per-request response slots
+//! ```
+//!
+//! Three components, each deliberately built from operations that commute
+//! across cores (the scalable-commutativity design rule — no lock is ever
+//! held across model compute):
+//!
+//! * **Request queue + micro-batching coalescer** ([`ServeDaemon`]).
+//!   Concurrent callers enqueue `(topology id, traffic matrix)` pairs; the
+//!   dispatcher drains the queue (lingering up to [`ServeConfig::linger`]
+//!   so bursts pile up), groups requests by topology, and serves each group
+//!   through one batched forward pass + parallel ADMM. Unrelated clients'
+//!   matrices share matrix products; replies report the coalesced
+//!   [`ServeReply::batch_size`]. Backpressure is a bounded queue.
+//! * **Topology/model registry with hot swap** ([`ModelRegistry`]). One
+//!   [`teal_core::ServingContext`] per topology (each with its prebuilt
+//!   ADMM skeleton) behind snapshot reads: `get` clones an `Arc` and drops
+//!   the lock before any compute. [`ModelRegistry::swap_checkpoint_str`]
+//!   loads new weights via `teal-nn`'s checkpoint format and atomically
+//!   republishes the context — in-flight requests finish on the weights
+//!   they snapshotted, so a swap never drops or mixes a response.
+//! * **Serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]).
+//!   Per-topology latency histograms (p50/p99/mean), queue-depth gauges,
+//!   and the coalesced batch-size distribution, readable at any time
+//!   without pausing the daemon.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use teal_core::{Env, EngineConfig, ServingContext, TealConfig, TealModel};
+//! use teal_serve::{ModelRegistry, ServeDaemon};
+//! use teal_topology::b4;
+//! use teal_traffic::TrafficMatrix;
+//!
+//! let env = Arc::new(Env::for_topology(b4()));
+//! let model = TealModel::new(Arc::clone(&env), TealConfig::default());
+//! let registry = ModelRegistry::new();
+//! registry.insert("b4", ServingContext::new(model, EngineConfig::paper_default(12)));
+//! let daemon = ServeDaemon::with_defaults(registry);
+//!
+//! let tm = TrafficMatrix::new(vec![20.0; env.num_demands()]);
+//! let reply = daemon.allocate("b4", tm).expect("served");
+//! println!("batch of {} in {:?}", reply.batch_size, reply.latency);
+//! ```
+//!
+//! See `examples/serve_loop.rs` for the full submit → coalesced batch →
+//! hot weight swap loop, and the `serve_latency` bench in `teal-bench` for
+//! the daemon-vs-sequential throughput comparison (`BENCH_serve.json`).
+
+pub mod daemon;
+pub mod registry;
+pub mod telemetry;
+
+pub use daemon::{ServeConfig, ServeDaemon, ServeError, ServeReply, Ticket};
+pub use registry::ModelRegistry;
+pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot, TopoSnapshot};

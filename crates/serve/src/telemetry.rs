@@ -1,0 +1,282 @@
+//! Serving telemetry: per-topology latency histograms (p50/p99), queue
+//! depth, and the coalesced batch-size distribution.
+//!
+//! The recording side is deliberately cheap and contention-free in the
+//! places that matter: latency and batch records are written only by the
+//! dispatcher thread (behind short-lived mutexes nobody else contends on
+//! during steady state), and queue-depth gauges are plain atomics updated
+//! by submitters. Readers take a consistent [`TelemetrySnapshot`] copy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Log-spaced latency histogram: bucket `i` covers per-request latencies of
+/// roughly `2^(i/4)` nanoseconds (four sub-buckets per octave, ≤ ~19%
+/// relative quantile error — plenty for p50/p99 serving dashboards while
+/// keeping recording allocation-free).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: f64,
+    max_ns: u64,
+}
+
+/// Sub-buckets per factor-of-two of latency.
+const SUBDIV: f64 = 4.0;
+/// Bucket count: covers ~1ns to ~2^64ns with 4 sub-buckets per octave.
+const NUM_BUCKETS: usize = 64 * SUBDIV as usize;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(ns: u64) -> usize {
+        if ns <= 1 {
+            return 0;
+        }
+        (((ns as f64).log2() * SUBDIV) as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Representative (geometric lower-edge) latency of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        2f64.powf(i as f64 / SUBDIV)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as f64;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as f64) as u64)
+    }
+
+    /// Quantile estimate via cumulative bucket counts (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Cap at the true observed maximum so p99 of a tight
+                // distribution never exceeds the slowest real request.
+                let est = Self::bucket_value(i).min(self.max_ns as f64);
+                return Duration::from_nanos(est as u64);
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// Per-topology serving counters.
+#[derive(Default)]
+struct TopoStats {
+    latency: LatencyHistogram,
+    requests: u64,
+    batches: u64,
+}
+
+/// Aggregate daemon telemetry (see module docs for the locking story).
+#[derive(Default)]
+pub struct Telemetry {
+    per_topo: Mutex<HashMap<String, TopoStats>>,
+    /// Coalesced-batch size → occurrence count.
+    batch_sizes: Mutex<HashMap<usize, u64>>,
+    /// Requests currently enqueued (gauge).
+    queue_depth: AtomicUsize,
+    /// Deepest queue ever observed.
+    max_queue_depth: AtomicUsize,
+    /// Total requests completed (including error responses).
+    completed: AtomicU64,
+}
+
+impl Telemetry {
+    /// Gauge bump when a request is enqueued.
+    pub(crate) fn on_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Gauge drop when the dispatcher drains `n` requests.
+    pub(crate) fn on_drain(&self, n: usize) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Record one coalesced batch of `latencies` for `topology`.
+    pub(crate) fn on_batch(&self, topology: &str, latencies: &[Duration]) {
+        {
+            let mut sizes = self.batch_sizes.lock().expect("telemetry lock");
+            *sizes.entry(latencies.len()).or_insert(0) += 1;
+        }
+        let mut per_topo = self.per_topo.lock().expect("telemetry lock");
+        let stats = per_topo.entry(topology.to_string()).or_default();
+        stats.batches += 1;
+        stats.requests += latencies.len() as u64;
+        for &l in latencies {
+            stats.latency.record(l);
+        }
+        self.completed
+            .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a request that completed with an error (still counted).
+    pub(crate) fn on_error(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent copy of all counters.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let per_topo = self.per_topo.lock().expect("telemetry lock");
+        let mut per_topology: Vec<TopoSnapshot> = per_topo
+            .iter()
+            .map(|(name, s)| TopoSnapshot {
+                topology: name.clone(),
+                requests: s.requests,
+                batches: s.batches,
+                mean: s.latency.mean(),
+                p50: s.latency.quantile(0.50),
+                p99: s.latency.quantile(0.99),
+            })
+            .collect();
+        per_topology.sort_by(|a, b| a.topology.cmp(&b.topology));
+        let mut batch_sizes: Vec<(usize, u64)> = self
+            .batch_sizes
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        batch_sizes.sort_unstable();
+        TelemetrySnapshot {
+            per_topology,
+            batch_sizes,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the daemon's serving statistics.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Per-topology latency/request stats, sorted by topology id.
+    pub per_topology: Vec<TopoSnapshot>,
+    /// `(batch size, occurrences)` of the coalescer, sorted by size.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Deepest queue observed since startup.
+    pub max_queue_depth: usize,
+    /// Total requests answered (success or error).
+    pub completed: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Mean coalesced batch size (zero when nothing was served).
+    pub fn mean_batch_size(&self) -> f64 {
+        let (total_reqs, total_batches) = self
+            .batch_sizes
+            .iter()
+            .fold((0u64, 0u64), |(r, b), &(size, n)| {
+                (r + size as u64 * n, b + n)
+            });
+        if total_batches == 0 {
+            0.0
+        } else {
+            total_reqs as f64 / total_batches as f64
+        }
+    }
+}
+
+/// One topology's latency profile.
+#[derive(Clone, Debug)]
+pub struct TopoSnapshot {
+    /// Registry id of the topology.
+    pub topology: String,
+    /// Requests served.
+    pub requests: u64,
+    /// Coalesced batches those requests rode in.
+    pub batches: u64,
+    /// Mean end-to-end (enqueue → response) latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in [50u64, 80, 100, 120, 150, 400, 900, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        assert!(p50 <= p99, "p50 {p50:?} > p99 {p99:?}");
+        assert!(p99 <= Duration::from_micros(5000));
+        assert!(p50 >= Duration::from_micros(80), "p50 {p50:?} too low");
+        assert_eq!(h.count(), 8);
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let t = Telemetry::default();
+        t.on_enqueue();
+        t.on_enqueue();
+        t.on_drain(2);
+        t.on_batch(
+            "B4",
+            &[Duration::from_micros(100), Duration::from_micros(200)],
+        );
+        t.on_batch("B4", &[Duration::from_micros(300)]);
+        let snap = t.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.max_queue_depth, 2);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.per_topology.len(), 1);
+        assert_eq!(snap.per_topology[0].requests, 3);
+        assert_eq!(snap.per_topology[0].batches, 2);
+        assert_eq!(snap.batch_sizes, vec![(1, 1), (2, 1)]);
+        assert!((snap.mean_batch_size() - 1.5).abs() < 1e-9);
+    }
+}

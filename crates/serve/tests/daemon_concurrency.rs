@@ -1,0 +1,287 @@
+//! The acceptance test of the serving daemon: ≥ 64 concurrent requests
+//! across ≥ 2 topologies, answered identically (1e-6) to sequential
+//! `ServingContext` calls, with a mid-run hot weight swap that drops no
+//! response and mixes no weights. Plus property tests that coalesced
+//! responses match the direct path under concurrent submission.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use teal_core::{EngineConfig, Env, PolicyModel, ServingContext, TealConfig, TealModel};
+use teal_lp::Allocation;
+use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal_topology::{generate, TopoKind};
+use teal_traffic::TrafficMatrix;
+
+/// Fast model config for tests (3 GNN layers instead of 6).
+fn model_cfg(seed: u64) -> TealConfig {
+    TealConfig {
+        gnn_layers: 3,
+        seed,
+        ..TealConfig::default()
+    }
+}
+
+fn context(env: &Arc<Env>, seed: u64) -> ServingContext<TealModel> {
+    ServingContext::new(
+        TealModel::new(Arc::clone(env), model_cfg(seed)),
+        EngineConfig::paper_default(env.topo().num_nodes()),
+    )
+}
+
+/// Max |split difference| between two allocations.
+fn max_diff(a: &Allocation, b: &Allocation) -> f64 {
+    a.splits()
+        .iter()
+        .zip(b.splits())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+#[test]
+fn sixty_four_concurrent_requests_two_topologies_with_hot_swap() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 8; // 64 requests total in the first wave
+
+    let env_b4 = Arc::new(Env::for_topology(teal_topology::b4()));
+    let env_swan = Arc::new(Env::for_topology(generate(TopoKind::Swan, 0.3, 7)));
+
+    // References: the weights serving "b4" before and after the swap, and
+    // the (never-swapped) "swan" weights.
+    let ref_b4_old = context(&env_b4, 0);
+    let donor = TealModel::new(Arc::clone(&env_b4), model_cfg(42));
+    let ckpt = teal_nn::checkpoint::to_string(donor.store());
+    let ref_b4_new = ref_b4_old
+        .with_checkpoint_str(&ckpt)
+        .expect("reference swap");
+    let ref_swan = context(&env_swan, 5);
+
+    // Per-request traffic: distinct matrices so coalescing mistakes
+    // (reordered or crossed responses) cannot cancel out.
+    let tms_b4: Vec<TrafficMatrix> = (0..THREADS * PER_THREAD)
+        .map(|i| TrafficMatrix::new(vec![4.0 + 3.0 * i as f64; env_b4.num_demands()]))
+        .collect();
+    let tms_swan: Vec<TrafficMatrix> = (0..THREADS * PER_THREAD)
+        .map(|i| TrafficMatrix::new(vec![2.0 + 5.0 * i as f64; env_swan.num_demands()]))
+        .collect();
+    let seq_b4_old: Vec<Allocation> = tms_b4.iter().map(|tm| ref_b4_old.allocate(tm).0).collect();
+    let seq_b4_new: Vec<Allocation> = tms_b4.iter().map(|tm| ref_b4_new.allocate(tm).0).collect();
+    let seq_swan: Vec<Allocation> = tms_swan.iter().map(|tm| ref_swan.allocate(tm).0).collect();
+    // The swap must be observable, or "old OR new" proves nothing.
+    assert!(
+        max_diff(&seq_b4_old[0], &seq_b4_new[0]) > 1e-6,
+        "donor weights indistinguishable from the originals"
+    );
+
+    let registry = ModelRegistry::new();
+    registry.insert("b4", context(&env_b4, 0));
+    registry.insert("swan", context(&env_swan, 5));
+    let daemon = ServeDaemon::start(registry, ServeConfig::default());
+
+    // Wave 1: 64 requests from 8 threads, alternating topologies, with a
+    // hot swap of the b4 weights racing the traffic.
+    let results: Vec<(usize, bool, Allocation, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let daemon = &daemon;
+            let tms_b4 = &tms_b4;
+            let tms_swan = &tms_swan;
+            handles.push(s.spawn(move || {
+                let mut out = Vec::new();
+                for j in 0..PER_THREAD {
+                    let i = t * PER_THREAD + j;
+                    let (topo, tm) = if i.is_multiple_of(2) {
+                        ("b4", tms_b4[i].clone())
+                    } else {
+                        ("swan", tms_swan[i].clone())
+                    };
+                    let reply = daemon.allocate(topo, tm).expect("request dropped");
+                    assert!(reply.batch_size >= 1);
+                    out.push((i, topo == "b4", reply.allocation, reply.batch_size));
+                }
+                out
+            }));
+        }
+        let swapper = s.spawn(|| {
+            // Land the swap in the middle of the wave.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            daemon
+                .registry()
+                .swap_checkpoint_str("b4", &ckpt)
+                .expect("hot swap failed");
+        });
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        swapper.join().expect("swap thread");
+        all
+    });
+
+    assert_eq!(
+        results.len(),
+        THREADS * PER_THREAD,
+        "a response was dropped"
+    );
+    let mut coalesced = 0usize;
+    for (i, is_b4, alloc, batch_size) in &results {
+        if *is_b4 {
+            // Old weights or new weights — never a mixture, never crossed.
+            let d_old = max_diff(alloc, &seq_b4_old[*i]);
+            let d_new = max_diff(alloc, &seq_b4_new[*i]);
+            assert!(
+                d_old <= 1e-6 || d_new <= 1e-6,
+                "request {i}: diff {d_old:.2e} vs old, {d_new:.2e} vs new — mixed weights?"
+            );
+        } else {
+            let d = max_diff(alloc, &seq_swan[*i]);
+            assert!(d <= 1e-6, "swan request {i}: diff {d:.2e} vs sequential");
+        }
+        if *batch_size > 1 {
+            coalesced += 1;
+        }
+    }
+
+    // Wave 2: the swap has returned, so every new b4 response must serve
+    // the new weights exactly.
+    for i in 0..8 {
+        let reply = daemon.allocate("b4", tms_b4[i].clone()).expect("post-swap");
+        let d = max_diff(&reply.allocation, &seq_b4_new[i]);
+        assert!(
+            d <= 1e-6,
+            "post-swap request {i} not on new weights ({d:.2e})"
+        );
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(stats.completed, (THREADS * PER_THREAD + 8) as u64);
+    assert_eq!(stats.queue_depth, 0);
+    let b4_stats = stats
+        .per_topology
+        .iter()
+        .find(|t| t.topology == "b4")
+        .expect("b4 telemetry");
+    assert!(b4_stats.p50 <= b4_stats.p99);
+    assert!(b4_stats.p99 > std::time::Duration::ZERO);
+    // On any scheduler some portion of 64 near-simultaneous requests must
+    // have shared a forward pass; log it for the curious.
+    eprintln!(
+        "coalesced {coalesced}/{} requests; mean batch {:.2}; b4 p50 {:?} p99 {:?}",
+        results.len(),
+        stats.mean_batch_size(),
+        b4_stats.p50,
+        b4_stats.p99
+    );
+}
+
+#[test]
+fn unknown_topology_is_an_error_not_a_hang() {
+    let registry: ModelRegistry<TealModel> = ModelRegistry::new();
+    let daemon = ServeDaemon::with_defaults(registry);
+    let tm = TrafficMatrix::new(vec![1.0; 10]);
+    match daemon.allocate("nowhere", tm) {
+        Err(teal_serve::ServeError::UnknownTopology(id)) => assert_eq!(id, "nowhere"),
+        other => panic!("expected UnknownTopology, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_request_errors_without_killing_the_daemon() {
+    let env = Arc::new(Env::for_topology(teal_topology::b4()));
+    let registry = ModelRegistry::new();
+    registry.insert("b4", context(&env, 0));
+    let daemon = ServeDaemon::with_defaults(registry);
+    let good_tm = TrafficMatrix::new(vec![12.0; env.num_demands()]);
+    let bad_tm = TrafficMatrix::new(vec![1.0; 3]); // wrong demand count
+
+    // Submit a good and a bad request back-to-back so they share a drain;
+    // only the malformed one may fail.
+    let good = daemon.submit("b4", good_tm.clone());
+    let bad = daemon.submit("b4", bad_tm);
+    good.wait()
+        .expect("well-formed request must survive the batch");
+    match bad.wait() {
+        Err(teal_serve::ServeError::BadRequest(_)) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The dispatcher must still be alive and serving.
+    daemon
+        .allocate("b4", good_tm)
+        .expect("daemon died after a malformed request");
+}
+
+#[test]
+fn shutdown_serves_queued_requests_then_rejects() {
+    let env = Arc::new(Env::for_topology(teal_topology::b4()));
+    let registry = ModelRegistry::new();
+    registry.insert("b4", context(&env, 0));
+    let mut daemon = ServeDaemon::with_defaults(registry);
+    let tm = TrafficMatrix::new(vec![10.0; env.num_demands()]);
+    let tickets: Vec<_> = (0..4).map(|_| daemon.submit("b4", tm.clone())).collect();
+    daemon.shutdown();
+    for t in tickets {
+        t.wait().expect("queued request dropped by shutdown");
+    }
+    assert!(matches!(
+        daemon.allocate("b4", tm),
+        Err(teal_serve::ServeError::ShuttingDown)
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Coalesced daemon responses equal direct `ServingContext::allocate`
+    /// for the same matrices, under concurrent submission from 4 threads
+    /// and randomized traffic, linger windows, and batch caps.
+    #[test]
+    fn coalesced_equals_direct_under_concurrency(
+        seed in 0u64..1000,
+        scale in 1.0f64..80.0,
+        max_batch in 1usize..24,
+        linger_us in 0u64..400,
+    ) {
+        let env = Arc::new(Env::for_topology(teal_topology::b4()));
+        let ctx = context(&env, seed % 3);
+        let tms: Vec<TrafficMatrix> = (0..12)
+            .map(|i| {
+                TrafficMatrix::new(
+                    (0..env.num_demands())
+                        .map(|d| scale * (1.0 + ((seed as usize + d * 7 + i * 13) % 10) as f64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let direct: Vec<Allocation> = tms.iter().map(|tm| ctx.allocate(tm).0).collect();
+
+        let registry = ModelRegistry::new();
+        registry.insert("b4", context(&env, seed % 3));
+        let daemon = ServeDaemon::start(
+            registry,
+            ServeConfig {
+                max_batch,
+                linger: std::time::Duration::from_micros(linger_us),
+                queue_capacity: 64,
+            },
+        );
+        let served: Vec<(usize, Allocation)> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..4 {
+                let daemon = &daemon;
+                let tms = &tms;
+                handles.push(s.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, tm) in tms.iter().enumerate().filter(|(i, _)| i % 4 == t) {
+                        out.push((i, daemon.allocate("b4", tm.clone()).expect("served").allocation));
+                    }
+                    out
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("client")).collect()
+        });
+        prop_assert_eq!(served.len(), tms.len());
+        for (i, alloc) in &served {
+            let d = max_diff(alloc, &direct[*i]);
+            prop_assert!(d <= 1e-6, "request {} diverged from direct path: {:.2e}", i, d);
+        }
+    }
+}

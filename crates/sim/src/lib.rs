@@ -7,8 +7,8 @@ pub mod online;
 pub mod schemes;
 
 pub use online::{
-    run_failure_interval, run_offline, run_offline_batched, run_online, IntervalRecord,
-    OnlineResult,
+    run_failure_interval, run_offline, run_offline_batched, run_online, run_online_batched,
+    IntervalRecord, OnlineResult,
 };
 pub use schemes::{
     FleischerScheme, LpAllScheme, LpTopScheme, NcflowScheme, PopScheme, Scheme, ShortestPathScheme,

@@ -74,7 +74,9 @@ impl OnlineResult {
 }
 
 /// Run the online control loop over a traffic series on a fixed topology.
-/// `interval` is the TE period (5 minutes in production).
+/// `interval` is the TE period (5 minutes in production). One traffic
+/// matrix lands per interval; this is exactly
+/// [`run_online_batched`] with singleton windows.
 pub fn run_online(
     env: &Env,
     topo: &Topology,
@@ -82,58 +84,118 @@ pub fn run_online(
     scheme: &mut dyn Scheme,
     interval: Duration,
 ) -> OnlineResult {
+    let windows: Vec<&[TrafficMatrix]> = tms.chunks(1).collect();
+    run_online_batched(env, topo, &windows, scheme, interval)
+}
+
+/// Online control loop where **several traffic matrices can fall due in one
+/// TE interval** — sharded demand sets, sub-interval traffic samples, or
+/// multiple tenants on one fabric. `windows[i]` holds the matrices landing
+/// at the start of interval `i`, each governing an equal sub-slot of the
+/// interval.
+///
+/// When the scheme is idle at an interval boundary it computes on the whole
+/// newest window in *one* call: a single matrix goes through the per-matrix
+/// path, while `> 1` matrices go through [`Scheme::allocate_batch`] — for
+/// Teal, one coalesced forward pass plus parallel ADMM (the PR-1 follow-up
+/// wiring the online loop onto the batched serving path). When the result
+/// lands, sub-slot `j` is served by the allocation computed for its own
+/// matrix; until then stale routes persist, exactly like the single-matrix
+/// loop. Singleton windows reproduce [`run_online`] bit-for-bit.
+pub fn run_online_batched<W: AsRef<[TrafficMatrix]>>(
+    env: &Env,
+    topo: &Topology,
+    windows: &[W],
+    scheme: &mut dyn Scheme,
+    interval: Duration,
+) -> OnlineResult {
     let interval_s = interval.as_secs_f64().max(1e-9);
     // Routes in effect before the first computation completes.
     let mut active = Allocation::shortest_path(env.num_demands(), env.k());
-    let mut pending: Option<(Allocation, f64)> = None; // (alloc, finish time)
-    let mut records = Vec::with_capacity(tms.len());
+    // (per-sub-slot allocations, finish time, interval the job started in)
+    let mut pending: Option<(Vec<Allocation>, f64, usize)> = None;
+    let mut records = Vec::with_capacity(windows.len());
 
-    for (i, tm) in tms.iter().enumerate() {
+    for (i, window) in windows.iter().enumerate() {
+        let window = window.as_ref();
+        assert!(!window.is_empty(), "interval {i} has no traffic matrices");
         let t_start = i as f64 * interval_s;
-        let t_end = t_start + interval_s;
         let mut comp_time = None;
 
-        // Idle? Start computing on the freshest matrix.
+        // Idle? Start computing on the freshest window — batched when more
+        // than one matrix falls due.
         if pending.is_none() {
-            let (alloc, dt) = scheme.allocate(topo, tm);
+            let (allocs, dt) = if window.len() == 1 {
+                let (alloc, dt) = scheme.allocate(topo, &window[0]);
+                (vec![alloc], dt)
+            } else {
+                scheme.allocate_batch(topo, window)
+            };
             comp_time = Some(dt);
-            pending = Some((alloc, t_start + dt.as_secs_f64()));
+            pending = Some((allocs, t_start + dt.as_secs_f64(), i));
         }
 
-        // Integrate realized flow over [t_start, t_end) with the allocation
-        // that is active at each instant.
-        let inst = TeInstance::new(topo, env.paths(), tm);
-        let total = tm.total().max(1e-12);
+        // Integrate realized flow over the interval's equal sub-slots with
+        // the allocation active at each instant. A pending job computed on
+        // an *earlier* window still promotes mid-interval — its last
+        // allocation becomes the stale route for the remainder.
+        let slot_s = interval_s / window.len() as f64;
         let mut updated = false;
-        let mut satisfied;
-        match &pending {
-            Some((alloc, finish)) if *finish <= t_start => {
-                // Finished before this interval began: promote immediately.
-                active = alloc.clone();
-                pending = None;
-                updated = true;
-                satisfied = 100.0 * evaluate(&inst, &active).realized_flow / total;
+        let mut satisfied_sum = 0.0;
+        // Once a job computed on *this* window lands, each remaining
+        // sub-slot is served by the allocation computed for its own matrix.
+        let mut landed_here: Option<Vec<Allocation>> = None;
+        for (j, tm) in window.iter().enumerate() {
+            let s_start = t_start + j as f64 * slot_s;
+            let s_end = s_start + slot_s;
+            let inst = TeInstance::new(topo, env.paths(), tm);
+            let total = tm.total().max(1e-12);
+            if let Some(allocs) = &landed_here {
+                if let Some(a) = allocs.get(j) {
+                    active = a.clone();
+                }
             }
-            Some((alloc, finish)) if *finish < t_end => {
-                // Lands mid-interval: time-weighted mix of stale and fresh.
-                let w_old = (finish - t_start) / interval_s;
-                let old_flow = evaluate(&inst, &active).realized_flow;
-                let new_flow = evaluate(&inst, alloc).realized_flow;
-                satisfied = 100.0 * (w_old * old_flow + (1.0 - w_old) * new_flow) / total;
-                active = alloc.clone();
-                pending = None;
-                updated = true;
-            }
-            _ => {
-                // Still computing (or nothing pending): stale routes all
-                // interval.
-                satisfied = 100.0 * evaluate(&inst, &active).realized_flow / total;
-            }
+            let fresh_for_slot = |allocs: &[Allocation], started: usize| -> Allocation {
+                // A job computed on this interval's window carries one
+                // allocation per sub-slot; a job from an older window
+                // promotes its freshest allocation.
+                let pick = if started == i { allocs.get(j) } else { None };
+                pick.unwrap_or_else(|| allocs.last().expect("nonempty batch"))
+                    .clone()
+            };
+            let slot_satisfied = match pending.take() {
+                Some((allocs, finish, started)) if finish <= s_start => {
+                    active = fresh_for_slot(&allocs, started);
+                    if started == i {
+                        landed_here = Some(allocs);
+                    }
+                    updated = true;
+                    100.0 * evaluate(&inst, &active).realized_flow / total
+                }
+                Some((allocs, finish, started)) if finish < s_end => {
+                    // Lands mid-sub-slot: time-weighted stale/fresh mix.
+                    let w_old = (finish - s_start) / slot_s;
+                    let fresh = fresh_for_slot(&allocs, started);
+                    let old_flow = evaluate(&inst, &active).realized_flow;
+                    let new_flow = evaluate(&inst, &fresh).realized_flow;
+                    let mixed = 100.0 * (w_old * old_flow + (1.0 - w_old) * new_flow) / total;
+                    active = fresh;
+                    if started == i {
+                        landed_here = Some(allocs);
+                    }
+                    updated = true;
+                    mixed
+                }
+                still_pending => {
+                    pending = still_pending;
+                    100.0 * evaluate(&inst, &active).realized_flow / total
+                }
+            };
+            satisfied_sum += slot_satisfied.clamp(0.0, 100.0);
         }
-        satisfied = satisfied.clamp(0.0, 100.0);
         records.push(IntervalRecord {
             interval: i,
-            satisfied_pct: satisfied,
+            satisfied_pct: satisfied_sum / window.len() as f64,
             updated,
             comp_time,
         });
@@ -277,6 +339,104 @@ mod tests {
         let slow_updates = slow_res.intervals.iter().filter(|r| r.updated).count();
         let fast_updates = fast_res.intervals.iter().filter(|r| r.updated).count();
         assert!(slow_updates < fast_updates);
+    }
+
+    /// Deterministic wrapper: real allocations, synthetic fixed runtime —
+    /// makes online staleness accounting exactly reproducible.
+    struct FixedTime<S: Scheme>(S, Duration);
+    impl<S: Scheme> Scheme for FixedTime<S> {
+        fn name(&self) -> &str {
+            "FixedTime"
+        }
+        fn allocate(&mut self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
+            (self.0.allocate(topo, tm).0, self.1)
+        }
+        fn allocate_batch(
+            &mut self,
+            topo: &Topology,
+            tms: &[TrafficMatrix],
+        ) -> (Vec<Allocation>, Duration) {
+            (self.0.allocate_batch(topo, tms).0, self.1)
+        }
+    }
+
+    #[test]
+    fn singleton_windows_reduce_to_run_online() {
+        // Regression for the PR that rewired run_online onto the batched
+        // loop: one matrix per interval must reproduce the single-matrix
+        // semantics exactly, including staleness (200ms solver vs 150ms
+        // interval forces skipped updates).
+        let (env, tms) = setup(6);
+        let interval = Duration::from_millis(150);
+        let dt = Duration::from_millis(200);
+        let mut s1 = FixedTime(LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow), dt);
+        let direct = run_online(&env, env.topo(), &tms, &mut s1, interval);
+        let windows: Vec<Vec<TrafficMatrix>> = tms.iter().map(|tm| vec![tm.clone()]).collect();
+        let mut s2 = FixedTime(LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow), dt);
+        let batched = run_online_batched(&env, env.topo(), &windows, &mut s2, interval);
+        assert_eq!(direct.intervals.len(), batched.intervals.len());
+        for (a, b) in direct.intervals.iter().zip(&batched.intervals) {
+            assert_eq!(a.satisfied_pct, b.satisfied_pct, "interval {}", a.interval);
+            assert_eq!(a.updated, b.updated, "interval {}", a.interval);
+            assert_eq!(a.comp_time, b.comp_time, "interval {}", a.interval);
+        }
+    }
+
+    #[test]
+    fn instant_batched_online_matches_offline_per_slot() {
+        // With zero computation time every sub-slot is served by the fresh
+        // allocation computed for its own matrix, so each interval's
+        // satisfied demand is the mean of the offline values of its window.
+        let (env, tms) = setup(6);
+        let windows: Vec<Vec<TrafficMatrix>> = tms.chunks(2).map(|c| c.to_vec()).collect();
+        let mut s1 = FixedTime(
+            LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow),
+            Duration::ZERO,
+        );
+        let online = run_online_batched(
+            &env,
+            env.topo(),
+            &windows,
+            &mut s1,
+            Duration::from_secs(300),
+        );
+        let mut s2 = LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow);
+        let (offline, _) = run_offline(&env, env.topo(), &tms, &mut s2);
+        for (i, rec) in online.intervals.iter().enumerate() {
+            let want = (offline[2 * i] + offline[2 * i + 1]) / 2.0;
+            assert!(
+                (rec.satisfied_pct - want).abs() < 1e-9,
+                "interval {i}: online {} vs offline mean {want}",
+                rec.satisfied_pct
+            );
+            assert!(rec.updated, "interval {i} must promote instantly");
+        }
+    }
+
+    #[test]
+    fn multi_matrix_staleness_does_not_help() {
+        let (env, tms) = setup(8);
+        let windows: Vec<Vec<TrafficMatrix>> = tms.chunks(2).map(|c| c.to_vec()).collect();
+        let interval = Duration::from_millis(200);
+        let mut fast = FixedTime(
+            LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow),
+            Duration::from_millis(10),
+        );
+        let fast_res = run_online_batched(&env, env.topo(), &windows, &mut fast, interval);
+        let mut slow = FixedTime(
+            LpAllScheme::new(Arc::clone(&env), Objective::TotalFlow),
+            Duration::from_millis(500),
+        );
+        let slow_res = run_online_batched(&env, env.topo(), &windows, &mut slow, interval);
+        assert!(
+            slow_res.mean_satisfied_pct() <= fast_res.mean_satisfied_pct() + 1e-9,
+            "staleness must not help: slow {} vs fast {}",
+            slow_res.mean_satisfied_pct(),
+            fast_res.mean_satisfied_pct()
+        );
+        let slow_updates = slow_res.intervals.iter().filter(|r| r.updated).count();
+        let fast_updates = fast_res.intervals.iter().filter(|r| r.updated).count();
+        assert!(slow_updates < fast_updates, "slow scheme must skip windows");
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Quickstart for the `teal-serve` daemon: register two topologies, submit
+//! a burst of concurrent requests that coalesce into shared forward
+//! passes, hot-swap model weights without dropping traffic, and read the
+//! serving telemetry.
+//!
+//! Run with: `cargo run --release --example serve_loop`
+
+use std::sync::Arc;
+use teal::core::{EngineConfig, Env, PolicyModel, ServingContext, TealConfig, TealModel};
+use teal::nn::checkpoint;
+use teal::serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal::topology::{b4, generate, TopoKind};
+use teal::traffic::{TrafficConfig, TrafficModel};
+
+fn context(env: &Arc<Env>, seed: u64) -> ServingContext<TealModel> {
+    let model = TealModel::new(
+        Arc::clone(env),
+        TealConfig {
+            seed,
+            ..TealConfig::default()
+        },
+    );
+    ServingContext::new(model, EngineConfig::paper_default(env.topo().num_nodes()))
+}
+
+fn main() {
+    // --- 1. One serving context per topology, all behind one registry.
+    let env_b4 = Arc::new(Env::for_topology(b4()));
+    let env_swan = Arc::new(Env::for_topology(generate(TopoKind::Swan, 0.3, 7)));
+    let registry = ModelRegistry::new();
+    registry.insert("b4", context(&env_b4, 0));
+    registry.insert("swan", context(&env_swan, 1));
+    println!("registered topologies: {:?}", registry.ids());
+
+    // --- 2. Start the daemon (dispatcher thread + micro-batch coalescer).
+    let daemon = ServeDaemon::start(registry, ServeConfig::default());
+
+    // --- 3. A burst of concurrent clients. Tickets are submitted first and
+    // redeemed after, so requests pile up and share forward passes.
+    let mut traffic = TrafficModel::new(&env_b4.topo().all_pairs(), TrafficConfig::default(), 7);
+    traffic.calibrate(env_b4.topo(), env_b4.paths());
+    let tms = traffic.series(0, 16);
+    let mut swan_traffic =
+        TrafficModel::new(&env_swan.topo().all_pairs(), TrafficConfig::default(), 9);
+    swan_traffic.calibrate(env_swan.topo(), env_swan.paths());
+    let swan_tms = swan_traffic.series(0, 16);
+
+    std::thread::scope(|s| {
+        for client in 0..4 {
+            let daemon = &daemon;
+            let (tms, swan_tms) = (&tms, &swan_tms);
+            s.spawn(move || {
+                let tickets: Vec<_> = (0..8)
+                    .map(|j| {
+                        let i = client * 8 + j;
+                        if i % 2 == 0 {
+                            daemon.submit("b4", tms[i / 2].clone())
+                        } else {
+                            daemon.submit("swan", swan_tms[i / 2].clone())
+                        }
+                    })
+                    .collect();
+                for (j, ticket) in tickets.into_iter().enumerate() {
+                    let reply = ticket.wait().expect("request served");
+                    if j == 0 {
+                        println!(
+                            "client {client}: first reply in {:?} (coalesced batch of {})",
+                            reply.latency, reply.batch_size
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // --- 4. Hot model-weight swap: retrain offline, checkpoint, swap in.
+    // In-flight requests keep the weights they snapshotted; new requests
+    // get the new model. No restart, no dropped traffic.
+    let retrained = TealModel::new(Arc::clone(&env_b4), TealConfig::default());
+    let ckpt = checkpoint::to_string(retrained.store());
+    daemon
+        .registry()
+        .swap_checkpoint_str("b4", &ckpt)
+        .expect("hot swap");
+    println!(
+        "hot-swapped b4 weights ({} bytes of checkpoint)",
+        ckpt.len()
+    );
+    let reply = daemon
+        .allocate("b4", tms[0].clone())
+        .expect("post-swap request");
+    println!("post-swap allocation served in {:?}", reply.latency);
+
+    // --- 5. Telemetry: per-topology latency percentiles, batch sizes.
+    let stats = daemon.stats();
+    println!(
+        "served {} requests, mean coalesced batch {:.2}, max queue depth {}",
+        stats.completed,
+        stats.mean_batch_size(),
+        stats.max_queue_depth
+    );
+    for t in &stats.per_topology {
+        println!(
+            "  {:>6}: {:>3} requests / {:>2} batches  p50 {:?}  p99 {:?}",
+            t.topology, t.requests, t.batches, t.p50, t.p99
+        );
+    }
+}

@@ -15,7 +15,9 @@
 //!   feasible-flow semantics;
 //! * [`core`] — Teal itself: FlowGNN, COMA*, the deployment engine;
 //! * [`baselines`] — LP-top, NCFlow, POP, TEAVAR*;
-//! * [`sim`] — the online/offline evaluation harness.
+//! * [`sim`] — the online/offline evaluation harness;
+//! * [`serve`] — the multi-topology serving daemon (micro-batching
+//!   coalescer, hot model-weight swap, latency telemetry).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use teal_baselines as baselines;
 pub use teal_core as core;
 pub use teal_lp as lp;
 pub use teal_nn as nn;
+pub use teal_serve as serve;
 pub use teal_sim as sim;
 pub use teal_topology as topology;
 pub use teal_traffic as traffic;

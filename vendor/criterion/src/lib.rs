@@ -4,10 +4,12 @@
 //! `bench_function`, `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
 //!
 //! Measurements are real (warm-up, then timed batches), but the statistics
-//! are deliberately simple: mean / min / max over the collected samples.
-//! Results are printed as a table and, when the `CRITERION_JSON_PATH`
-//! environment variable is set, appended as a JSON array to that path — the
-//! hook the CI workflow uses to persist `BENCH_throughput.json`.
+//! are deliberately simple: mean / min / max plus nearest-rank p50/p99 over
+//! the collected per-sample iteration times (serving benches report tail
+//! latency, so percentiles are first-class). Results are printed as a table
+//! and, when the `CRITERION_JSON_PATH` environment variable is set, written
+//! as a JSON array to that path — the hook the CI workflow uses to persist
+//! `BENCH_throughput.json` and `BENCH_serve.json`.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -23,6 +25,11 @@ pub struct BenchRecord {
     pub min_ns: f64,
     /// Slowest sample's per-iteration time, nanoseconds.
     pub max_ns: f64,
+    /// Median (nearest-rank) per-iteration time, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile (nearest-rank) per-iteration time, nanoseconds.
+    /// With fewer than 100 samples this is the slowest sample.
+    pub p99_ns: f64,
     /// Number of timed samples.
     pub samples: usize,
     /// Iterations per sample.
@@ -157,10 +164,31 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Per-bench measurement summary produced by [`Bencher::iter`].
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (`q` in
+/// `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
 /// Timing handle passed to benchmark closures.
 pub struct Bencher {
     settings: Settings,
-    record: Option<(f64, f64, f64, usize, u64)>,
+    record: Option<Measurement>,
 }
 
 impl Bencher {
@@ -183,21 +211,25 @@ impl Bencher {
             self.settings.measurement_time.as_nanos() as f64 / self.settings.sample_size as f64;
         let iters = ((budget_per_sample / est_ns).floor() as u64).clamp(1, 1_000_000);
 
-        let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = 0.0f64;
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
         for _ in 0..self.settings.sample_size {
             let t0 = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
-            let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
-            sum += per_iter;
-            min = min.min(per_iter);
-            max = max.max(per_iter);
+            samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
         }
-        let mean = sum / self.settings.sample_size as f64;
-        self.record = Some((mean, min, max, self.settings.sample_size, iters));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        self.record = Some(Measurement {
+            mean_ns: mean,
+            min_ns: samples[0],
+            max_ns: *samples.last().expect("nonempty samples"),
+            p50_ns: percentile(&samples, 0.50),
+            p99_ns: percentile(&samples, 0.99),
+            samples: samples.len(),
+            iters,
+        });
     }
 }
 
@@ -207,25 +239,29 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, f: &mut F) {
         record: None,
     };
     f(&mut b);
-    let (mean_ns, min_ns, max_ns, samples, iters) = b
+    let m = b
         .record
         .expect("benchmark closure never called Bencher::iter");
     let rec = BenchRecord {
         id: id.to_string(),
-        mean_ns,
-        min_ns,
-        max_ns,
-        samples,
-        iters,
+        mean_ns: m.mean_ns,
+        min_ns: m.min_ns,
+        max_ns: m.max_ns,
+        p50_ns: m.p50_ns,
+        p99_ns: m.p99_ns,
+        samples: m.samples,
+        iters: m.iters,
     };
     eprintln!(
-        "bench {:<48} mean {:>12}  (min {}, max {}, {} samples x {} iters)",
+        "bench {:<48} mean {:>12}  (p50 {}, p99 {}, min {}, max {}, {} samples x {} iters)",
         rec.id,
-        fmt_ns(mean_ns),
-        fmt_ns(min_ns),
-        fmt_ns(max_ns),
-        samples,
-        iters
+        fmt_ns(rec.mean_ns),
+        fmt_ns(rec.p50_ns),
+        fmt_ns(rec.p99_ns),
+        fmt_ns(rec.min_ns),
+        fmt_ns(rec.max_ns),
+        rec.samples,
+        rec.iters
     );
     RESULTS.lock().expect("results poisoned").push(rec);
 }
@@ -253,11 +289,14 @@ pub fn write_json_summary() {
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
              \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
             r.id,
             r.mean_ns,
             r.min_ns,
             r.max_ns,
+            r.p50_ns,
+            r.p99_ns,
             r.samples,
             r.iters,
             if i + 1 < results.len() { "," } else { "" }
@@ -324,5 +363,17 @@ mod tests {
         let rec = results.last().unwrap();
         assert!(rec.mean_ns > 0.0);
         assert!(rec.min_ns <= rec.mean_ns && rec.mean_ns <= rec.max_ns);
+        assert!(rec.min_ns <= rec.p50_ns && rec.p50_ns <= rec.p99_ns);
+        assert!(rec.p99_ns <= rec.max_ns);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 }
