@@ -1,9 +1,11 @@
 //! Criterion bench: ADMM iteration cost — fine-tuning (2/5 iters, §3.4) vs
-//! solve-to-convergence (the LP-all substitute), plus the ablation of
-//! iteration counts DESIGN.md calls out.
+//! solve-to-convergence (the LP-all substitute), the iteration-count
+//! ablation DESIGN.md calls out, and the serving-window comparison: one
+//! batched sweep ([`teal_lp::AdmmBatchSolver`]) fine-tuning a whole window
+//! against the old per-matrix solver loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use teal_lp::{AdmmConfig, AdmmSolver, Allocation, Objective, TeInstance};
+use teal_lp::{AdmmConfig, AdmmSkeleton, AdmmSolver, Allocation, Objective, TeInstance};
 use teal_topology::{generate, PathSet, TopoKind};
 use teal_traffic::{TrafficConfig, TrafficMatrix, TrafficModel};
 
@@ -41,5 +43,60 @@ fn bench_admm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_admm);
+/// Serving-window fine-tuning: the old path minted one serial per-matrix
+/// solver per window entry (each run re-walking the incidence index); the
+/// batched sweep repairs the whole window in one pass per iteration. Both
+/// sides run 5 iterations (the ≥100-node fine-tune count) from the same
+/// warm starts. On the 1-core CI container the win is the index-locality
+/// one (no per-matrix re-walk); on multicore the demand/edge × batch tiles
+/// also spread over the pool workers.
+fn bench_fine_tune_window(c: &mut Criterion) {
+    let topo = generate(TopoKind::Swan, 0.5, 42);
+    let mut pairs = topo.all_pairs();
+    pairs.truncate(1200);
+    let paths = PathSet::compute(&topo, &pairs, 4);
+    let mut model = TrafficModel::new(&pairs, TrafficConfig::default(), 42);
+    model.calibrate(&topo, &paths);
+    let skel = AdmmSkeleton::new(&topo, &paths, Objective::TotalFlow);
+    let cfg = AdmmConfig {
+        rho: 1.0,
+        max_iters: 5,
+        tol: 0.0,
+        serial: false,
+    };
+    // The per-matrix loop mirrors the old allocate_batch: serial sweeps per
+    // matrix, outer loop over the window.
+    let looped_cfg = AdmmConfig {
+        serial: true,
+        ..cfg
+    };
+    let mut group = c.benchmark_group("admm_fine_tune_window");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for window in [4usize, 16] {
+        let tms: Vec<TrafficMatrix> = model.series(0, window);
+        let inits: Vec<Allocation> = tms
+            .iter()
+            .map(|tm| Allocation::shortest_path(tm.len(), 4))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("looped", window), &window, |b, _| {
+            b.iter(|| {
+                // Exactly the old allocate_batch fine-tuning stage: one
+                // serial-sweep solver per matrix, outer parallelism across
+                // matrices via par_map (inert on one core, where matrices
+                // solve back-to-back on the calling thread).
+                teal_nn::par::par_map(tms.len(), 1, |i| {
+                    Some(skel.solver(&tms[i]).run(&inits[i], looped_cfg).0)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", window), &window, |b, _| {
+            b.iter(|| skel.batch_solver(&tms).run_batch(&inits, cfg).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admm, bench_fine_tune_window);
 criterion_main!(benches);

@@ -18,7 +18,14 @@
 //! iteration count, the runtime is independent of the traffic values (the
 //! stability highlighted in Figure 7a). [`ServingContext::allocate_batch`]
 //! pushes a whole batch of matrices through *one* set of matrix products and
-//! fine-tunes them with ADMM in parallel — the multi-matrix throughput path.
+//! one batched ADMM sweep ([`teal_lp::AdmmBatchSolver`]): every fine-tuning
+//! iteration repairs the whole window in a single pass over the shared
+//! incidence index, parallelized over demand/edge × batch tiles on the
+//! `teal_nn::pool` workers — no serial per-matrix solver loop remains on
+//! the serving hot path. [`ServingContext::try_allocate_batch`] is the
+//! fallible variant: malformed requests surface as [`AllocError`] values
+//! (which the `teal-serve` dispatcher maps to per-request `BadRequest`
+//! replies) instead of panics.
 
 use crate::env::Env;
 use crate::model::PolicyModel;
@@ -28,6 +35,53 @@ use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
 use teal_nn::checkpoint::CheckpointError;
 use teal_topology::Topology;
 use teal_traffic::TrafficMatrix;
+
+/// Why a (batched) allocation request could not be served. Returned by the
+/// `try_` serving entry points so a bad request or a poisoned worker is a
+/// per-call error the dispatcher can isolate, not a dispatcher crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// Request `index` in the batch is malformed (e.g. a traffic matrix
+    /// sized for a different topology).
+    BadRequest {
+        /// Position of the offending matrix in the submitted batch.
+        index: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The failure-override topology does not match the serving
+    /// environment — a server-side configuration fault affecting the whole
+    /// batch, never any single request's doing.
+    BadTopology(String),
+    /// A worker panicked mid-batch (poisoned slot); no result exists for
+    /// any matrix in this batch.
+    Poisoned(String),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::BadRequest { index, reason } => {
+                write!(f, "bad request at batch index {index}: {reason}")
+            }
+            AllocError::BadTopology(m) => write!(f, "bad topology override: {m}"),
+            AllocError::Poisoned(m) => write!(f, "allocation worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Render a caught panic payload for [`AllocError::Poisoned`].
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -157,7 +211,9 @@ impl<M: PolicyModel> ServingContext<M> {
     /// Allocate against a topology with altered capacities (e.g. failed
     /// links zeroed) *without retraining* — the §5.3 scenario. Paths stay
     /// the ones precomputed on the original topology; only the capacity
-    /// vector of the ADMM skeleton is rebuilt.
+    /// vector of the ADMM skeleton is rebuilt, and candidate paths crossing
+    /// a zero-capacity link are masked out of the final allocation (flow on
+    /// a dead link can never be delivered — the §5.3 recovery invariant).
     pub fn allocate_on(&self, topo: &Topology, tm: &TrafficMatrix) -> (Allocation, Duration) {
         let start = Instant::now();
         let env = self.model.env();
@@ -168,16 +224,22 @@ impl<M: PolicyModel> ServingContext<M> {
             alloc = tuned;
         }
         alloc.project_demand_constraints();
+        for &p in &dead_path_ids(env, topo) {
+            alloc.splits_mut()[p as usize] = 0.0;
+        }
         (alloc, start.elapsed())
     }
 
     /// Allocate a whole batch of traffic matrices: batched forward passes
     /// in cache-blocked sub-batches (one set of matrix products per
-    /// `SUB_BATCH` matrices), then ADMM
-    /// fine-tuning of every matrix in parallel across CPU threads. Returns
-    /// the allocations (aligned with `tms`) and the total wall-clock time.
+    /// `SUB_BATCH` matrices), then one batched ADMM sweep fine-tuning the
+    /// whole window in a single pass per iteration over the shared
+    /// incidence index. Returns the allocations (aligned with `tms`) and
+    /// the total wall-clock time. Panics on malformed input; services that
+    /// must survive bad requests use [`ServingContext::try_allocate_batch`].
     pub fn allocate_batch(&self, tms: &[TrafficMatrix]) -> (Vec<Allocation>, Duration) {
-        self.allocate_batch_inner(tms, None)
+        self.try_allocate_batch(tms)
+            .unwrap_or_else(|e| panic!("allocate_batch: {e}"))
     }
 
     /// Batched allocation against a failure-modified topology.
@@ -186,6 +248,26 @@ impl<M: PolicyModel> ServingContext<M> {
         topo: &Topology,
         tms: &[TrafficMatrix],
     ) -> (Vec<Allocation>, Duration) {
+        self.try_allocate_batch_on(topo, tms)
+            .unwrap_or_else(|e| panic!("allocate_batch_on: {e}"))
+    }
+
+    /// Fallible batched allocation: a malformed matrix or a poisoned worker
+    /// comes back as an [`AllocError`] identifying the offender instead of
+    /// a panic, so a dispatcher can fail one request and keep serving.
+    pub fn try_allocate_batch(
+        &self,
+        tms: &[TrafficMatrix],
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        self.allocate_batch_inner(tms, None)
+    }
+
+    /// Fallible batched allocation on a failure-modified topology.
+    pub fn try_allocate_batch_on(
+        &self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
         self.allocate_batch_inner(tms, Some(topo))
     }
 
@@ -198,12 +280,35 @@ impl<M: PolicyModel> ServingContext<M> {
         &self,
         tms: &[TrafficMatrix],
         topo_override: Option<&Topology>,
-    ) -> (Vec<Allocation>, Duration) {
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
         if tms.is_empty() {
-            return (Vec::new(), Duration::ZERO);
+            return Ok((Vec::new(), Duration::ZERO));
         }
         let start = Instant::now();
         let env = self.model.env();
+        // Validate every request up front: one bad matrix must not take the
+        // whole batch (or the dispatcher) down mid-compute.
+        for (index, tm) in tms.iter().enumerate() {
+            if tm.len() != env.num_demands() {
+                return Err(AllocError::BadRequest {
+                    index,
+                    reason: format!(
+                        "traffic matrix has {} demands, topology expects {}",
+                        tm.len(),
+                        env.num_demands()
+                    ),
+                });
+            }
+        }
+        if let Some(topo) = topo_override {
+            if topo.num_edges() != env.topo().num_edges() {
+                return Err(AllocError::BadTopology(format!(
+                    "override topology has {} edges, environment expects {}",
+                    topo.num_edges(),
+                    env.topo().num_edges()
+                )));
+            }
+        }
         // Cache-blocked batched forward: sub-batches share one set of
         // matrix products each.
         let mut raw = Vec::with_capacity(tms.len());
@@ -217,28 +322,47 @@ impl<M: PolicyModel> ServingContext<M> {
                     Some(topo) => skel.with_topology(topo),
                     None => skel.clone(),
                 };
-                // Outer parallelism across matrices; the per-matrix solvers
-                // run serial sweeps so threads are not oversubscribed.
-                let inner_cfg = AdmmConfig {
-                    serial: true,
-                    ..admm_cfg
-                };
-                let slots: Vec<Option<Allocation>> = teal_nn::par::par_map(tms.len(), 1, |i| {
-                    let (tuned, _) = skel.solver(&tms[i]).run(&raw[i], inner_cfg);
-                    Some(tuned)
-                });
-                slots
-                    .into_iter()
-                    .map(|s| s.expect("admm worker produced no result"))
-                    .collect()
+                // One batched sweep repairs the whole window per iteration;
+                // the solver tiles demand/edge × batch work over the shared
+                // teal-nn pool internally, so no outer per-matrix loop (and
+                // no per-matrix serial override) is needed.
+                let solver = skel.batch_solver(tms);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solver.run_batch(&raw, admm_cfg).0
+                }));
+                run.map_err(|payload| AllocError::Poisoned(panic_text(payload)))?
             }
             _ => raw,
         };
+        let dead = match topo_override {
+            Some(topo) => dead_path_ids(env, topo),
+            None => Vec::new(),
+        };
         for alloc in &mut out {
             alloc.project_demand_constraints();
+            for &p in &dead {
+                alloc.splits_mut()[p as usize] = 0.0;
+            }
         }
-        (out, start.elapsed())
+        Ok((out, start.elapsed()))
     }
+}
+
+/// Candidate paths crossing a zero-capacity (failed) link of `topo`. Flow
+/// placed on them could never be delivered; the serving path zeroes their
+/// splits after fine-tuning (§5.3's recovery invariant).
+fn dead_path_ids(env: &Env, topo: &Topology) -> Vec<u32> {
+    let dead_edge: Vec<bool> = topo.edges().iter().map(|e| e.capacity <= 0.0).collect();
+    if !dead_edge.iter().any(|&d| d) {
+        return Vec::new();
+    }
+    env.paths()
+        .paths()
+        .iter()
+        .enumerate()
+        .filter(|(_, path)| path.edges.iter().any(|&e| dead_edge[e]))
+        .map(|(p, _)| p as u32)
+        .collect()
 }
 
 /// A trained model plus the fine-tuning stage, ready to serve allocations:
@@ -310,6 +434,24 @@ impl<M: PolicyModel> TealEngine<M> {
         tms: &[TrafficMatrix],
     ) -> (Vec<Allocation>, Duration) {
         self.ctx.allocate_batch_on(topo, tms)
+    }
+
+    /// Fallible batched allocation (see
+    /// [`ServingContext::try_allocate_batch`]).
+    pub fn try_allocate_batch(
+        &self,
+        tms: &[TrafficMatrix],
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        self.ctx.try_allocate_batch(tms)
+    }
+
+    /// Fallible batched allocation on a failure-modified topology.
+    pub fn try_allocate_batch_on(
+        &self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        self.ctx.try_allocate_batch_on(topo, tms)
     }
 }
 
@@ -410,6 +552,113 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batch_early_stopping_matches_sequential() {
+        // tol > 0 engages the batched solver's convergence mask: lanes with
+        // different demand scales converge at different iterations, and the
+        // end-to-end batched path must still match sequential exactly.
+        let env = Arc::new(Env::for_topology(b4()));
+        let model = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                gnn_layers: 3,
+                ..TealConfig::default()
+            },
+        );
+        let eng = TealEngine::new(
+            model,
+            EngineConfig {
+                admm: Some(AdmmConfig {
+                    rho: 1.0,
+                    max_iters: 60,
+                    tol: 1e-4,
+                    serial: false,
+                }),
+                objective: Objective::TotalFlow,
+            },
+        );
+        let nd = env.num_demands();
+        let tms: Vec<TrafficMatrix> = (0..7)
+            .map(|i| TrafficMatrix::new(vec![0.5 + 40.0 * i as f64; nd]))
+            .collect();
+        let (batched, _) = eng.allocate_batch(&tms);
+        for (tm, b) in tms.iter().zip(&batched) {
+            let (seq, _) = eng.allocate(tm);
+            for (x, y) in b.splits().iter().zip(seq.splits()) {
+                assert!(
+                    (x - y).abs() <= 1e-6,
+                    "early-stopped batched {x} vs sequential {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_no_flow_batched() {
+        // The §5.3 recovery invariant on the batched path: after links fail
+        // (capacity zeroed), no allocation may place flow on a dead edge —
+        // and batched must still equal sequential on the degraded topology.
+        let eng = engine();
+        let env = eng.env();
+        let nd = env.num_demands();
+        let failed = env
+            .topo()
+            .with_failed_link(0, 1)
+            .with_failed_link(2, 3)
+            .with_failed_link(5, 7);
+        let dead: Vec<usize> = failed
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.capacity <= 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!dead.is_empty());
+        let tms: Vec<TrafficMatrix> = (0..4)
+            .map(|i| TrafficMatrix::new(vec![15.0 + 9.0 * i as f64; nd]))
+            .collect();
+        let (batched, _) = eng.allocate_batch_on(&failed, &tms);
+        for (tm, alloc) in tms.iter().zip(&batched) {
+            let (seq, _) = eng.allocate_on(&failed, tm);
+            for (x, y) in alloc.splits().iter().zip(seq.splits()) {
+                assert!((x - y).abs() <= 1e-6, "batched {x} vs sequential {y}");
+            }
+            let inst = env.instance_on(&failed, tm);
+            let stats = teal_lp::evaluate(&inst, alloc);
+            for &e in &dead {
+                assert_eq!(
+                    stats.edge_loads[e], 0.0,
+                    "flow placed on zero-capacity edge {e}"
+                );
+            }
+            assert!(alloc.demand_feasible(1e-6));
+        }
+    }
+
+    #[test]
+    fn malformed_batch_is_an_error_not_a_panic() {
+        // One bad matrix in a window must surface as a per-request error
+        // naming the offender (the daemon maps it to BadRequest), not crash
+        // the batch.
+        let eng = engine();
+        let nd = eng.env().num_demands();
+        let tms = vec![
+            TrafficMatrix::new(vec![10.0; nd]),
+            TrafficMatrix::new(vec![10.0; nd + 3]),
+            TrafficMatrix::new(vec![10.0; nd]),
+        ];
+        match eng.try_allocate_batch(&tms) {
+            Err(AllocError::BadRequest { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected BadRequest at index 1, got {other:?}"),
+        }
+        // The well-formed window still serves.
+        let good = vec![tms[0].clone(), tms[2].clone()];
+        let (allocs, _) = eng
+            .try_allocate_batch(&good)
+            .expect("well-formed batch must serve");
+        assert_eq!(allocs.len(), 2);
     }
 
     #[test]

@@ -41,10 +41,17 @@
 //!   original API.
 //! * **Throughput path.** [`ServingContext::allocate_batch`] runs the
 //!   forward pass in cache-blocked sub-batches (one set of matrix products
-//!   each, tape-free — see `TealModel::infer_mu`) and fine-tunes all
-//!   matrices with ADMM in parallel across CPU threads (serial per-matrix
-//!   sweeps, outer parallelism). The `throughput` Criterion bench in
-//!   `teal-bench` tracks batched vs. per-matrix-loop throughput on B4.
+//!   each, tape-free — see `TealModel::infer_mu`) and fine-tunes the whole
+//!   window with one batched ADMM sweep ([`teal_lp::AdmmBatchSolver`]):
+//!   structure-of-arrays state minted from the shared skeleton, each
+//!   iteration a single pass over the incidence index parallelized over
+//!   demand/edge × batch tiles on the `teal_nn::pool` workers, with a
+//!   per-matrix convergence mask for early stopping. Batched ≡ per-matrix
+//!   output is property-tested to 1e-6.
+//!   [`ServingContext::try_allocate_batch`] surfaces malformed requests
+//!   and poisoned workers as [`AllocError`] values for isolation. The
+//!   `throughput` and `admm` Criterion benches in `teal-bench` track the
+//!   batched vs. per-matrix-loop margins on B4/SWAN.
 //! * **Training.** [`coma::train_coma`] consumes minibatches
 //!   (`ComaConfig::batch_size`) with one batched forward/backward pass and
 //!   one optimizer step per minibatch; validation scores allocations from
@@ -61,7 +68,7 @@ pub mod tsne;
 
 pub use coma::{train_coma, validate, validate_reward, ComaConfig, TrainReport};
 pub use direct::{train_direct, DirectConfig};
-pub use engine::{EngineConfig, ServingContext, TealEngine};
+pub use engine::{AllocError, EngineConfig, ServingContext, TealEngine};
 pub use env::{Env, ModelInput};
 pub use flowsim::FlowSim;
 pub use flowsim::RewardKind;

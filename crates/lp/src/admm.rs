@@ -18,6 +18,37 @@
 //! as Teal's feasibility repair (§3.4), and *cold-started to convergence* as
 //! the large-instance substitute for the Gurobi "LP-all" baseline (our
 //! documented Gurobi substitution; see DESIGN.md).
+//!
+//! # Batched fine-tuning ([`AdmmBatchSolver`])
+//!
+//! Appendix C's decomposition is independent not only across demands and
+//! edges but also across *traffic matrices*: no ADMM quantity ever couples
+//! two matrices. The serving path exploits this with a structure-of-arrays
+//! batch solver minted from one shared [`AdmmSkeleton`]:
+//!
+//! * **SoA layout.** Every state family (`f`, `z`, slacks, multipliers) is
+//!   stored `[entry][lane]` — for a per-matrix quantity of length `L` and a
+//!   batch of `B` matrices, element `i` of matrix `b` lives at
+//!   `i * B + b`. Batch lanes of one subproblem are contiguous, so each
+//!   per-demand / per-edge subproblem walks the incidence index **once**
+//!   and repairs the whole window in that single pass, instead of `B`
+//!   passes re-reading the index per matrix.
+//! * **Edge-major auxiliaries.** `z` and `λ4` are stored in edge-major
+//!   entry order (each edge's incidence entries contiguous), so the
+//!   z-update and the capacity rows of the dual ascent write disjoint
+//!   contiguous tiles with no atomics; the F-update reaches them through a
+//!   precomputed entry→position permutation.
+//! * **Parallelism.** Sweeps tile over demand ranges and (entry-balanced)
+//!   edge ranges × the full batch, claimed on the shared
+//!   [`teal_nn::pool`] worker pool — the same pool the forward pass uses,
+//!   so serving never oversubscribes threads. Per-lane dual/primal
+//!   residuals fold through commutative atomic maxima, keeping results
+//!   bit-identical to the per-matrix solver regardless of tile order.
+//! * **Convergence mask.** Early stopping stays *per matrix*: once a
+//!   lane's residual drops below `tol` it is masked out of every later
+//!   sweep (its state freezes; its iteration count is recorded), while
+//!   unconverged lanes keep iterating — matching exactly what `B`
+//!   independent [`AdmmSolver::run`] calls would do.
 
 use crate::problem::{Allocation, Objective, TeInstance};
 use std::sync::Arc;
@@ -84,6 +115,42 @@ struct AdmmIndex {
     path_entries: Vec<Vec<u32>>,
     /// Entry ids of each edge.
     edge_entries: Vec<Vec<u32>>,
+    /// Edge-major entry permutation used by the batched solver: entries
+    /// regrouped so each edge's entries are contiguous *positions*. Edge
+    /// `e` owns positions `edge_start[e]..edge_start[e + 1]`.
+    edge_start: Vec<usize>,
+    /// Path id of each position (edge-major order).
+    pos_path: Vec<u32>,
+    /// Entry id → edge-major position.
+    entry_pos: Vec<u32>,
+}
+
+impl AdmmIndex {
+    fn new(
+        entries: Vec<(u32, u32)>,
+        path_entries: Vec<Vec<u32>>,
+        edge_entries: Vec<Vec<u32>>,
+    ) -> Self {
+        let mut edge_start = Vec::with_capacity(edge_entries.len() + 1);
+        let mut pos_path = Vec::with_capacity(entries.len());
+        let mut entry_pos = vec![0u32; entries.len()];
+        edge_start.push(0);
+        for ents in &edge_entries {
+            for &i in ents {
+                entry_pos[i as usize] = pos_path.len() as u32;
+                pos_path.push(entries[i as usize].0);
+            }
+            edge_start.push(pos_path.len());
+        }
+        AdmmIndex {
+            entries,
+            path_entries,
+            edge_entries,
+            edge_start,
+            pos_path,
+            entry_pos,
+        }
+    }
 }
 
 /// Everything about an ADMM deployment that does *not* depend on the traffic
@@ -157,11 +224,7 @@ impl AdmmSkeleton {
             alpha,
             caps: Arc::new(caps),
             discount: Arc::new(discount),
-            index: Arc::new(AdmmIndex {
-                entries,
-                path_entries,
-                edge_entries,
-            }),
+            index: Arc::new(AdmmIndex::new(entries, path_entries, edge_entries)),
         }
     }
 
@@ -198,6 +261,39 @@ impl AdmmSkeleton {
             .map(|(p, disc)| vols[p / k] * disc)
             .collect();
         AdmmSolver {
+            num_demands: self.num_demands,
+            k,
+            num_edges: self.num_edges,
+            vols,
+            caps: Arc::clone(&self.caps),
+            vcoef,
+            index: Arc::clone(&self.index),
+        }
+    }
+
+    /// Mint the batched solver for a whole window of traffic matrices:
+    /// per-lane normalized volumes and objective coefficients are laid out
+    /// structure-of-arrays (`[entry][lane]`), everything else is shared with
+    /// the skeleton. O(batch × paths), no incidence rebuild.
+    pub fn batch_solver(&self, tms: &[TrafficMatrix]) -> AdmmBatchSolver {
+        assert!(!tms.is_empty(), "batch_solver requires at least one matrix");
+        let nb = tms.len();
+        let k = self.k;
+        let mut vols = vec![0.0f64; self.num_demands * nb];
+        for (b, tm) in tms.iter().enumerate() {
+            assert_eq!(tm.len(), self.num_demands, "traffic matrix arity mismatch");
+            for (d, v) in tm.demands().iter().enumerate() {
+                vols[d * nb + b] = v * self.alpha;
+            }
+        }
+        let mut vcoef = vec![0.0f64; self.discount.len() * nb];
+        for (p, disc) in self.discount.iter().enumerate() {
+            for b in 0..nb {
+                vcoef[p * nb + b] = vols[(p / k) * nb + b] * disc;
+            }
+        }
+        AdmmBatchSolver {
+            batch: nb,
             num_demands: self.num_demands,
             k,
             num_edges: self.num_edges,
@@ -505,8 +601,564 @@ impl AdmmSolver {
     }
 }
 
-/// Minimal scoped-thread helpers (kept local so `teal-lp` does not depend on
-/// the NN substrate).
+/// Structure-of-arrays ADMM state for a batch of matrices: each per-matrix
+/// array of length `L` becomes `L × batch` with lanes contiguous
+/// (`value[i * batch + b]`), and `z`/`l4` use edge-major entry positions
+/// (see [`AdmmIndex`]).
+struct BatchState {
+    f: Vec<f64>,
+    z: Vec<f64>,
+    s1: Vec<f64>,
+    s3: Vec<f64>,
+    l1: Vec<f64>,
+    l3: Vec<f64>,
+    l4: Vec<f64>,
+}
+
+/// Per-lane running maxima that parallel tiles fold into via
+/// compare-and-swap. Max is commutative and associative, so tile execution
+/// order never affects the folded value — the batched sweeps stay
+/// deterministic under any pool schedule.
+struct LaneMax(Vec<std::sync::atomic::AtomicU64>);
+
+impl LaneMax {
+    fn new(lanes: usize) -> Self {
+        LaneMax(
+            (0..lanes)
+                .map(|_| std::sync::atomic::AtomicU64::new(0.0f64.to_bits()))
+                .collect(),
+        )
+    }
+
+    /// Fold a tile's local maxima in (skipping lanes the tile never touched).
+    fn fold(&self, local: &[f64]) {
+        use std::sync::atomic::Ordering;
+        for (slot, &v) in self.0.iter().zip(local) {
+            let mut cur = slot.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match slot.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+    }
+
+    fn into_vec(self) -> Vec<f64> {
+        self.0
+            .into_iter()
+            .map(|a| f64::from_bits(a.into_inner()))
+            .collect()
+    }
+}
+
+/// Raw view of a mutable buffer whose disjoint regions are written by
+/// different pool tiles. SAFETY contract: every caller hands each region to
+/// exactly one tile, and the borrow that produced the view outlives the
+/// pool dispatch (which blocks until all tiles finish).
+struct TileBuf(*mut f64);
+
+unsafe impl Send for TileBuf {}
+unsafe impl Sync for TileBuf {}
+
+impl TileBuf {
+    fn new(data: &mut [f64]) -> Self {
+        TileBuf(data.as_mut_ptr())
+    }
+
+    /// SAFETY: `start..start + len` must be claimed by exactly one tile.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, start: usize, len: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Execute `job(0..tiles)` — inline when serial (or trivially small),
+/// otherwise claimed chunk-by-chunk on the shared `teal-nn` worker pool.
+/// The pool's caller-participates protocol makes this safe to invoke from
+/// inside other pool jobs and a plain loop on single-CPU machines.
+fn par_tiles(tiles: usize, serial: bool, job: &(dyn Fn(usize) + Sync)) {
+    if serial || tiles <= 1 {
+        for t in 0..tiles {
+            job(t);
+        }
+    } else {
+        teal_nn::pool::run(tiles, job);
+    }
+}
+
+/// Split `0..n` into at most `tiles` contiguous ranges (returned as
+/// boundary offsets, `len = tiles + 1`).
+fn even_bounds(n: usize, tiles: usize) -> Vec<usize> {
+    let tiles = tiles.clamp(1, n.max(1));
+    let per = n.div_ceil(tiles);
+    let mut bounds: Vec<usize> = (0..=tiles).map(|t| (t * per).min(n)).collect();
+    bounds.dedup();
+    bounds
+}
+
+/// Split edges into contiguous ranges balanced by incidence-entry count, so
+/// hub edges do not serialize a whole tile.
+fn edge_bounds(edge_start: &[usize], tiles: usize) -> Vec<usize> {
+    let num_edges = edge_start.len() - 1;
+    let total = *edge_start.last().unwrap_or(&0);
+    let tiles = tiles.clamp(1, num_edges.max(1));
+    let target = total.div_ceil(tiles).max(1);
+    let mut bounds = vec![0usize];
+    let mut next_cut = target;
+    for (e, &start) in edge_start.iter().enumerate().take(num_edges).skip(1) {
+        if start >= next_cut {
+            bounds.push(e);
+            next_cut = start + target;
+        }
+    }
+    bounds.push(num_edges);
+    bounds.dedup();
+    bounds
+}
+
+/// Batched ADMM fine-tuner: repairs a whole window of traffic matrices in
+/// **one pass over the shared incidence index per sweep**, instead of one
+/// per-matrix solver per thread re-reading the index `batch` times. Minted
+/// by [`AdmmSkeleton::batch_solver`]; see the module docs for the SoA
+/// layout, parallel tiling, and per-matrix convergence-mask semantics.
+///
+/// Produces exactly the allocations, iteration counts, and residuals that
+/// `batch` independent [`AdmmSolver::run`] calls would (the per-lane
+/// arithmetic is identical, operation for operation) — property-tested to
+/// 1e-6 in `tests/batch_equivalence.rs`.
+pub struct AdmmBatchSolver {
+    batch: usize,
+    num_demands: usize,
+    k: usize,
+    num_edges: usize,
+    /// Normalized demand volumes, `[demand][lane]`.
+    vols: Vec<f64>,
+    /// Normalized capacities per edge (shared across lanes).
+    caps: Arc<Vec<f64>>,
+    /// Normalized per-path objective coefficients, `[path][lane]`.
+    vcoef: Vec<f64>,
+    /// Shared incidence index.
+    index: Arc<AdmmIndex>,
+}
+
+impl AdmmBatchSolver {
+    /// Number of matrices in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Run ADMM on every lane from its own warm start (each projected onto
+    /// the demand constraints first, like [`AdmmSolver::run`]). With
+    /// `cfg.tol > 0`, lanes stop independently once their residual clears
+    /// the bar (the convergence mask); the rest keep sweeping. Returns the
+    /// refined allocations and one report per matrix.
+    pub fn run_batch(
+        &self,
+        inits: &[Allocation],
+        cfg: AdmmConfig,
+    ) -> (Vec<Allocation>, Vec<AdmmReport>) {
+        assert_eq!(inits.len(), self.batch, "init count != batch size");
+        let nb = self.batch;
+        let k = self.k;
+        let np = self.num_demands * k;
+        let npos = self.index.pos_path.len();
+
+        let mut st = BatchState {
+            f: vec![0.0; np * nb],
+            z: vec![0.0; npos * nb],
+            s1: vec![0.0; self.num_demands * nb],
+            s3: vec![0.0; self.num_edges * nb],
+            l1: vec![0.0; self.num_demands * nb],
+            l3: vec![0.0; self.num_edges * nb],
+            l4: vec![0.0; npos * nb],
+        };
+        for (b, init) in inits.iter().enumerate() {
+            assert_eq!(init.num_demands(), self.num_demands);
+            assert_eq!(init.k(), k);
+            let mut warm = init.clone();
+            warm.project_demand_constraints();
+            for (p, &v) in warm.splits().iter().enumerate() {
+                st.f[p * nb + b] = v;
+            }
+        }
+        // Same near-consistent start as the per-matrix solver: z matches the
+        // warm-started flows, slacks absorb the residual capacities.
+        for pos in 0..npos {
+            let p = self.index.pos_path[pos] as usize;
+            let d = p / k;
+            for b in 0..nb {
+                st.z[pos * nb + b] = st.f[p * nb + b] * self.vols[d * nb + b];
+            }
+        }
+        for d in 0..self.num_demands {
+            for b in 0..nb {
+                let mut sum = 0.0;
+                for j in 0..k {
+                    sum += st.f[(d * k + j) * nb + b];
+                }
+                st.s1[d * nb + b] = (1.0 - sum).max(0.0);
+            }
+        }
+        for e in 0..self.num_edges {
+            for b in 0..nb {
+                let mut sum = 0.0;
+                for pos in self.index.edge_start[e]..self.index.edge_start[e + 1] {
+                    sum += st.z[pos * nb + b];
+                }
+                st.s3[e * nb + b] = (self.caps[e] - sum).max(0.0);
+            }
+        }
+
+        let rho = cfg.rho;
+        let serial = cfg.serial;
+        let threads = if serial {
+            1
+        } else {
+            teal_nn::par::max_threads()
+        };
+        let dbounds = even_bounds(self.num_demands, threads);
+        let ebounds = edge_bounds(&self.index.edge_start, threads);
+
+        let mut active = vec![true; nb];
+        let mut iterations = vec![0usize; nb];
+        let mut residual = vec![f64::INFINITY; nb];
+        for _ in 0..cfg.max_iters {
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            let df = self.update_f(&mut st, &active, rho, serial, &dbounds);
+            let dz = self.update_z(&mut st, &active, rho, serial, &ebounds);
+            let primal =
+                self.update_slacks_duals(&mut st, &active, rho, serial, &dbounds, &ebounds);
+            for b in 0..nb {
+                if !active[b] {
+                    continue;
+                }
+                iterations[b] += 1;
+                // Same two-sided test as the per-matrix solver: feasibility
+                // (primal) plus a stationary iterate (dual ~ ρ · step).
+                residual[b] = primal[b].max(rho * df[b]).max(rho * dz[b]);
+                if cfg.tol > 0.0 && residual[b] < cfg.tol {
+                    active[b] = false;
+                }
+            }
+        }
+
+        let mut outs = Vec::with_capacity(nb);
+        let mut reports = Vec::with_capacity(nb);
+        for b in 0..nb {
+            let splits: Vec<f64> = (0..np).map(|p| st.f[p * nb + b]).collect();
+            let mut out = Allocation::from_splits(k, splits);
+            out.project_demand_constraints();
+            outs.push(out);
+            reports.push(AdmmReport {
+                iterations: iterations[b],
+                primal_residual: residual[b],
+            });
+        }
+        (outs, reports)
+    }
+
+    /// Batched per-demand F-update: one walk of each demand's incidence
+    /// entries serves every lane. The hot accumulation loops run unmasked
+    /// over all lanes (branch-free, zip-vectorized); the convergence mask
+    /// is applied only at the commit site, so a converged lane's state
+    /// stays frozen while the others keep iterating. Returns per-lane max
+    /// split change.
+    fn update_f(
+        &self,
+        st: &mut BatchState,
+        active: &[bool],
+        rho: f64,
+        serial: bool,
+        dbounds: &[usize],
+    ) -> Vec<f64> {
+        let nb = self.batch;
+        let k = self.k;
+        let dmax = LaneMax::new(nb);
+        let fbuf = TileBuf::new(&mut st.f);
+        let (z, s1, l1, l4) = (&st.z, &st.s1, &st.l1, &st.l4);
+        let idx = &*self.index;
+        par_tiles(dbounds.len() - 1, serial, &|t| {
+            let (d0, d1) = (dbounds[t], dbounds[t + 1]);
+            // SAFETY: demand tiles are disjoint, so each tile owns its rows.
+            let rows = unsafe { fbuf.slice(d0 * k * nb, (d1 - d0) * k * nb) };
+            let mut b = vec![0.0f64; k * nb];
+            let mut diag = vec![0.0f64; k * nb];
+            let mut sum_binv = vec![0.0f64; nb];
+            let mut sum_inv = vec![0.0f64; nb];
+            let mut corr = vec![0.0f64; nb];
+            let mut local = vec![0.0f64; nb];
+            for d in d0..d1 {
+                let vols_d = &self.vols[d * nb..(d + 1) * nb];
+                let s1_d = &s1[d * nb..(d + 1) * nb];
+                let l1_d = &l1[d * nb..(d + 1) * nb];
+                for j in 0..k {
+                    let p = d * k + j;
+                    let ents = &idx.path_entries[p];
+                    let bj = &mut b[j * nb..(j + 1) * nb];
+                    let vc = &self.vcoef[p * nb..(p + 1) * nb];
+                    for (bv, ((&vcv, &l1v), &s1v)) in
+                        bj.iter_mut().zip(vc.iter().zip(l1_d).zip(s1_d))
+                    {
+                        *bv = vcv - l1v - rho * (s1v - 1.0);
+                    }
+                    for &i in ents {
+                        let pos = idx.entry_pos[i as usize] as usize;
+                        let l4p = &l4[pos * nb..(pos + 1) * nb];
+                        let zp = &z[pos * nb..(pos + 1) * nb];
+                        for (bv, (&vol, (&l4v, &zv))) in
+                            bj.iter_mut().zip(vols_d.iter().zip(l4p.iter().zip(zp)))
+                        {
+                            *bv += -l4v * vol + rho * vol * zv;
+                        }
+                    }
+                    let len = ents.len() as f64;
+                    for (dj, &vol) in diag[j * nb..(j + 1) * nb].iter_mut().zip(vols_d) {
+                        *dj = rho * vol * vol * len;
+                    }
+                }
+                sum_binv.fill(0.0);
+                sum_inv.fill(0.0);
+                for j in 0..k {
+                    let bj = &b[j * nb..(j + 1) * nb];
+                    let dj = &diag[j * nb..(j + 1) * nb];
+                    for ((sb, si), (&bv, &dv)) in sum_binv
+                        .iter_mut()
+                        .zip(sum_inv.iter_mut())
+                        .zip(bj.iter().zip(dj))
+                    {
+                        *sb += bv / dv;
+                        *si += 1.0 / dv;
+                    }
+                }
+                // Sherman-Morrison solve of (diag + rho*11^T) x = b.
+                for ((cv, &sb), &si) in corr.iter_mut().zip(&sum_binv).zip(&sum_inv) {
+                    *cv = rho * sb / (1.0 + rho * si);
+                }
+                for j in 0..k {
+                    let bj = &b[j * nb..(j + 1) * nb];
+                    let dj = &diag[j * nb..(j + 1) * nb];
+                    let row = &mut rows[((d - d0) * k + j) * nb..((d - d0) * k + j + 1) * nb];
+                    for lane in 0..nb {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let x = if vols_d[lane] <= 0.0 {
+                            0.0
+                        } else {
+                            ((bj[lane] - corr[lane]) / dj[lane]).clamp(0.0, 1.0)
+                        };
+                        local[lane] = local[lane].max((x - row[lane]).abs());
+                        row[lane] = x;
+                    }
+                }
+            }
+            dmax.fold(&local);
+        });
+        dmax.into_vec()
+    }
+
+    /// Batched per-edge z-update. Edge-major storage lets each tile write
+    /// its edges' entries in place — no scratch copy of `z`, no atomics.
+    /// Returns per-lane max auxiliary change.
+    fn update_z(
+        &self,
+        st: &mut BatchState,
+        active: &[bool],
+        rho: f64,
+        serial: bool,
+        ebounds: &[usize],
+    ) -> Vec<f64> {
+        let nb = self.batch;
+        let k = self.k;
+        let dmax = LaneMax::new(nb);
+        let zbuf = TileBuf::new(&mut st.z);
+        let (f, s3, l3, l4) = (&st.f, &st.s3, &st.l3, &st.l4);
+        let idx = &*self.index;
+        par_tiles(ebounds.len() - 1, serial, &|t| {
+            let (e0, e1) = (ebounds[t], ebounds[t + 1]);
+            let base = idx.edge_start[e0];
+            // SAFETY: edge tiles own disjoint position ranges of `z`.
+            let ztile = unsafe { zbuf.slice(base * nb, (idx.edge_start[e1] - base) * nb) };
+            let mut bs: Vec<f64> = Vec::new();
+            let mut corr = vec![0.0f64; nb];
+            let mut local = vec![0.0f64; nb];
+            for e in e0..e1 {
+                let (q0, q1) = (idx.edge_start[e], idx.edge_start[e + 1]);
+                if q0 == q1 {
+                    continue;
+                }
+                let n = (q1 - q0) as f64;
+                if bs.len() < (q1 - q0) * nb {
+                    bs.resize((q1 - q0) * nb, 0.0);
+                }
+                corr.fill(0.0);
+                let caps_e = self.caps[e];
+                let s3_e = &s3[e * nb..(e + 1) * nb];
+                let l3_e = &l3[e * nb..(e + 1) * nb];
+                for (r, pos) in (q0..q1).enumerate() {
+                    let p = idx.pos_path[pos] as usize;
+                    let vols_d = &self.vols[(p / k) * nb..(p / k + 1) * nb];
+                    let fp = &f[p * nb..(p + 1) * nb];
+                    let l4p = &l4[pos * nb..(pos + 1) * nb];
+                    let row = &mut bs[r * nb..(r + 1) * nb];
+                    for ((bv, cv), (((&vol, &fv), &l4v), (&s3v, &l3v))) in row
+                        .iter_mut()
+                        .zip(corr.iter_mut())
+                        .zip(vols_d.iter().zip(fp).zip(l4p).zip(s3_e.iter().zip(l3_e)))
+                    {
+                        let bval = -l3v - rho * (s3v - caps_e) + l4v + rho * fv * vol;
+                        *bv = bval;
+                        *cv += bval;
+                    }
+                }
+                for c in corr.iter_mut() {
+                    *c = *c / rho / (1.0 + n);
+                }
+                for (r, pos) in (q0..q1).enumerate() {
+                    let row = &bs[r * nb..(r + 1) * nb];
+                    let zrow = &mut ztile[(pos - base) * nb..(pos - base + 1) * nb];
+                    for lane in 0..nb {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let zi = row[lane] / rho - corr[lane];
+                        local[lane] = local[lane].max((zi - zrow[lane]).abs());
+                        zrow[lane] = zi;
+                    }
+                }
+            }
+            dmax.fold(&local);
+        });
+        dmax.into_vec()
+    }
+
+    /// Fused batched slack projections + dual ascent: one demand-tiled pass
+    /// (s1, λ1) and one edge-tiled pass (s3, λ3, λ4 — each edge owns its λ4
+    /// positions). The per-subproblem arithmetic is exactly the per-matrix
+    /// solver's; fusing is legal because no quantity crosses subproblems.
+    /// Returns per-lane max primal residual.
+    fn update_slacks_duals(
+        &self,
+        st: &mut BatchState,
+        active: &[bool],
+        rho: f64,
+        serial: bool,
+        dbounds: &[usize],
+        ebounds: &[usize],
+    ) -> Vec<f64> {
+        let nb = self.batch;
+        let k = self.k;
+        let resid = LaneMax::new(nb);
+        let idx = &*self.index;
+
+        {
+            let s1buf = TileBuf::new(&mut st.s1);
+            let l1buf = TileBuf::new(&mut st.l1);
+            let f = &st.f;
+            par_tiles(dbounds.len() - 1, serial, &|t| {
+                let (d0, d1) = (dbounds[t], dbounds[t + 1]);
+                // SAFETY: demand tiles own disjoint ranges of s1/l1.
+                let s1 = unsafe { s1buf.slice(d0 * nb, (d1 - d0) * nb) };
+                let l1 = unsafe { l1buf.slice(d0 * nb, (d1 - d0) * nb) };
+                let mut sum = vec![0.0f64; nb];
+                let mut local = vec![0.0f64; nb];
+                for d in d0..d1 {
+                    sum.fill(0.0);
+                    for j in 0..k {
+                        let fr = &f[(d * k + j) * nb..(d * k + j + 1) * nb];
+                        for (sv, &fv) in sum.iter_mut().zip(fr) {
+                            *sv += fv;
+                        }
+                    }
+                    let s1_d = &mut s1[(d - d0) * nb..(d - d0 + 1) * nb];
+                    let l1_d = &mut l1[(d - d0) * nb..(d - d0 + 1) * nb];
+                    for lane in 0..nb {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let s = (1.0 - sum[lane] - l1_d[lane] / rho).max(0.0);
+                        s1_d[lane] = s;
+                        let g = sum[lane] + s - 1.0;
+                        l1_d[lane] += rho * g;
+                        local[lane] = local[lane].max(g.abs());
+                    }
+                }
+                resid.fold(&local);
+            });
+        }
+
+        {
+            let s3buf = TileBuf::new(&mut st.s3);
+            let l3buf = TileBuf::new(&mut st.l3);
+            let l4buf = TileBuf::new(&mut st.l4);
+            let (f, z) = (&st.f, &st.z);
+            par_tiles(ebounds.len() - 1, serial, &|t| {
+                let (e0, e1) = (ebounds[t], ebounds[t + 1]);
+                let base = idx.edge_start[e0];
+                // SAFETY: edge tiles own disjoint ranges of s3/l3 and (via
+                // edge_start) of the edge-major l4 positions.
+                let s3 = unsafe { s3buf.slice(e0 * nb, (e1 - e0) * nb) };
+                let l3 = unsafe { l3buf.slice(e0 * nb, (e1 - e0) * nb) };
+                let l4 = unsafe { l4buf.slice(base * nb, (idx.edge_start[e1] - base) * nb) };
+                let mut sum = vec![0.0f64; nb];
+                let mut local = vec![0.0f64; nb];
+                for e in e0..e1 {
+                    let (q0, q1) = (idx.edge_start[e], idx.edge_start[e + 1]);
+                    sum.fill(0.0);
+                    for pos in q0..q1 {
+                        let zp = &z[pos * nb..(pos + 1) * nb];
+                        for (sv, &zv) in sum.iter_mut().zip(zp) {
+                            *sv += zv;
+                        }
+                    }
+                    let caps_e = self.caps[e];
+                    let s3_e = &mut s3[(e - e0) * nb..(e - e0 + 1) * nb];
+                    let l3_e = &mut l3[(e - e0) * nb..(e - e0 + 1) * nb];
+                    for lane in 0..nb {
+                        if !active[lane] {
+                            continue;
+                        }
+                        let s = (caps_e - sum[lane] - l3_e[lane] / rho).max(0.0);
+                        s3_e[lane] = s;
+                        let g = sum[lane] + s - caps_e;
+                        l3_e[lane] += rho * g;
+                        local[lane] = local[lane].max(g.abs());
+                    }
+                    for pos in q0..q1 {
+                        let p = idx.pos_path[pos] as usize;
+                        let vols_d = &self.vols[(p / k) * nb..(p / k + 1) * nb];
+                        let fp = &f[p * nb..(p + 1) * nb];
+                        let zp = &z[pos * nb..(pos + 1) * nb];
+                        let l4p = &mut l4[(pos - base) * nb..(pos - base + 1) * nb];
+                        for lane in 0..nb {
+                            if !active[lane] {
+                                continue;
+                            }
+                            let g4 = fp[lane] * vols_d[lane] - zp[lane];
+                            l4p[lane] += rho * g4;
+                            local[lane] = local[lane].max(g4.abs());
+                        }
+                    }
+                }
+                resid.fold(&local);
+            });
+        }
+        resid.into_vec()
+    }
+}
+
+/// Minimal scoped-thread helpers for the per-matrix solver. The batched
+/// solver runs on the persistent [`teal_nn::pool`] instead; these stay on
+/// crossbeam scopes because the Figure-2 racing experiment needs each racer
+/// to own plain threads rather than share the global pool.
 fn par_chunks_indexed<T: Send, F>(data: &mut [T], min_chunk: usize, serial: bool, f: F)
 where
     F: Fn(usize, &mut [T]) + Sync,
@@ -700,6 +1352,45 @@ mod tests {
             warm_flow >= 0.90 * opt_flow,
             "warm 5-iter flow {warm_flow} degraded from optimum {opt_flow}"
         );
+    }
+
+    #[test]
+    fn batch_solver_matches_per_matrix_runs() {
+        let topo = diamond();
+        let pairs = vec![(0usize, 3usize), (1usize, 2usize), (3usize, 0usize)];
+        let paths = PathSet::compute(&topo, &pairs, 4);
+        let skel = AdmmSkeleton::new(&topo, &paths, Objective::TotalFlow);
+        let tms = [
+            TrafficMatrix::new(vec![12.0, 9.0, 15.0]),
+            TrafficMatrix::new(vec![1.0, 0.0, 30.0]),
+            TrafficMatrix::new(vec![0.0, 0.0, 0.0]),
+        ];
+        let inits = [
+            Allocation::shortest_path(3, 4),
+            Allocation::zeros(3, 4),
+            Allocation::from_splits(4, vec![1.0; 12]),
+        ];
+        // tol > 0 exercises the convergence mask: lanes stop independently.
+        let cfg = AdmmConfig {
+            rho: 1.0,
+            max_iters: 200,
+            tol: 1e-4,
+            serial: false,
+        };
+        let (outs, reps) = skel.batch_solver(&tms).run_batch(&inits, cfg);
+        for b in 0..tms.len() {
+            let (want, wrep) = skel.solver(&tms[b]).run(&inits[b], cfg);
+            assert_eq!(
+                reps[b].iterations, wrep.iterations,
+                "lane {b} iteration count diverged"
+            );
+            for (x, y) in outs[b].splits().iter().zip(want.splits()) {
+                assert!(
+                    (x - y).abs() <= 1e-9,
+                    "lane {b}: batched {x} vs per-matrix {y}"
+                );
+            }
+        }
     }
 
     #[test]

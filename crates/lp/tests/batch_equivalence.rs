@@ -1,0 +1,214 @@
+//! Property tests: [`AdmmBatchSolver`] ≡ per-matrix [`AdmmSolver`] to 1e-6.
+//!
+//! The batched sweep is a layout/parallelism transformation — no ADMM
+//! quantity couples two matrices — so every lane of a batched run must
+//! reproduce what its own per-matrix `AdmmSolver::run` would produce: same
+//! splits, same iteration counts under early stopping (the convergence
+//! mask), on random topologies, heterogeneous demand volumes, both linear
+//! objectives, and failure-modified (zero-capacity) capacity vectors. In
+//! the spirit of the commutativity-rule line of work, the two paths commute
+//! by construction and that equivalence is machine-checked here.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
+use teal_topology::{PathSet, Topology};
+use teal_traffic::TrafficMatrix;
+
+/// The batch sizes the issue calls out: singleton, tiny, odd, and a full
+/// serving window.
+const BATCH_SIZES: [usize; 4] = [1, 2, 7, 16];
+
+/// Random connected topology: a ring (guarantees strong connectivity) plus
+/// random chords, with heterogeneous capacities.
+fn random_topology(n: usize, extra_links: usize, rng: &mut StdRng) -> Topology {
+    let mut t = Topology::new("rand", n);
+    for a in 0..n {
+        let b = (a + 1) % n;
+        t.add_link(a, b, rng.gen_range(5.0..60.0), rng.gen_range(1.0..3.0));
+    }
+    for _ in 0..extra_links {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !t.has_link(a, b) {
+            t.add_link(a, b, rng.gen_range(5.0..60.0), rng.gen_range(1.0..3.0));
+        }
+    }
+    t
+}
+
+/// A random problem: topology, candidate paths for a sampled demand set,
+/// and the objective under test.
+fn random_problem(seed: u64, obj: Objective) -> (Topology, PathSet, AdmmSkeleton, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..9);
+    let topo = random_topology(n, rng.gen_range(0..2 * n), &mut rng);
+    let mut pairs = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && rng.gen_range(0.0..1.0) < 0.35 {
+                pairs.push((a, b));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        pairs.push((0, n / 2 + 1));
+    }
+    pairs.truncate(10);
+    let k = rng.gen_range(2..5);
+    let paths = PathSet::compute(&topo, &pairs, k);
+    let skel = AdmmSkeleton::new(&topo, &paths, obj);
+    let nd = paths.num_demands();
+    (topo, paths, skel, nd, k)
+}
+
+/// Heterogeneous traffic window: volumes span zero, light, and saturating,
+/// so lanes behave differently (and converge at different iterations).
+fn random_window(nb: usize, nd: usize, rng: &mut StdRng) -> Vec<TrafficMatrix> {
+    (0..nb)
+        .map(|_| {
+            TrafficMatrix::new(
+                (0..nd)
+                    .map(|_| {
+                        if rng.gen_range(0.0..1.0) < 0.15 {
+                            0.0
+                        } else {
+                            rng.gen_range(0.1..80.0)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Random (pre-projection) warm starts, like a raw model output.
+fn random_inits(nb: usize, nd: usize, k: usize, rng: &mut StdRng) -> Vec<Allocation> {
+    (0..nb)
+        .map(|_| Allocation::from_splits(k, (0..nd * k).map(|_| rng.gen_range(0.0..1.2)).collect()))
+        .collect()
+}
+
+/// Core assertion: one batched run ≡ `nb` per-matrix runs, splits to 1e-6
+/// and identical iteration counts (exercised by tol > 0 configs).
+fn assert_batch_matches(
+    skel: &AdmmSkeleton,
+    tms: &[TrafficMatrix],
+    inits: &[Allocation],
+    cfg: AdmmConfig,
+) -> Result<(), String> {
+    let (outs, reps) = skel.batch_solver(tms).run_batch(inits, cfg);
+    for (b, tm) in tms.iter().enumerate() {
+        let (want, wrep) = skel.solver(tm).run(&inits[b], cfg);
+        prop_assert_eq!(
+            reps[b].iterations,
+            wrep.iterations,
+            "lane {} iterations: batched {} vs per-matrix {}",
+            b,
+            reps[b].iterations,
+            wrep.iterations
+        );
+        for (p, (x, y)) in outs[b].splits().iter().zip(want.splits()).enumerate() {
+            prop_assert!(
+                (x - y).abs() <= 1e-6,
+                "lane {} split {}: batched {} vs per-matrix {}",
+                b,
+                p,
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Paper fine-tuning setting (fixed 2–5 iterations, no early stop),
+    /// TotalFlow, all four batch sizes.
+    #[test]
+    fn fine_tune_total_flow_matches(seed in 0u64..1_000_000, iters in 2usize..6) {
+        let (_topo, _paths, skel, nd, k) = random_problem(seed, Objective::TotalFlow);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c);
+        let cfg = AdmmConfig { rho: 1.0, max_iters: iters, tol: 0.0, serial: false };
+        for &nb in &BATCH_SIZES {
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            assert_batch_matches(&skel, &tms, &inits, cfg)?;
+        }
+    }
+
+    /// Delay-penalized objective: per-path discounts flow through vcoef; the
+    /// batched lanes must see exactly the same discounted coefficients.
+    #[test]
+    fn fine_tune_delay_penalized_matches(seed in 0u64..1_000_000, gamma in 0.05f64..0.9) {
+        let (_topo, _paths, skel, nd, k) =
+            random_problem(seed, Objective::DelayPenalizedFlow(gamma));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xde1a);
+        let cfg = AdmmConfig { rho: 1.0, max_iters: 4, tol: 0.0, serial: false };
+        for &nb in &BATCH_SIZES {
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            assert_batch_matches(&skel, &tms, &inits, cfg)?;
+        }
+    }
+
+    /// Early stopping: tol > 0 makes lanes drop out of the sweeps at
+    /// different iterations — the convergence mask must freeze each lane
+    /// exactly where its own per-matrix run would stop.
+    #[test]
+    fn convergence_mask_matches_early_stopping(seed in 0u64..1_000_000) {
+        let (_topo, _paths, skel, nd, k) = random_problem(seed, Objective::TotalFlow);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70f1);
+        let cfg = AdmmConfig { rho: 1.0, max_iters: 300, tol: 1e-4, serial: false };
+        for &nb in &[2usize, 7] {
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            assert_batch_matches(&skel, &tms, &inits, cfg)?;
+        }
+    }
+
+    /// Failure topologies (§5.3): random links zeroed through
+    /// `AdmmSkeleton::with_topology` — the batched path must track the
+    /// per-matrix path on the degraded capacity vector too.
+    #[test]
+    fn failed_links_match(seed in 0u64..1_000_000, fail_frac in 0.05f64..0.4) {
+        let (topo, _paths, skel, nd, k) = random_problem(seed, Objective::TotalFlow);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa11);
+        let failed: Vec<usize> = (0..topo.num_edges())
+            .filter(|_| rng.gen_range(0.0..1.0) < fail_frac)
+            .collect();
+        let degraded = topo.with_failed_edges(&failed);
+        let skel = skel.with_topology(&degraded);
+        let cfg = AdmmConfig { rho: 1.0, max_iters: 5, tol: 0.0, serial: false };
+        for &nb in &[1usize, 7] {
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            assert_batch_matches(&skel, &tms, &inits, cfg)?;
+        }
+    }
+
+    /// The serial flag must not change results, only scheduling — and a
+    /// serial batched run must still match the per-matrix solver.
+    #[test]
+    fn serial_and_parallel_batched_agree(seed in 0u64..1_000_000) {
+        let (_topo, _paths, skel, nd, k) = random_problem(seed, Objective::TotalFlow);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1a);
+        let tms = random_window(7, nd, &mut rng);
+        let inits = random_inits(7, nd, k, &mut rng);
+        let par = AdmmConfig { rho: 1.0, max_iters: 50, tol: 1e-4, serial: false };
+        let ser = AdmmConfig { serial: true, ..par };
+        let (outs_p, reps_p) = skel.batch_solver(&tms).run_batch(&inits, par);
+        let (outs_s, reps_s) = skel.batch_solver(&tms).run_batch(&inits, ser);
+        for b in 0..tms.len() {
+            prop_assert_eq!(reps_p[b].iterations, reps_s[b].iterations);
+            for (x, y) in outs_p[b].splits().iter().zip(outs_s[b].splits()) {
+                prop_assert!((x - y).abs() <= 1e-12,
+                    "serial/parallel batched runs diverged: {} vs {}", x, y);
+            }
+        }
+        assert_batch_matches(&skel, &tms, &inits, par)?;
+    }
+}

@@ -26,8 +26,10 @@
 //!   dereferenced again (the claim counter is monotone).
 //!
 //! Worker panics are caught per chunk and re-surfaced as a panic in the
-//! submitting thread, matching the old `crossbeam::scope(...).expect(...)`
-//! behavior closely enough for every call site in this workspace.
+//! submitting thread with the original payload (first panic wins), so
+//! caller-side `catch_unwind` diagnostics see the real cause — matching
+//! the old `crossbeam::scope(...).expect(...)` behavior closely enough for
+//! every call site in this workspace.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,6 +47,10 @@ struct Job {
     next: AtomicUsize,
     /// Set when any chunk panicked; the submitter re-panics.
     poisoned: AtomicBool,
+    /// First caught panic payload, re-thrown by the submitter so callers
+    /// (and their `catch_unwind`s) see the original cause, not a generic
+    /// "worker panicked" message.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Chunks fully executed, with a condvar for the submitter's wait.
     done: Mutex<usize>,
     finished: Condvar,
@@ -68,7 +74,12 @@ impl Job {
             // SAFETY: `i < n`, so the submitter is still inside `run` and
             // the closure is alive.
             let task = unsafe { &*self.task };
-            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = self.payload.lock().expect("pool payload lock");
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+                drop(slot);
                 self.poisoned.store(true, Ordering::Release);
             }
             let mut done = self.done.lock().expect("pool job lock");
@@ -178,6 +189,7 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         n,
         next: AtomicUsize::new(0),
         poisoned: AtomicBool::new(false),
+        payload: Mutex::new(None),
         done: Mutex::new(0),
         finished: Condvar::new(),
     });
@@ -194,6 +206,12 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         q.retain(|j| !Arc::ptr_eq(j, &job));
     }
     if job.poisoned.load(Ordering::Acquire) {
+        // Re-throw the original payload so the caller's panic handling
+        // (e.g. the serving engine's catch_unwind → AllocError::Poisoned)
+        // reports the real cause.
+        if let Some(p) = job.payload.lock().expect("pool payload lock").take() {
+            std::panic::resume_unwind(p);
+        }
         panic!("teal-nn pool worker panicked");
     }
 }
@@ -216,6 +234,24 @@ mod tests {
     #[test]
     fn empty_job_is_a_noop() {
         run(0, &|_| panic!("must never be called"));
+    }
+
+    #[test]
+    fn panic_payload_reaches_submitter() {
+        let caught = std::panic::catch_unwind(|| {
+            run(4, &|i| {
+                if i == 2 {
+                    panic!("tile {i} exploded");
+                }
+            });
+        });
+        let p = caught.expect_err("poisoned job must re-panic");
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("exploded"), "original payload lost: {msg:?}");
     }
 
     #[test]

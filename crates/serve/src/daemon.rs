@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use teal_core::PolicyModel;
+use teal_core::{AllocError, PolicyModel, ServingContext};
 use teal_lp::Allocation;
 use teal_traffic::TrafficMatrix;
 
@@ -35,6 +35,9 @@ pub enum ServeError {
     /// The request itself could not be served (e.g. a traffic matrix whose
     /// dimensions do not match the topology's demand set).
     BadRequest(String),
+    /// The daemon failed internally while serving (e.g. a worker panic).
+    /// The request was well-formed and may be retried.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -44,6 +47,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "serving daemon is shutting down"),
             ServeError::Checkpoint(m) => write!(f, "checkpoint swap failed: {m}"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Internal(m) => write!(f, "internal serving error: {m}"),
         }
     }
 }
@@ -327,71 +331,117 @@ fn serve_drained<M: PolicyModel>(inner: &Inner<M>, drained: Vec<Request>) {
         while !requests.is_empty() {
             let take = requests.len().min(inner.cfg.max_batch.max(1));
             let chunk: Vec<Request> = requests.drain(..take).collect();
-            let tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
-            // The daemon must survive a malformed request (e.g. a matrix
-            // sized for a different topology): a panicking batch falls back
-            // to per-request serving so only the offender gets an error,
-            // and the dispatcher never dies with clients parked on slots.
-            let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                ctx.allocate_batch(&tms).0
-            }));
-            match batched {
-                // A model whose allocate_batch drops or invents results
-                // would silently strand zipped-out clients on their slots
-                // forever; fail the whole chunk loudly instead.
-                Ok(allocs) if allocs.len() != chunk.len() => {
-                    for req in chunk {
-                        inner.telemetry.on_error();
-                        req.slot.fulfill(Err(ServeError::BadRequest(format!(
-                            "model returned {} allocations for a batch of {}",
-                            allocs.len(),
-                            take
-                        ))));
-                    }
+            serve_chunk(inner, &ctx, &topology, chunk);
+        }
+    }
+}
+
+/// Serve one coalesced chunk, isolating faults without losing batching.
+/// The engine's [`AllocError::BadRequest`] names the offending request, so
+/// only that one is failed and the remainder is re-batched in a single
+/// pass — one malformed matrix must not serialize (or error) 31 innocent
+/// requests. A poisoned worker is a *server* fault: the chunk gets a
+/// retryable [`ServeError::Internal`], never `BadRequest`. `catch_unwind`
+/// stays as a last line of defense against panics the engine does not
+/// classify, degrading to per-request serving.
+fn serve_chunk<M: PolicyModel>(
+    inner: &Inner<M>,
+    ctx: &std::sync::Arc<ServingContext<M>>,
+    topology: &str,
+    mut chunk: Vec<Request>,
+) {
+    // Cloned once; evictions below remove the matching entry instead of
+    // re-cloning the whole remainder each retry.
+    let mut tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
+    while !chunk.is_empty() {
+        let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.try_allocate_batch(&tms)
+        }));
+        match batched {
+            // A model whose allocate_batch drops or invents results would
+            // silently strand zipped-out clients on their slots forever;
+            // fail the whole chunk loudly instead.
+            Ok(Ok((allocs, _))) if allocs.len() != chunk.len() => {
+                let got = allocs.len();
+                for req in chunk {
+                    inner.telemetry.on_error();
+                    req.slot.fulfill(Err(ServeError::Internal(format!(
+                        "model returned {got} allocations for a batch of {}",
+                        tms.len()
+                    ))));
                 }
-                Ok(allocs) => {
-                    let batch_size = chunk.len();
-                    let latencies: Vec<Duration> =
-                        chunk.iter().map(|r| r.enqueued.elapsed()).collect();
-                    // Count the batch before unblocking any client, so a
-                    // caller that has its reply always sees itself in
-                    // `stats()`.
-                    inner.telemetry.on_batch(&topology, &latencies);
-                    for ((req, allocation), latency) in chunk.into_iter().zip(allocs).zip(latencies)
-                    {
-                        req.slot.fulfill(Ok(ServeReply {
-                            allocation,
-                            latency,
-                            batch_size,
-                        }));
-                    }
+                return;
+            }
+            Ok(Ok((allocs, _))) => {
+                let batch_size = chunk.len();
+                let latencies: Vec<Duration> = chunk.iter().map(|r| r.enqueued.elapsed()).collect();
+                // Count the batch before unblocking any client, so a caller
+                // that has its reply always sees itself in `stats()`.
+                inner.telemetry.on_batch(topology, &latencies);
+                for ((req, allocation), latency) in chunk.into_iter().zip(allocs).zip(latencies) {
+                    req.slot.fulfill(Ok(ServeReply {
+                        allocation,
+                        latency,
+                        batch_size,
+                    }));
                 }
-                Err(_) => {
-                    for req in chunk {
-                        let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            ctx.allocate(&req.tm).0
-                        }));
-                        match one {
-                            Ok(allocation) => {
-                                let latency = req.enqueued.elapsed();
-                                inner.telemetry.on_batch(&topology, &[latency]);
-                                req.slot.fulfill(Ok(ServeReply {
-                                    allocation,
-                                    latency,
-                                    batch_size: 1,
-                                }));
-                            }
-                            Err(_) => {
-                                inner.telemetry.on_error();
-                                req.slot.fulfill(Err(ServeError::BadRequest(format!(
-                                    "allocation panicked for topology {topology:?} \
-                                     (matrix of {} demands)",
-                                    req.tm.len()
-                                ))));
-                            }
+                return;
+            }
+            Ok(Err(AllocError::BadRequest { index, reason })) if index < chunk.len() => {
+                // Evict only the named offender; loop to re-batch the rest.
+                let req = chunk.remove(index);
+                tms.remove(index);
+                inner.telemetry.on_error();
+                req.slot.fulfill(Err(ServeError::BadRequest(reason)));
+            }
+            Ok(Err(e)) => {
+                for req in chunk {
+                    inner.telemetry.on_error();
+                    req.slot.fulfill(Err(ServeError::Internal(e.to_string())));
+                }
+                return;
+            }
+            Err(_) => {
+                for req in chunk {
+                    let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ctx.try_allocate_batch(std::slice::from_ref(&req.tm))
+                    }));
+                    match one {
+                        Ok(Ok((mut allocs, _))) if allocs.len() == 1 => {
+                            let allocation = allocs.pop().expect("len checked");
+                            let latency = req.enqueued.elapsed();
+                            inner.telemetry.on_batch(topology, &[latency]);
+                            req.slot.fulfill(Ok(ServeReply {
+                                allocation,
+                                latency,
+                                batch_size: 1,
+                            }));
+                        }
+                        Ok(Ok(_)) => {
+                            inner.telemetry.on_error();
+                            req.slot.fulfill(Err(ServeError::Internal(
+                                "model returned a misaligned singleton batch".into(),
+                            )));
+                        }
+                        Ok(Err(AllocError::BadRequest { reason, .. })) => {
+                            inner.telemetry.on_error();
+                            req.slot.fulfill(Err(ServeError::BadRequest(reason)));
+                        }
+                        Ok(Err(e)) => {
+                            inner.telemetry.on_error();
+                            req.slot.fulfill(Err(ServeError::Internal(e.to_string())));
+                        }
+                        Err(_) => {
+                            inner.telemetry.on_error();
+                            req.slot.fulfill(Err(ServeError::Internal(format!(
+                                "allocation panicked for topology {topology:?} \
+                                 (matrix of {} demands)",
+                                req.tm.len()
+                            ))));
                         }
                     }
                 }
+                return;
             }
         }
     }

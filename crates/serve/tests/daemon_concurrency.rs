@@ -189,18 +189,45 @@ fn malformed_request_errors_without_killing_the_daemon() {
     let env = Arc::new(Env::for_topology(teal_topology::b4()));
     let registry = ModelRegistry::new();
     registry.insert("b4", context(&env, 0));
-    let daemon = ServeDaemon::with_defaults(registry);
+    // Generous linger so the back-to-back submissions below always land in
+    // one drain, even if a loaded CI runner preempts this thread mid-burst
+    // (the batch_size assertion depends on the four sharing a chunk).
+    let daemon = ServeDaemon::start(
+        registry,
+        ServeConfig {
+            linger: std::time::Duration::from_secs(1),
+            ..ServeConfig::default()
+        },
+    );
     let good_tm = TrafficMatrix::new(vec![12.0; env.num_demands()]);
     let bad_tm = TrafficMatrix::new(vec![1.0; 3]); // wrong demand count
 
-    // Submit a good and a bad request back-to-back so they share a drain;
-    // only the malformed one may fail.
-    let good = daemon.submit("b4", good_tm.clone());
+    // Three good requests and a bad one share the drain; the offender must
+    // be evicted by index and the innocents re-batched together — not
+    // serialized into singletons, and not failed.
+    let goods: Vec<_> = (0..3)
+        .map(|_| daemon.submit("b4", good_tm.clone()))
+        .collect();
     let bad = daemon.submit("b4", bad_tm);
-    good.wait()
-        .expect("well-formed request must survive the batch");
+    for good in goods {
+        let reply = good
+            .wait()
+            .expect("well-formed request must survive the batch");
+        assert_eq!(
+            reply.batch_size, 3,
+            "innocent requests must be re-batched after evicting the offender"
+        );
+    }
     match bad.wait() {
-        Err(teal_serve::ServeError::BadRequest(_)) => {}
+        // The engine's `AllocError` diagnosis (not a caught-panic message)
+        // must reach the client: a malformed matrix is a typed per-request
+        // error, so assert the arity explanation survived.
+        Err(teal_serve::ServeError::BadRequest(msg)) => {
+            assert!(
+                msg.contains("demands"),
+                "expected the engine's arity diagnosis, got {msg:?}"
+            );
+        }
         other => panic!("expected BadRequest, got {other:?}"),
     }
     // The dispatcher must still be alive and serving.
