@@ -5,7 +5,9 @@
 //! against the old per-matrix solver loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use teal_lp::{AdmmConfig, AdmmSkeleton, AdmmSolver, Allocation, Objective, TeInstance};
+use teal_lp::{
+    AdmmConfig, AdmmSkeleton, AdmmSolver, Allocation, BatchArena, Objective, TeInstance,
+};
 use teal_topology::{generate, PathSet, TopoKind};
 use teal_traffic::{TrafficConfig, TrafficMatrix, TrafficModel};
 
@@ -92,7 +94,18 @@ fn bench_fine_tune_window(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("batched", window), &window, |b, _| {
-            b.iter(|| skel.batch_solver(&tms).run_batch(&inits, cfg).0)
+            // The serving steady state: solver reminted and arena reused
+            // across windows, so iterations past the first allocate nothing
+            // on the ADMM hot path.
+            let mut solver = skel.batch_solver(&tms);
+            let mut arena = BatchArena::new();
+            let mut outs = Vec::new();
+            let mut reports = Vec::new();
+            b.iter(|| {
+                skel.remint_batch_solver(&mut solver, &tms);
+                solver.run_batch_into(&inits, cfg, &mut arena, &mut outs, &mut reports);
+                outs.len()
+            })
         });
     }
     group.finish();

@@ -26,10 +26,23 @@
 //! fallible variant: malformed requests surface as [`AllocError`] values
 //! (which the `teal-serve` dispatcher maps to per-request `BadRequest`
 //! replies) instead of panics.
+//!
+//! The ADMM stage of every batched call runs in a reusable [`BatchScratch`]
+//! (solver + arena + report buffers): dispatch lanes that retain one —
+//! [`ServingContext::try_allocate_batch_with`], as the `teal-serve` shards
+//! do — reuse every byte of ADMM solver state across windows from their
+//! second window onwards, and the plain entry points borrow scratches from
+//! a per-context pool so repeat callers get the same reuse without
+//! threading state. (The returned `Vec<Allocation>` is owned by the caller
+//! — replies consume it — so the *fully* allocation-free steady state,
+//! asserted by `teal-lp`'s counting-allocator test, belongs to callers
+//! that retain their output buffers and drive
+//! `AdmmBatchSolver::run_batch_into` directly.) See [`BatchScratch`] for
+//! the ownership and weight-swap-safety rules.
 
 use crate::env::Env;
 use crate::model::PolicyModel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
 use teal_nn::checkpoint::CheckpointError;
@@ -112,6 +125,51 @@ impl EngineConfig {
     }
 }
 
+/// Reusable scratch for one serving dispatch lane: the ADMM
+/// [`teal_lp::BatchArena`], the reminted-per-window batch solver (its
+/// coefficient buffers are grow-only), and the output/report buffers.
+///
+/// # Ownership rules
+///
+/// * One lane, one scratch: exactly one window may use a scratch at a time
+///   (`&mut` enforces it); concurrent dispatchers each own their own.
+/// * **Weight-swap safe:** a scratch holds no model or topology state —
+///   only capacity. It may outlive any number of hot checkpoint swaps and
+///   be reused against the *new* context (the `teal-serve` shards do
+///   exactly this), and results are identical to a fresh scratch.
+/// * A scratch that served a window which panicked is still safe to reuse:
+///   every buffer is fully reset at the start of the next window.
+pub struct BatchScratch {
+    arena: teal_lp::BatchArena,
+    solver: Option<teal_lp::AdmmBatchSolver>,
+    outs: Vec<Allocation>,
+    reports: Vec<teal_lp::AdmmReport>,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow to fit the first window served.
+    pub fn new() -> Self {
+        BatchScratch {
+            arena: teal_lp::BatchArena::new(),
+            solver: None,
+            outs: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Per-matrix ADMM reports of the last window served through this
+    /// scratch (empty before the first window, or when fine-tuning is off).
+    pub fn reports(&self) -> &[teal_lp::AdmmReport] {
+        &self.reports
+    }
+}
+
 /// Per-topology serving state: a trained model plus the precomputed ADMM
 /// skeleton, ready to serve allocations concurrently.
 pub struct ServingContext<M: PolicyModel> {
@@ -119,6 +177,13 @@ pub struct ServingContext<M: PolicyModel> {
     cfg: EngineConfig,
     /// Prebuilt per-topology ADMM state (absent when fine-tuning is off).
     skeleton: Option<AdmmSkeleton>,
+    /// Arenas backing the scratch-less `allocate_batch` entry points: each
+    /// concurrent caller pops one for the duration of its window and
+    /// returns it, so repeat callers on the same context reuse ADMM state
+    /// buffers instead of re-minting them per window. Callers that want a
+    /// guaranteed-private arena (the `teal-serve` shards) pass their own
+    /// [`BatchScratch`] to [`ServingContext::try_allocate_batch_with`].
+    scratch_pool: Mutex<Vec<BatchScratch>>,
 }
 
 impl<M: PolicyModel> ServingContext<M> {
@@ -132,6 +197,7 @@ impl<M: PolicyModel> ServingContext<M> {
             model,
             cfg,
             skeleton,
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -163,6 +229,7 @@ impl<M: PolicyModel> ServingContext<M> {
             model,
             cfg: self.cfg,
             skeleton: self.skeleton.clone(),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -271,15 +338,55 @@ impl<M: PolicyModel> ServingContext<M> {
         self.allocate_batch_inner(tms, Some(topo))
     }
 
+    /// [`ServingContext::try_allocate_batch`] with a caller-owned
+    /// [`BatchScratch`]: the ADMM stage runs entirely in the scratch's
+    /// arena, so a dispatch lane that retains its scratch reuses all ADMM
+    /// solver state (arena + reminted coefficient buffers) from its second
+    /// window onwards — the only per-window minting left on the fine-tune
+    /// stage is the returned allocations themselves, which the caller
+    /// consumes. Results are identical to the scratch-less entry point.
+    pub fn try_allocate_batch_with(
+        &self,
+        tms: &[TrafficMatrix],
+        scratch: &mut BatchScratch,
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        self.allocate_batch_inner_with(tms, None, scratch)
+    }
+
     /// Matrices per forward-pass sub-batch: large enough to amortize
     /// per-pass overhead, small enough that the working set of each layer
     /// stays cache-resident on modest hardware.
     const SUB_BATCH: usize = 4;
 
+    /// Scratch-less entry point: borrows an arena from the context's pool
+    /// for the window (minting one on first use), so repeat callers reuse
+    /// ADMM state buffers without threading a [`BatchScratch`] themselves.
     fn allocate_batch_inner(
         &self,
         tms: &[TrafficMatrix],
         topo_override: Option<&Topology>,
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        let res = self.allocate_batch_inner_with(tms, topo_override, &mut scratch);
+        // Return the scratch even after an error: a poisoned window leaves
+        // only dead buffer contents behind, fully reset on next use.
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool lock")
+            .push(scratch);
+        res
+    }
+
+    fn allocate_batch_inner_with(
+        &self,
+        tms: &[TrafficMatrix],
+        topo_override: Option<&Topology>,
+        scratch: &mut BatchScratch,
     ) -> Result<(Vec<Allocation>, Duration), AllocError> {
         if tms.is_empty() {
             return Ok((Vec::new(), Duration::ZERO));
@@ -318,19 +425,33 @@ impl<M: PolicyModel> ServingContext<M> {
         }
         let mut out = match (self.cfg.admm, &self.skeleton) {
             (Some(admm_cfg), Some(skel)) => {
+                let override_skel;
                 let skel = match topo_override {
-                    Some(topo) => skel.with_topology(topo),
-                    None => skel.clone(),
+                    Some(topo) => {
+                        override_skel = skel.with_topology(topo);
+                        &override_skel
+                    }
+                    None => skel,
                 };
                 // One batched sweep repairs the whole window per iteration;
                 // the solver tiles demand/edge × batch work over the shared
                 // teal-nn pool internally, so no outer per-matrix loop (and
-                // no per-matrix serial override) is needed.
-                let solver = skel.batch_solver(tms);
+                // no per-matrix serial override) is needed. The solver is
+                // reminted into the scratch's buffers and the sweep runs in
+                // its arena — the allocation-free ADMM steady state.
+                if let Some(solver) = scratch.solver.as_mut() {
+                    skel.remint_batch_solver(solver, tms);
+                } else {
+                    scratch.solver = Some(skel.batch_solver(tms));
+                }
+                let solver = scratch.solver.as_ref().expect("solver minted above");
+                let (arena, outs, reports) =
+                    (&mut scratch.arena, &mut scratch.outs, &mut scratch.reports);
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    solver.run_batch(&raw, admm_cfg).0
+                    solver.run_batch_into(&raw, admm_cfg, arena, outs, reports);
                 }));
-                run.map_err(|payload| AllocError::Poisoned(panic_text(payload)))?
+                run.map_err(|payload| AllocError::Poisoned(panic_text(payload)))?;
+                std::mem::take(&mut scratch.outs)
             }
             _ => raw,
         };
@@ -712,6 +833,56 @@ mod tests {
         let (after, _) = old.allocate(&tm);
         assert_eq!(before, after, "original context mutated by swap");
         assert_ne!(got, after, "swap had no effect");
+    }
+
+    #[test]
+    fn scratch_reuse_across_windows_and_hot_swap_matches_fresh() {
+        // One retained BatchScratch serving windows of varying size, with a
+        // hot checkpoint swap between windows 1 and 2: every window must
+        // match the scratch-less path exactly, and nothing may leak from
+        // the pre-swap context through the arena into the post-swap one.
+        let env = Arc::new(Env::for_topology(b4()));
+        let cfg_model = TealConfig {
+            gnn_layers: 3,
+            ..TealConfig::default()
+        };
+        let ctx_old = ServingContext::new(
+            TealModel::new(Arc::clone(&env), cfg_model),
+            EngineConfig::paper_default(12),
+        );
+        let donor = TealModel::new(
+            Arc::clone(&env),
+            TealConfig {
+                seed: 99,
+                ..cfg_model
+            },
+        );
+        let ckpt = teal_nn::checkpoint::to_string(donor.store());
+        let ctx_new = ctx_old.with_checkpoint_str(&ckpt).expect("hot swap");
+
+        let nd = env.num_demands();
+        let mut scratch = BatchScratch::new();
+        let sizes = [5usize, 3, 5, 7];
+        for (w, &nb) in sizes.iter().enumerate() {
+            let ctx = if w < 2 { &ctx_old } else { &ctx_new };
+            let tms: Vec<TrafficMatrix> = (0..nb)
+                .map(|i| TrafficMatrix::new(vec![4.0 + 3.0 * (w * 7 + i) as f64; nd]))
+                .collect();
+            let (got, _) = ctx
+                .try_allocate_batch_with(&tms, &mut scratch)
+                .expect("scratch window");
+            let (want, _) = ctx.try_allocate_batch(&tms).expect("fresh window");
+            assert_eq!(got.len(), want.len());
+            for (b, (g, f)) in got.iter().zip(&want).enumerate() {
+                for (x, y) in g.splits().iter().zip(f.splits()) {
+                    assert!(
+                        x == y,
+                        "window {w} lane {b}: scratch-reused {x} vs fresh {y}"
+                    );
+                }
+            }
+        }
+        assert_eq!(scratch.reports().len(), *sizes.last().unwrap());
     }
 
     #[test]

@@ -48,7 +48,21 @@
 //!   lane's residual drops below `tol` it is masked out of every later
 //!   sweep (its state freezes; its iteration count is recorded), while
 //!   unconverged lanes keep iterating — matching exactly what `B`
-//!   independent [`AdmmSolver::run`] calls would do.
+//!   independent [`AdmmSolver::run`] calls would do. Until the *first*
+//!   lane freezes the sweeps take an all-lanes-active fast path whose
+//!   commit loops carry no mask test at all (branch-free, zip-vectorized);
+//!   under the paper's fixed-iteration fine-tuning (`tol = 0`) the masked
+//!   variant is never entered.
+//! * **Arena reuse (allocation-free steady state).** Every byte of mutable
+//!   solver state — the SoA families, tile bounds, per-tile sweep scratch,
+//!   residual slots — lives in a caller-owned [`BatchArena`] of grow-only
+//!   buffers. A serving loop that keeps one arena (plus its output
+//!   `Vec<Allocation>`/`Vec<AdmmReport>`) and rebinds the solver per window
+//!   with [`AdmmSkeleton::remint_batch_solver`] performs **zero heap
+//!   allocations** from the second window onwards (asserted by
+//!   `tests/steady_state_alloc.rs`). See [`BatchArena`] for the ownership
+//!   rules: one solve at a time, one arena per thread, safe to carry
+//!   across topology changes and weight swaps.
 
 use crate::problem::{Allocation, Objective, TeInstance};
 use std::sync::Arc;
@@ -123,6 +137,8 @@ struct AdmmIndex {
     pos_path: Vec<u32>,
     /// Entry id → edge-major position.
     entry_pos: Vec<u32>,
+    /// Largest per-edge entry count (sizes the batched z-update scratch).
+    max_edge_entries: usize,
 }
 
 impl AdmmIndex {
@@ -142,6 +158,7 @@ impl AdmmIndex {
             }
             edge_start.push(pos_path.len());
         }
+        let max_edge_entries = edge_entries.iter().map(Vec::len).max().unwrap_or(0);
         AdmmIndex {
             entries,
             path_entries,
@@ -149,6 +166,7 @@ impl AdmmIndex {
             edge_start,
             pos_path,
             entry_pos,
+            max_edge_entries,
         }
     }
 }
@@ -274,33 +292,54 @@ impl AdmmSkeleton {
     /// Mint the batched solver for a whole window of traffic matrices:
     /// per-lane normalized volumes and objective coefficients are laid out
     /// structure-of-arrays (`[entry][lane]`), everything else is shared with
-    /// the skeleton. O(batch × paths), no incidence rebuild.
+    /// the skeleton. O(batch × paths), no incidence rebuild. Steady-state
+    /// servers keep the returned solver and rebind it to each new window
+    /// with [`AdmmSkeleton::remint_batch_solver`] instead of minting fresh.
     pub fn batch_solver(&self, tms: &[TrafficMatrix]) -> AdmmBatchSolver {
+        let mut solver = AdmmBatchSolver {
+            batch: 0,
+            num_demands: 0,
+            k: 0,
+            num_edges: 0,
+            vols: Vec::new(),
+            caps: Arc::clone(&self.caps),
+            vcoef: Vec::new(),
+            index: Arc::clone(&self.index),
+        };
+        self.remint_batch_solver(&mut solver, tms);
+        solver
+    }
+
+    /// Rebind an existing [`AdmmBatchSolver`] to a new window, reusing its
+    /// coefficient buffers (grow-only — allocation-free once the buffers
+    /// have reached the largest window shape seen). The solver may have been
+    /// minted from a *different* skeleton (another topology, or this one
+    /// with failure-overridden capacities): every shared handle is replaced,
+    /// so the result is indistinguishable from [`AdmmSkeleton::batch_solver`].
+    pub fn remint_batch_solver(&self, solver: &mut AdmmBatchSolver, tms: &[TrafficMatrix]) {
         assert!(!tms.is_empty(), "batch_solver requires at least one matrix");
         let nb = tms.len();
         let k = self.k;
-        let mut vols = vec![0.0f64; self.num_demands * nb];
+        solver.batch = nb;
+        solver.num_demands = self.num_demands;
+        solver.k = k;
+        solver.num_edges = self.num_edges;
+        solver.caps = Arc::clone(&self.caps);
+        solver.index = Arc::clone(&self.index);
+        solver.vols.clear();
+        solver.vols.resize(self.num_demands * nb, 0.0);
         for (b, tm) in tms.iter().enumerate() {
             assert_eq!(tm.len(), self.num_demands, "traffic matrix arity mismatch");
             for (d, v) in tm.demands().iter().enumerate() {
-                vols[d * nb + b] = v * self.alpha;
+                solver.vols[d * nb + b] = v * self.alpha;
             }
         }
-        let mut vcoef = vec![0.0f64; self.discount.len() * nb];
+        solver.vcoef.clear();
+        solver.vcoef.resize(self.discount.len() * nb, 0.0);
         for (p, disc) in self.discount.iter().enumerate() {
             for b in 0..nb {
-                vcoef[p * nb + b] = vols[(p / k) * nb + b] * disc;
+                solver.vcoef[p * nb + b] = solver.vols[(p / k) * nb + b] * disc;
             }
-        }
-        AdmmBatchSolver {
-            batch: nb,
-            num_demands: self.num_demands,
-            k,
-            num_edges: self.num_edges,
-            vols,
-            caps: Arc::clone(&self.caps),
-            vcoef,
-            index: Arc::clone(&self.index),
         }
     }
 }
@@ -615,45 +654,163 @@ struct BatchState {
     l4: Vec<f64>,
 }
 
-/// Per-lane running maxima that parallel tiles fold into via
-/// compare-and-swap. Max is commutative and associative, so tile execution
-/// order never affects the folded value — the batched sweeps stay
-/// deterministic under any pool schedule.
-struct LaneMax(Vec<std::sync::atomic::AtomicU64>);
-
-impl LaneMax {
-    fn new(lanes: usize) -> Self {
-        LaneMax(
-            (0..lanes)
-                .map(|_| std::sync::atomic::AtomicU64::new(0.0f64.to_bits()))
-                .collect(),
-        )
-    }
-
-    /// Fold a tile's local maxima in (skipping lanes the tile never touched).
-    fn fold(&self, local: &[f64]) {
-        use std::sync::atomic::Ordering;
-        for (slot, &v) in self.0.iter().zip(local) {
-            let mut cur = slot.load(Ordering::Relaxed);
-            while v > f64::from_bits(cur) {
-                match slot.compare_exchange_weak(
-                    cur,
-                    v.to_bits(),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(c) => cur = c,
-                }
-            }
+impl BatchState {
+    fn empty() -> Self {
+        BatchState {
+            f: Vec::new(),
+            z: Vec::new(),
+            s1: Vec::new(),
+            s3: Vec::new(),
+            l1: Vec::new(),
+            l3: Vec::new(),
+            l4: Vec::new(),
         }
     }
 
-    fn into_vec(self) -> Vec<f64> {
-        self.0
-            .into_iter()
-            .map(|a| f64::from_bits(a.into_inner()))
-            .collect()
+    /// Resize every family to the given window shape and zero it. Buffers
+    /// only ever grow, so once the largest window shape has been seen this
+    /// performs no heap allocation.
+    fn reset_for(&mut self, np: usize, npos: usize, nd: usize, ne: usize, nb: usize) {
+        for (buf, len) in [
+            (&mut self.f, np * nb),
+            (&mut self.z, npos * nb),
+            (&mut self.s1, nd * nb),
+            (&mut self.s3, ne * nb),
+            (&mut self.l1, nd * nb),
+            (&mut self.l3, ne * nb),
+            (&mut self.l4, npos * nb),
+        ] {
+            buf.clear();
+            buf.resize(len, 0.0);
+        }
+    }
+}
+
+/// Reusable scratch for [`AdmmBatchSolver::run_batch_into`]: the SoA
+/// [`BatchState`], per-lane bookkeeping, tile bounds, per-tile sweep
+/// scratch, and the atomic lane-max slots. Every buffer is grow-only, so a
+/// server that keeps one arena per dispatch lane reaches an
+/// **allocation-free steady state**: from the second window of a given
+/// shape onwards, a full fine-tuning run performs zero heap allocations
+/// (asserted by `tests/steady_state_alloc.rs`).
+///
+/// # Lifecycle and ownership
+///
+/// An arena is plain mutable scratch — it carries no results across
+/// windows, only capacity. Exactly one solve may use it at a time (`&mut`
+/// enforces this); different threads must use different arenas. It is not
+/// tied to any skeleton or topology: reusing one arena across topologies,
+/// capacity overrides, or weight swaps is safe and merely re-grows buffers
+/// on shape changes.
+pub struct BatchArena {
+    st: BatchState,
+    active: Vec<bool>,
+    iterations: Vec<usize>,
+    residual: Vec<f64>,
+    df: Vec<f64>,
+    dz: Vec<f64>,
+    primal: Vec<f64>,
+    dbounds: Vec<usize>,
+    ebounds: Vec<usize>,
+    lane_max: Vec<std::sync::atomic::AtomicU64>,
+    scratch: Vec<f64>,
+    /// Per-tile scratch stride for the current window.
+    stride: usize,
+}
+
+impl Default for BatchArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchArena {
+    /// An empty arena; buffers grow to fit the first solve that uses it.
+    pub fn new() -> Self {
+        BatchArena {
+            st: BatchState::empty(),
+            active: Vec::new(),
+            iterations: Vec::new(),
+            residual: Vec::new(),
+            df: Vec::new(),
+            dz: Vec::new(),
+            primal: Vec::new(),
+            dbounds: Vec::new(),
+            ebounds: Vec::new(),
+            lane_max: Vec::new(),
+            scratch: Vec::new(),
+            stride: 0,
+        }
+    }
+
+    /// Size every buffer for one window of `solver` across `threads` tiles.
+    fn prepare(&mut self, solver: &AdmmBatchSolver, threads: usize) {
+        let nb = solver.batch;
+        let np = solver.num_demands * solver.k;
+        let npos = solver.index.pos_path.len();
+        self.st
+            .reset_for(np, npos, solver.num_demands, solver.num_edges, nb);
+        self.active.clear();
+        self.active.resize(nb, true);
+        self.iterations.clear();
+        self.iterations.resize(nb, 0);
+        self.residual.clear();
+        self.residual.resize(nb, f64::INFINITY);
+        for buf in [&mut self.df, &mut self.dz, &mut self.primal] {
+            buf.clear();
+            buf.resize(nb, 0.0);
+        }
+        even_bounds_into(solver.num_demands, threads, &mut self.dbounds);
+        edge_bounds_into(&solver.index.edge_start, threads, &mut self.ebounds);
+        if self.lane_max.len() < nb {
+            self.lane_max
+                .resize_with(nb, || std::sync::atomic::AtomicU64::new(0));
+        }
+        // Per-tile sweep scratch, sized for the widest sweep: the F-update
+        // needs (2k + 4)·nb, the z-update (max per-edge entries + 2)·nb,
+        // the fused slack/dual pass 2·nb.
+        let stride = (2 * solver.k + 4)
+            .max(solver.index.max_edge_entries + 2)
+            .max(2)
+            * nb;
+        let tiles = (self.dbounds.len().max(self.ebounds.len()))
+            .saturating_sub(1)
+            .max(1);
+        self.stride = stride;
+        self.scratch.clear();
+        self.scratch.resize(tiles * stride, 0.0);
+    }
+}
+
+/// Reset the per-lane atomic maxima to zero before a sweep.
+fn lane_reset(slots: &[std::sync::atomic::AtomicU64]) {
+    for s in slots {
+        s.store(0.0f64.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Fold a tile's local maxima into the shared per-lane slots via
+/// compare-and-swap. Max is commutative and associative, so tile execution
+/// order never affects the folded value — the batched sweeps stay
+/// deterministic under any pool schedule.
+fn lane_fold(slots: &[std::sync::atomic::AtomicU64], local: &[f64]) {
+    use std::sync::atomic::Ordering;
+    for (slot, &v) in slots.iter().zip(local) {
+        let mut cur = slot.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match slot.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+/// Read the folded per-lane maxima back out.
+fn lane_read(slots: &[std::sync::atomic::AtomicU64], out: &mut [f64]) {
+    for (o, s) in out.iter_mut().zip(slots) {
+        *o = f64::from_bits(s.load(std::sync::atomic::Ordering::Relaxed));
     }
 }
 
@@ -692,34 +849,34 @@ fn par_tiles(tiles: usize, serial: bool, job: &(dyn Fn(usize) + Sync)) {
     }
 }
 
-/// Split `0..n` into at most `tiles` contiguous ranges (returned as
-/// boundary offsets, `len = tiles + 1`).
-fn even_bounds(n: usize, tiles: usize) -> Vec<usize> {
+/// Split `0..n` into at most `tiles` contiguous ranges, written as boundary
+/// offsets into `out` (reused, grow-only).
+fn even_bounds_into(n: usize, tiles: usize, out: &mut Vec<usize>) {
     let tiles = tiles.clamp(1, n.max(1));
     let per = n.div_ceil(tiles);
-    let mut bounds: Vec<usize> = (0..=tiles).map(|t| (t * per).min(n)).collect();
-    bounds.dedup();
-    bounds
+    out.clear();
+    out.extend((0..=tiles).map(|t| (t * per).min(n)));
+    out.dedup();
 }
 
 /// Split edges into contiguous ranges balanced by incidence-entry count, so
-/// hub edges do not serialize a whole tile.
-fn edge_bounds(edge_start: &[usize], tiles: usize) -> Vec<usize> {
+/// hub edges do not serialize a whole tile. Boundaries written into `out`.
+fn edge_bounds_into(edge_start: &[usize], tiles: usize, out: &mut Vec<usize>) {
     let num_edges = edge_start.len() - 1;
     let total = *edge_start.last().unwrap_or(&0);
     let tiles = tiles.clamp(1, num_edges.max(1));
     let target = total.div_ceil(tiles).max(1);
-    let mut bounds = vec![0usize];
+    out.clear();
+    out.push(0);
     let mut next_cut = target;
     for (e, &start) in edge_start.iter().enumerate().take(num_edges).skip(1) {
         if start >= next_cut {
-            bounds.push(e);
+            out.push(e);
             next_cut = start + target;
         }
     }
-    bounds.push(num_edges);
-    bounds.dedup();
-    bounds
+    out.push(num_edges);
+    out.dedup();
 }
 
 /// Batched ADMM fine-tuner: repairs a whole window of traffic matrices in
@@ -757,34 +914,91 @@ impl AdmmBatchSolver {
     /// the demand constraints first, like [`AdmmSolver::run`]). With
     /// `cfg.tol > 0`, lanes stop independently once their residual clears
     /// the bar (the convergence mask); the rest keep sweeping. Returns the
-    /// refined allocations and one report per matrix.
+    /// refined allocations and one report per matrix. One-shot convenience
+    /// over [`AdmmBatchSolver::run_batch_into`] with a throwaway arena.
     pub fn run_batch(
         &self,
         inits: &[Allocation],
         cfg: AdmmConfig,
     ) -> (Vec<Allocation>, Vec<AdmmReport>) {
+        let mut arena = BatchArena::new();
+        let mut outs = Vec::new();
+        let mut reports = Vec::new();
+        self.run_batch_into(inits, cfg, &mut arena, &mut outs, &mut reports);
+        (outs, reports)
+    }
+
+    /// Like [`AdmmBatchSolver::run_batch`], but every byte of working state
+    /// lives in the caller's [`BatchArena`] and the results land in the
+    /// caller's `outs`/`reports` (reused in place when shapes match, else
+    /// replaced). With a retained arena and output buffers, the second and
+    /// later windows of a steady-state serving loop perform **zero heap
+    /// allocations** end to end. Results are identical to
+    /// [`AdmmBatchSolver::run_batch`] regardless of what the arena served
+    /// before.
+    pub fn run_batch_into(
+        &self,
+        inits: &[Allocation],
+        cfg: AdmmConfig,
+        arena: &mut BatchArena,
+        outs: &mut Vec<Allocation>,
+        reports: &mut Vec<AdmmReport>,
+    ) {
         assert_eq!(inits.len(), self.batch, "init count != batch size");
         let nb = self.batch;
         let k = self.k;
         let np = self.num_demands * k;
         let npos = self.index.pos_path.len();
-
-        let mut st = BatchState {
-            f: vec![0.0; np * nb],
-            z: vec![0.0; npos * nb],
-            s1: vec![0.0; self.num_demands * nb],
-            s3: vec![0.0; self.num_edges * nb],
-            l1: vec![0.0; self.num_demands * nb],
-            l3: vec![0.0; self.num_edges * nb],
-            l4: vec![0.0; npos * nb],
+        let serial = cfg.serial;
+        let threads = if serial {
+            1
+        } else {
+            teal_nn::par::max_threads()
         };
+        arena.prepare(self, threads);
+        let BatchArena {
+            st,
+            active,
+            iterations,
+            residual,
+            df,
+            dz,
+            primal,
+            dbounds,
+            ebounds,
+            lane_max,
+            scratch,
+            stride,
+        } = arena;
+        let stride = *stride;
+
+        // Warm-start copy plus the per-lane demand projection, done directly
+        // in the SoA lanes: same clamp / sum / rescale order as
+        // `Allocation::project_demand_constraints`, so the start is bitwise
+        // identical to projecting each init and copying it in (without the
+        // per-init clone the one-shot path used to mint).
         for (b, init) in inits.iter().enumerate() {
             assert_eq!(init.num_demands(), self.num_demands);
             assert_eq!(init.k(), k);
-            let mut warm = init.clone();
-            warm.project_demand_constraints();
-            for (p, &v) in warm.splits().iter().enumerate() {
+            for (p, &v) in init.splits().iter().enumerate() {
                 st.f[p * nb + b] = v;
+            }
+        }
+        for d in 0..self.num_demands {
+            for b in 0..nb {
+                let mut sum = 0.0;
+                for j in 0..k {
+                    let v = &mut st.f[(d * k + j) * nb + b];
+                    if !v.is_finite() || *v < 0.0 {
+                        *v = 0.0;
+                    }
+                    sum += *v;
+                }
+                if sum > 1.0 {
+                    for j in 0..k {
+                        st.f[(d * k + j) * nb + b] /= sum;
+                    }
+                }
             }
         }
         // Same near-consistent start as the per-matrix solver: z matches the
@@ -816,26 +1030,25 @@ impl AdmmBatchSolver {
         }
 
         let rho = cfg.rho;
-        let serial = cfg.serial;
-        let threads = if serial {
-            1
-        } else {
-            teal_nn::par::max_threads()
-        };
-        let dbounds = even_bounds(self.num_demands, threads);
-        let ebounds = edge_bounds(&self.index.edge_start, threads);
-
-        let mut active = vec![true; nb];
-        let mut iterations = vec![0usize; nb];
-        let mut residual = vec![f64::INFINITY; nb];
         for _ in 0..cfg.max_iters {
-            if !active.iter().any(|&a| a) {
+            let live = active.iter().filter(|&&a| a).count();
+            if live == 0 {
                 break;
             }
-            let df = self.update_f(&mut st, &active, rho, serial, &dbounds);
-            let dz = self.update_z(&mut st, &active, rho, serial, &ebounds);
-            let primal =
-                self.update_slacks_duals(&mut st, &active, rho, serial, &dbounds, &ebounds);
+            // All-lanes-active fast path: until the first lane freezes
+            // (never, under the paper's fixed-iteration fine-tuning), the
+            // commit loops run branch-free over every lane — `None` selects
+            // the zip-vectorized variant with no mask test per lane.
+            let mask: Option<&[bool]> = if live == nb { None } else { Some(active) };
+            self.update_f(
+                st, mask, rho, serial, dbounds, scratch, stride, lane_max, df,
+            );
+            self.update_z(
+                st, mask, rho, serial, ebounds, scratch, stride, lane_max, dz,
+            );
+            self.update_slacks_duals(
+                st, mask, rho, serial, dbounds, ebounds, scratch, stride, lane_max, primal,
+            );
             for b in 0..nb {
                 if !active[b] {
                     continue;
@@ -850,51 +1063,65 @@ impl AdmmBatchSolver {
             }
         }
 
-        let mut outs = Vec::with_capacity(nb);
-        let mut reports = Vec::with_capacity(nb);
+        outs.truncate(nb);
+        reports.clear();
         for b in 0..nb {
-            let splits: Vec<f64> = (0..np).map(|p| st.f[p * nb + b]).collect();
-            let mut out = Allocation::from_splits(k, splits);
+            if b == outs.len() {
+                outs.push(Allocation::zeros(self.num_demands, k));
+            } else if outs[b].k() != k || outs[b].splits().len() != np {
+                outs[b] = Allocation::zeros(self.num_demands, k);
+            }
+            let out = &mut outs[b];
+            for (p, s) in out.splits_mut().iter_mut().enumerate() {
+                *s = st.f[p * nb + b];
+            }
             out.project_demand_constraints();
-            outs.push(out);
             reports.push(AdmmReport {
                 iterations: iterations[b],
                 primal_residual: residual[b],
             });
         }
-        (outs, reports)
     }
 
     /// Batched per-demand F-update: one walk of each demand's incidence
     /// entries serves every lane. The hot accumulation loops run unmasked
     /// over all lanes (branch-free, zip-vectorized); the convergence mask
-    /// is applied only at the commit site, so a converged lane's state
-    /// stays frozen while the others keep iterating. Returns per-lane max
-    /// split change.
+    /// is applied only at the commit site — and skipped entirely on the
+    /// all-lanes-active fast path (`mask == None`). Writes per-lane max
+    /// split change into `out`. All scratch comes from the arena.
+    #[allow(clippy::too_many_arguments)]
     fn update_f(
         &self,
         st: &mut BatchState,
-        active: &[bool],
+        mask: Option<&[bool]>,
         rho: f64,
         serial: bool,
         dbounds: &[usize],
-    ) -> Vec<f64> {
+        scratch: &mut [f64],
+        stride: usize,
+        lane_max: &[std::sync::atomic::AtomicU64],
+        out: &mut [f64],
+    ) {
         let nb = self.batch;
         let k = self.k;
-        let dmax = LaneMax::new(nb);
+        lane_reset(lane_max);
         let fbuf = TileBuf::new(&mut st.f);
+        let sbuf = TileBuf::new(scratch);
         let (z, s1, l1, l4) = (&st.z, &st.s1, &st.l1, &st.l4);
         let idx = &*self.index;
         par_tiles(dbounds.len() - 1, serial, &|t| {
             let (d0, d1) = (dbounds[t], dbounds[t + 1]);
             // SAFETY: demand tiles are disjoint, so each tile owns its rows.
             let rows = unsafe { fbuf.slice(d0 * k * nb, (d1 - d0) * k * nb) };
-            let mut b = vec![0.0f64; k * nb];
-            let mut diag = vec![0.0f64; k * nb];
-            let mut sum_binv = vec![0.0f64; nb];
-            let mut sum_inv = vec![0.0f64; nb];
-            let mut corr = vec![0.0f64; nb];
-            let mut local = vec![0.0f64; nb];
+            // SAFETY: tile `t` owns scratch positions `t*stride..(t+1)*stride`.
+            let tile = unsafe { sbuf.slice(t * stride, stride) };
+            let (b, tile) = tile.split_at_mut(k * nb);
+            let (diag, tile) = tile.split_at_mut(k * nb);
+            let (sum_binv, tile) = tile.split_at_mut(nb);
+            let (sum_inv, tile) = tile.split_at_mut(nb);
+            let (corr, tile) = tile.split_at_mut(nb);
+            let (local, _) = tile.split_at_mut(nb);
+            local.fill(0.0);
             for d in d0..d1 {
                 let vols_d = &self.vols[d * nb..(d + 1) * nb];
                 let s1_d = &s1[d * nb..(d + 1) * nb];
@@ -939,47 +1166,73 @@ impl AdmmBatchSolver {
                     }
                 }
                 // Sherman-Morrison solve of (diag + rho*11^T) x = b.
-                for ((cv, &sb), &si) in corr.iter_mut().zip(&sum_binv).zip(&sum_inv) {
+                for ((cv, &sb), &si) in corr.iter_mut().zip(sum_binv.iter()).zip(sum_inv.iter()) {
                     *cv = rho * sb / (1.0 + rho * si);
                 }
                 for j in 0..k {
                     let bj = &b[j * nb..(j + 1) * nb];
                     let dj = &diag[j * nb..(j + 1) * nb];
                     let row = &mut rows[((d - d0) * k + j) * nb..((d - d0) * k + j + 1) * nb];
-                    for lane in 0..nb {
-                        if !active[lane] {
-                            continue;
+                    match mask {
+                        // Fast path: every lane commits, no mask branch.
+                        None => {
+                            for ((rv, lv), ((&bv, &dv), (&vol, &cv))) in row
+                                .iter_mut()
+                                .zip(local.iter_mut())
+                                .zip(bj.iter().zip(dj).zip(vols_d.iter().zip(&*corr)))
+                            {
+                                let x = if vol <= 0.0 {
+                                    0.0
+                                } else {
+                                    ((bv - cv) / dv).clamp(0.0, 1.0)
+                                };
+                                *lv = lv.max((x - *rv).abs());
+                                *rv = x;
+                            }
                         }
-                        let x = if vols_d[lane] <= 0.0 {
-                            0.0
-                        } else {
-                            ((bj[lane] - corr[lane]) / dj[lane]).clamp(0.0, 1.0)
-                        };
-                        local[lane] = local[lane].max((x - row[lane]).abs());
-                        row[lane] = x;
+                        Some(active) => {
+                            for lane in 0..nb {
+                                if !active[lane] {
+                                    continue;
+                                }
+                                let x = if vols_d[lane] <= 0.0 {
+                                    0.0
+                                } else {
+                                    ((bj[lane] - corr[lane]) / dj[lane]).clamp(0.0, 1.0)
+                                };
+                                local[lane] = local[lane].max((x - row[lane]).abs());
+                                row[lane] = x;
+                            }
+                        }
                     }
                 }
             }
-            dmax.fold(&local);
+            lane_fold(lane_max, local);
         });
-        dmax.into_vec()
+        lane_read(lane_max, out);
     }
 
     /// Batched per-edge z-update. Edge-major storage lets each tile write
     /// its edges' entries in place — no scratch copy of `z`, no atomics.
-    /// Returns per-lane max auxiliary change.
+    /// Writes per-lane max auxiliary change into `out`.
+    #[allow(clippy::too_many_arguments)]
     fn update_z(
         &self,
         st: &mut BatchState,
-        active: &[bool],
+        mask: Option<&[bool]>,
         rho: f64,
         serial: bool,
         ebounds: &[usize],
-    ) -> Vec<f64> {
+        scratch: &mut [f64],
+        stride: usize,
+        lane_max: &[std::sync::atomic::AtomicU64],
+        out: &mut [f64],
+    ) {
         let nb = self.batch;
         let k = self.k;
-        let dmax = LaneMax::new(nb);
+        lane_reset(lane_max);
         let zbuf = TileBuf::new(&mut st.z);
+        let sbuf = TileBuf::new(scratch);
         let (f, s3, l3, l4) = (&st.f, &st.s3, &st.l3, &st.l4);
         let idx = &*self.index;
         par_tiles(ebounds.len() - 1, serial, &|t| {
@@ -987,18 +1240,18 @@ impl AdmmBatchSolver {
             let base = idx.edge_start[e0];
             // SAFETY: edge tiles own disjoint position ranges of `z`.
             let ztile = unsafe { zbuf.slice(base * nb, (idx.edge_start[e1] - base) * nb) };
-            let mut bs: Vec<f64> = Vec::new();
-            let mut corr = vec![0.0f64; nb];
-            let mut local = vec![0.0f64; nb];
+            // SAFETY: tile `t` owns scratch positions `t*stride..(t+1)*stride`.
+            let tile = unsafe { sbuf.slice(t * stride, stride) };
+            let (bs, tile) = tile.split_at_mut(idx.max_edge_entries * nb);
+            let (corr, tile) = tile.split_at_mut(nb);
+            let (local, _) = tile.split_at_mut(nb);
+            local.fill(0.0);
             for e in e0..e1 {
                 let (q0, q1) = (idx.edge_start[e], idx.edge_start[e + 1]);
                 if q0 == q1 {
                     continue;
                 }
                 let n = (q1 - q0) as f64;
-                if bs.len() < (q1 - q0) * nb {
-                    bs.resize((q1 - q0) * nb, 0.0);
-                }
                 corr.fill(0.0);
                 let caps_e = self.caps[e];
                 let s3_e = &s3[e * nb..(e + 1) * nb];
@@ -1025,38 +1278,60 @@ impl AdmmBatchSolver {
                 for (r, pos) in (q0..q1).enumerate() {
                     let row = &bs[r * nb..(r + 1) * nb];
                     let zrow = &mut ztile[(pos - base) * nb..(pos - base + 1) * nb];
-                    for lane in 0..nb {
-                        if !active[lane] {
-                            continue;
+                    match mask {
+                        // Fast path: every lane commits, no mask branch.
+                        None => {
+                            for ((zv, lv), (&bv, &cv)) in zrow
+                                .iter_mut()
+                                .zip(local.iter_mut())
+                                .zip(row.iter().zip(&*corr))
+                            {
+                                let zi = bv / rho - cv;
+                                *lv = lv.max((zi - *zv).abs());
+                                *zv = zi;
+                            }
                         }
-                        let zi = row[lane] / rho - corr[lane];
-                        local[lane] = local[lane].max((zi - zrow[lane]).abs());
-                        zrow[lane] = zi;
+                        Some(active) => {
+                            for lane in 0..nb {
+                                if !active[lane] {
+                                    continue;
+                                }
+                                let zi = row[lane] / rho - corr[lane];
+                                local[lane] = local[lane].max((zi - zrow[lane]).abs());
+                                zrow[lane] = zi;
+                            }
+                        }
                     }
                 }
             }
-            dmax.fold(&local);
+            lane_fold(lane_max, local);
         });
-        dmax.into_vec()
+        lane_read(lane_max, out);
     }
 
     /// Fused batched slack projections + dual ascent: one demand-tiled pass
     /// (s1, λ1) and one edge-tiled pass (s3, λ3, λ4 — each edge owns its λ4
     /// positions). The per-subproblem arithmetic is exactly the per-matrix
     /// solver's; fusing is legal because no quantity crosses subproblems.
-    /// Returns per-lane max primal residual.
+    /// Writes per-lane max primal residual into `out`.
+    #[allow(clippy::too_many_arguments)]
     fn update_slacks_duals(
         &self,
         st: &mut BatchState,
-        active: &[bool],
+        mask: Option<&[bool]>,
         rho: f64,
         serial: bool,
         dbounds: &[usize],
         ebounds: &[usize],
-    ) -> Vec<f64> {
+        scratch: &mut [f64],
+        stride: usize,
+        lane_max: &[std::sync::atomic::AtomicU64],
+        out: &mut [f64],
+    ) {
         let nb = self.batch;
         let k = self.k;
-        let resid = LaneMax::new(nb);
+        lane_reset(lane_max);
+        let sbuf = TileBuf::new(scratch);
         let idx = &*self.index;
 
         {
@@ -1068,8 +1343,11 @@ impl AdmmBatchSolver {
                 // SAFETY: demand tiles own disjoint ranges of s1/l1.
                 let s1 = unsafe { s1buf.slice(d0 * nb, (d1 - d0) * nb) };
                 let l1 = unsafe { l1buf.slice(d0 * nb, (d1 - d0) * nb) };
-                let mut sum = vec![0.0f64; nb];
-                let mut local = vec![0.0f64; nb];
+                // SAFETY: tile `t` owns its scratch range.
+                let tile = unsafe { sbuf.slice(t * stride, stride) };
+                let (sum, tile) = tile.split_at_mut(nb);
+                let (local, _) = tile.split_at_mut(nb);
+                local.fill(0.0);
                 for d in d0..d1 {
                     sum.fill(0.0);
                     for j in 0..k {
@@ -1080,18 +1358,36 @@ impl AdmmBatchSolver {
                     }
                     let s1_d = &mut s1[(d - d0) * nb..(d - d0 + 1) * nb];
                     let l1_d = &mut l1[(d - d0) * nb..(d - d0 + 1) * nb];
-                    for lane in 0..nb {
-                        if !active[lane] {
-                            continue;
+                    match mask {
+                        // Fast path: every lane commits, no mask branch.
+                        None => {
+                            for ((sv, lv), (&su, lc)) in s1_d
+                                .iter_mut()
+                                .zip(l1_d.iter_mut())
+                                .zip(sum.iter().zip(local.iter_mut()))
+                            {
+                                let s = (1.0 - su - *lv / rho).max(0.0);
+                                *sv = s;
+                                let g = su + s - 1.0;
+                                *lv += rho * g;
+                                *lc = lc.max(g.abs());
+                            }
                         }
-                        let s = (1.0 - sum[lane] - l1_d[lane] / rho).max(0.0);
-                        s1_d[lane] = s;
-                        let g = sum[lane] + s - 1.0;
-                        l1_d[lane] += rho * g;
-                        local[lane] = local[lane].max(g.abs());
+                        Some(active) => {
+                            for lane in 0..nb {
+                                if !active[lane] {
+                                    continue;
+                                }
+                                let s = (1.0 - sum[lane] - l1_d[lane] / rho).max(0.0);
+                                s1_d[lane] = s;
+                                let g = sum[lane] + s - 1.0;
+                                l1_d[lane] += rho * g;
+                                local[lane] = local[lane].max(g.abs());
+                            }
+                        }
                     }
                 }
-                resid.fold(&local);
+                lane_fold(lane_max, local);
             });
         }
 
@@ -1108,8 +1404,12 @@ impl AdmmBatchSolver {
                 let s3 = unsafe { s3buf.slice(e0 * nb, (e1 - e0) * nb) };
                 let l3 = unsafe { l3buf.slice(e0 * nb, (e1 - e0) * nb) };
                 let l4 = unsafe { l4buf.slice(base * nb, (idx.edge_start[e1] - base) * nb) };
-                let mut sum = vec![0.0f64; nb];
-                let mut local = vec![0.0f64; nb];
+                // SAFETY: tile `t` owns its scratch range (the demand pass
+                // above has fully completed before this dispatch starts).
+                let tile = unsafe { sbuf.slice(t * stride, stride) };
+                let (sum, tile) = tile.split_at_mut(nb);
+                let (local, _) = tile.split_at_mut(nb);
+                local.fill(0.0);
                 for e in e0..e1 {
                     let (q0, q1) = (idx.edge_start[e], idx.edge_start[e + 1]);
                     sum.fill(0.0);
@@ -1122,15 +1422,33 @@ impl AdmmBatchSolver {
                     let caps_e = self.caps[e];
                     let s3_e = &mut s3[(e - e0) * nb..(e - e0 + 1) * nb];
                     let l3_e = &mut l3[(e - e0) * nb..(e - e0 + 1) * nb];
-                    for lane in 0..nb {
-                        if !active[lane] {
-                            continue;
+                    match mask {
+                        // Fast path: every lane commits, no mask branch.
+                        None => {
+                            for ((sv, lv), (&su, lc)) in s3_e
+                                .iter_mut()
+                                .zip(l3_e.iter_mut())
+                                .zip(sum.iter().zip(local.iter_mut()))
+                            {
+                                let s = (caps_e - su - *lv / rho).max(0.0);
+                                *sv = s;
+                                let g = su + s - caps_e;
+                                *lv += rho * g;
+                                *lc = lc.max(g.abs());
+                            }
                         }
-                        let s = (caps_e - sum[lane] - l3_e[lane] / rho).max(0.0);
-                        s3_e[lane] = s;
-                        let g = sum[lane] + s - caps_e;
-                        l3_e[lane] += rho * g;
-                        local[lane] = local[lane].max(g.abs());
+                        Some(active) => {
+                            for lane in 0..nb {
+                                if !active[lane] {
+                                    continue;
+                                }
+                                let s = (caps_e - sum[lane] - l3_e[lane] / rho).max(0.0);
+                                s3_e[lane] = s;
+                                let g = sum[lane] + s - caps_e;
+                                l3_e[lane] += rho * g;
+                                local[lane] = local[lane].max(g.abs());
+                            }
+                        }
                     }
                     for pos in q0..q1 {
                         let p = idx.pos_path[pos] as usize;
@@ -1138,20 +1456,36 @@ impl AdmmBatchSolver {
                         let fp = &f[p * nb..(p + 1) * nb];
                         let zp = &z[pos * nb..(pos + 1) * nb];
                         let l4p = &mut l4[(pos - base) * nb..(pos - base + 1) * nb];
-                        for lane in 0..nb {
-                            if !active[lane] {
-                                continue;
+                        match mask {
+                            // Fast path: every lane commits, no mask branch.
+                            None => {
+                                for ((lv, lc), ((&fv, &vol), &zv)) in l4p
+                                    .iter_mut()
+                                    .zip(local.iter_mut())
+                                    .zip(fp.iter().zip(vols_d).zip(zp))
+                                {
+                                    let g4 = fv * vol - zv;
+                                    *lv += rho * g4;
+                                    *lc = lc.max(g4.abs());
+                                }
                             }
-                            let g4 = fp[lane] * vols_d[lane] - zp[lane];
-                            l4p[lane] += rho * g4;
-                            local[lane] = local[lane].max(g4.abs());
+                            Some(active) => {
+                                for lane in 0..nb {
+                                    if !active[lane] {
+                                        continue;
+                                    }
+                                    let g4 = fp[lane] * vols_d[lane] - zp[lane];
+                                    l4p[lane] += rho * g4;
+                                    local[lane] = local[lane].max(g4.abs());
+                                }
+                            }
                         }
                     }
                 }
-                resid.fold(&local);
+                lane_fold(lane_max, local);
             });
         }
-        resid.into_vec()
+        lane_read(lane_max, out);
     }
 }
 

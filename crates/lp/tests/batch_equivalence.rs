@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use teal_lp::{AdmmConfig, AdmmSkeleton, Allocation, Objective};
+use teal_lp::{AdmmBatchSolver, AdmmConfig, AdmmSkeleton, Allocation, BatchArena, Objective};
 use teal_topology::{PathSet, Topology};
 use teal_traffic::TrafficMatrix;
 
@@ -187,6 +187,56 @@ proptest! {
             let tms = random_window(nb, nd, &mut rng);
             let inits = random_inits(nb, nd, k, &mut rng);
             assert_batch_matches(&skel, &tms, &inits, cfg)?;
+        }
+    }
+
+    /// Arena reuse across windows: one retained [`BatchArena`] + solver +
+    /// output buffers serving a sequence of windows (batch sizes shrink and
+    /// grow, and the skeleton's capacity vector is swapped mid-sequence —
+    /// the lp-level analog of a serving hot swap) must produce *bitwise*
+    /// what a fresh `run_batch` produces for each window. Nothing may leak
+    /// from one window's state into the next through the arena.
+    #[test]
+    fn arena_reuse_across_windows_matches_fresh(seed in 0u64..1_000_000) {
+        let (topo, _paths, skel, nd, k) = random_problem(seed, Objective::TotalFlow);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa12e);
+        // tol > 0 so the convergence mask (and its all-lanes fast path
+        // hand-off) is exercised across reused buffers.
+        let cfg = AdmmConfig { rho: 1.0, max_iters: 60, tol: 1e-4, serial: false };
+        let degraded = topo.with_failed_edges(&[0]);
+        let swapped = skel.with_topology(&degraded);
+        let mut arena = BatchArena::new();
+        let mut outs = Vec::new();
+        let mut reports = Vec::new();
+        let mut solver: Option<AdmmBatchSolver> = None;
+        for (w, &nb) in [3usize, 7, 1, 7, 4].iter().enumerate() {
+            // Swap to the degraded capacities from window 2 on; the arena
+            // and output buffers carry over untouched.
+            let skel_w = if w >= 2 { &swapped } else { &skel };
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            match solver.as_mut() {
+                Some(s) => skel_w.remint_batch_solver(s, &tms),
+                None => solver = Some(skel_w.batch_solver(&tms)),
+            }
+            solver.as_ref().expect("minted").run_batch_into(
+                &inits, cfg, &mut arena, &mut outs, &mut reports,
+            );
+            let (fresh_outs, fresh_reps) = skel_w.batch_solver(&tms).run_batch(&inits, cfg);
+            prop_assert_eq!(outs.len(), nb);
+            for b in 0..nb {
+                prop_assert_eq!(
+                    reports[b].iterations, fresh_reps[b].iterations,
+                    "window {} lane {}: reused-arena iterations diverged", w, b
+                );
+                for (p, (x, y)) in outs[b].splits().iter().zip(fresh_outs[b].splits()).enumerate() {
+                    prop_assert!(
+                        x == y,
+                        "window {} lane {} split {}: reused {} vs fresh {}",
+                        w, b, p, x, y
+                    );
+                }
+            }
         }
     }
 

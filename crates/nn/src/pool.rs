@@ -29,7 +29,14 @@
 //! submitting thread with the original payload (first panic wins), so
 //! caller-side `catch_unwind` diagnostics see the real cause — matching
 //! the old `crossbeam::scope(...).expect(...)` behavior closely enough for
-//! every call site in this workspace.
+//! every call site in this workspace. Once a job is poisoned, later chunk
+//! claims fast-fail (counted as done, never executed): a batch that will
+//! re-panic anyway must not keep burning worker time other jobs could use.
+//!
+//! Steady state allocates (almost) nothing: each submitting thread caches
+//! its last `Job` and re-arms it in place when no worker still holds a
+//! reference, and the job queue is preallocated — at serving rates the
+//! per-dispatch cost is one queue push, not an allocation.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -71,6 +78,14 @@ impl Job {
             if i >= self.n {
                 return;
             }
+            // Fast-fail a poisoned job: the submitter re-panics regardless
+            // of what later chunks compute, so executing them only burns
+            // worker time other jobs could use. Claimed chunks still count
+            // toward `done` so the completion protocol (and `wait`) holds.
+            if self.poisoned.load(Ordering::Acquire) {
+                self.finish_chunk();
+                continue;
+            }
             // SAFETY: `i < n`, so the submitter is still inside `run` and
             // the closure is alive.
             let task = unsafe { &*self.task };
@@ -82,11 +97,16 @@ impl Job {
                 drop(slot);
                 self.poisoned.store(true, Ordering::Release);
             }
-            let mut done = self.done.lock().expect("pool job lock");
-            *done += 1;
-            if *done == self.n {
-                self.finished.notify_all();
-            }
+            self.finish_chunk();
+        }
+    }
+
+    /// Count one claimed chunk as settled, waking the submitter on the last.
+    fn finish_chunk(&self) {
+        let mut done = self.done.lock().expect("pool job lock");
+        *done += 1;
+        if *done == self.n {
+            self.finished.notify_all();
         }
     }
 
@@ -115,7 +135,10 @@ pub struct WorkerPool {
 impl WorkerPool {
     fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            // Preallocated so steady-state pushes never grow the deque: the
+            // pending-job count is bounded by concurrent submitters, far
+            // below this.
+            queue: Mutex::new(VecDeque::with_capacity(64)),
             available: Condvar::new(),
         });
         for i in 0..workers {
@@ -184,15 +207,28 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
     let task: *const (dyn Fn(usize) + Sync) = unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
     };
-    let job = Arc::new(Job {
-        task,
-        n,
-        next: AtomicUsize::new(0),
-        poisoned: AtomicBool::new(false),
-        payload: Mutex::new(None),
-        done: Mutex::new(0),
-        finished: Condvar::new(),
-    });
+    // Steady-state job reuse: each submitting thread caches its last Job
+    // and re-arms it in place when it holds the only reference (no worker
+    // kept a clone past the previous job's exhaustion — `Arc::get_mut`
+    // proves exclusivity, so the reset is race-free). Serving loops thus
+    // stop minting a Job allocation per kernel dispatch; a fresh Job is
+    // built only when a worker still holds the old one.
+    let job = match JOB_CACHE.with(|c| c.take()) {
+        Some(mut cached) => {
+            if let Some(m) = Arc::get_mut(&mut cached) {
+                m.task = task;
+                m.n = n;
+                *m.next.get_mut() = 0;
+                *m.poisoned.get_mut() = false;
+                *m.payload.get_mut().expect("pool payload lock") = None;
+                *m.done.get_mut().expect("pool job lock") = 0;
+                cached
+            } else {
+                fresh_job(task, n)
+            }
+        }
+        None => fresh_job(task, n),
+    };
     {
         let mut q = pool.shared.queue.lock().expect("pool queue lock");
         q.push_back(Arc::clone(&job));
@@ -214,6 +250,27 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         }
         panic!("teal-nn pool worker panicked");
     }
+    JOB_CACHE.with(|c| c.set(Some(job)));
+}
+
+thread_local! {
+    /// Per-thread cache of the last submitted [`Job`], re-armed by [`run`]
+    /// when exclusively owned. Never dereferenced while cached: the job is
+    /// exhausted (`next >= n`) and off the queue, so no thread touches its
+    /// stale `task` pointer.
+    static JOB_CACHE: std::cell::Cell<Option<Arc<Job>>> = const { std::cell::Cell::new(None) };
+}
+
+fn fresh_job(task: *const (dyn Fn(usize) + Sync), n: usize) -> Arc<Job> {
+    Arc::new(Job {
+        task,
+        n,
+        next: AtomicUsize::new(0),
+        poisoned: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(0),
+        finished: Condvar::new(),
+    })
 }
 
 #[cfg(test)]
@@ -252,6 +309,40 @@ mod tests {
             .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
             .unwrap_or_default();
         assert!(msg.contains("exploded"), "original payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn poisoned_job_stops_executing_chunks() {
+        // Deterministic single-thread drive of the claim loop: chunk 2
+        // panics, so chunks 3..8 must be claimed-and-skipped, not executed
+        // — while `done` still reaches `n` so `wait` cannot hang.
+        let hits: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let task = |i: usize| {
+            if i == 2 {
+                panic!("chunk 2 exploded");
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        let fref: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY: the job lives only within this scope; `help` runs and
+        // finishes here, so the erased borrow never outlives the closure.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(fref)
+        };
+        let job = fresh_job(erased, 8);
+        job.help();
+        job.wait();
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 1);
+        for (i, h) in hits.iter().enumerate().skip(2) {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                0,
+                "chunk {i} ran after the job was poisoned"
+            );
+        }
+        assert!(job.poisoned.load(Ordering::Acquire));
+        assert!(job.payload.lock().expect("payload").is_some());
     }
 
     #[test]

@@ -1,27 +1,57 @@
-//! The serving daemon: request queue, micro-batching coalescer, dispatcher.
+//! The serving daemon: per-topology dispatch shards, each with its own
+//! request queue, micro-batching coalescer, and ADMM arena.
 //!
 //! Concurrent callers [`ServeDaemon::submit`] `(topology id, traffic
-//! matrix)` pairs; a dispatcher thread drains the queue, groups requests by
-//! topology, and pushes each group through
-//! [`ServingContext::allocate_batch`] so unrelated clients' matrices share
-//! one set of forward-pass matrix products — the paper's "TE allocation as
-//! one fixed-cost batched compute step", turned into a service.
+//! matrix)` pairs; the submit path routes each request to its topology's
+//! *shard* — a dedicated dispatcher thread with a private queue — which
+//! drains, coalesces, and pushes each batch through
+//! [`ServingContext::try_allocate_batch_with`] so unrelated clients'
+//! matrices share one set of forward-pass matrix products — the paper's
+//! "TE allocation as one fixed-cost batched compute step", turned into a
+//! service. On multicore, shards are true parallel lanes: two topologies'
+//! windows overlap instead of serializing behind one dispatcher.
 //!
-//! The hot path is built from commutative operations: enqueue appends under
-//! a queue lock held for O(1), the dispatcher snapshots contexts from the
-//! [`ModelRegistry`] (see its docs), and responses land in per-request
-//! slots nobody else touches. There is no lock held across model compute.
+//! The hot path is built from commutative operations (requests to
+//! different topologies share *no* per-window mutable state, so their
+//! dispatch commutes and needs no coordination): enqueue appends under a
+//! shard-local queue lock held for O(1), each shard snapshots its context
+//! from the [`ModelRegistry`] (see its docs), and responses land in
+//! per-request slots nobody else touches. There is no lock held across
+//! model compute, and no two shards ever share a lock on the hot path.
+//!
+//! # Shard arena ownership
+//!
+//! Every shard owns one [`teal_core::BatchScratch`]: the ADMM batch arena,
+//! reminted solver, and report buffers its windows reuse. Only the shard's
+//! dispatcher thread ever touches it, so steady-state windows reuse all
+//! ADMM solver state with zero coordination (the reply allocations
+//! themselves are minted per window — clients consume them). The scratch
+//! lives in the shard, *not* in the serving context — a hot checkpoint
+//! swap replaces
+//! the context `Arc` but leaves the shard's arena (and its warmed-up
+//! capacity) untouched, and the next window simply runs against the new
+//! weights (swap safety: a scratch carries no weight- or topology-derived
+//! state across windows, only buffer capacity).
+//!
+//! # Shutdown protocol
+//!
+//! `shutdown` sets the flag, then wakes and joins every shard. Submitters
+//! re-check the flag *under the shard's queue lock* — the same lock the
+//! shard holds for its final is-empty check — so a request is either
+//! enqueued before the shard's last drain (and served) or observes the
+//! flag and gets [`ServeError::ShuttingDown`]. A post-join sweep fails any
+//! conceivable straggler rather than stranding its ticket.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use teal_core::{AllocError, PolicyModel, ServingContext};
+use teal_core::{AllocError, BatchScratch, PolicyModel, ServingContext};
 use teal_lp::Allocation;
 use teal_traffic::TrafficMatrix;
 
 use crate::registry::ModelRegistry;
-use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::telemetry::{ShardStats, Telemetry, TelemetrySnapshot};
 
 /// Why a request could not be served.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,9 +140,8 @@ impl Ticket {
     }
 }
 
-/// One queued request.
+/// One queued request (its topology is implied by the shard holding it).
 struct Request {
-    topology: String,
     tm: TrafficMatrix,
     enqueued: Instant,
     slot: Arc<ResponseSlot>,
@@ -129,8 +158,9 @@ pub struct ServeConfig {
     /// stragglers before dispatching (micro-batching window). Zero
     /// dispatches immediately.
     pub linger: Duration,
-    /// Queue bound; submitters block once this many requests are waiting
-    /// (backpressure instead of unbounded memory growth).
+    /// Per-shard queue bound; submitters block once this many requests are
+    /// waiting for one topology (backpressure instead of unbounded memory
+    /// growth).
     pub queue_capacity: usize,
 }
 
@@ -144,15 +174,37 @@ impl Default for ServeConfig {
     }
 }
 
-/// Shared state between submitters and the dispatcher.
-struct Inner<M: PolicyModel> {
-    registry: ModelRegistry<M>,
-    cfg: ServeConfig,
+/// One topology's dispatch lane: private queue, condvars, and telemetry
+/// slot. The shard's dispatcher thread additionally owns a
+/// [`BatchScratch`] (thread-local by construction — it lives on the
+/// dispatcher's stack and is never shared).
+struct Shard {
+    topology: String,
     queue: Mutex<VecDeque<Request>>,
-    /// Signals the dispatcher that work (or shutdown) is pending.
+    /// Signals the shard dispatcher that work (or shutdown) is pending.
     nonempty: Condvar,
     /// Signals submitters that queue space freed up.
     space: Condvar,
+    /// This shard's telemetry slot (also registered in the global
+    /// [`Telemetry`] for snapshots).
+    stats: Arc<Mutex<ShardStats>>,
+}
+
+/// A shard plus its dispatcher thread handle (held by the daemon for
+/// joining at shutdown).
+struct ShardHandle {
+    shard: Arc<Shard>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// Shared state between submitters and the shard dispatchers.
+struct Inner<M: PolicyModel> {
+    registry: ModelRegistry<M>,
+    cfg: ServeConfig,
+    /// Topology id → dispatch shard, created lazily on first submit.
+    /// Locked only to route a request (a map read) or create a shard —
+    /// never across compute.
+    shards: Mutex<HashMap<String, ShardHandle>>,
     shutdown: AtomicBool,
     telemetry: Telemetry,
 }
@@ -160,32 +212,21 @@ struct Inner<M: PolicyModel> {
 /// The long-running TE serving daemon (see module docs).
 pub struct ServeDaemon<M: PolicyModel + Send + Sync + 'static> {
     inner: Arc<Inner<M>>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
-    /// Start the dispatcher over `registry` (which may be empty; topologies
-    /// can be registered and swapped while serving).
+    /// Start the daemon over `registry` (which may be empty; topologies can
+    /// be registered and swapped while serving). Shards spawn lazily: the
+    /// first request for a registered topology brings up its dispatch lane.
     pub fn start(registry: ModelRegistry<M>, cfg: ServeConfig) -> Self {
-        let inner = Arc::new(Inner {
-            registry,
-            cfg,
-            queue: Mutex::new(VecDeque::new()),
-            nonempty: Condvar::new(),
-            space: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            telemetry: Telemetry::default(),
-        });
-        let dispatcher = {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("teal-serve-dispatcher".into())
-                .spawn(move || dispatcher_loop(&inner))
-                .expect("spawn dispatcher")
-        };
         ServeDaemon {
-            inner,
-            dispatcher: Some(dispatcher),
+            inner: Arc::new(Inner {
+                registry,
+                cfg,
+                shards: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                telemetry: Telemetry::default(),
+            }),
         }
     }
 
@@ -204,27 +245,79 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
         self.inner.telemetry.snapshot()
     }
 
-    /// Enqueue a request; returns a [`Ticket`] immediately. Blocks only
-    /// when the queue is at capacity (backpressure).
-    pub fn submit(&self, topology: impl Into<String>, tm: TrafficMatrix) -> Ticket {
-        let slot = ResponseSlot::new();
-        let req = Request {
-            topology: topology.into(),
-            tm,
-            enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
+    /// The shard for `topology`, creating it (and its dispatcher thread) on
+    /// first use. `None` when the daemon is shutting down — checked under
+    /// the shard-map lock, so no shard can appear after [`Self::shutdown`]
+    /// has collected the map.
+    fn shard(&self, topology: &str) -> Option<Arc<Shard>> {
+        let mut map = self.inner.shards.lock().expect("shard map lock");
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(h) = map.get(topology) {
+            return Some(Arc::clone(&h.shard));
+        }
+        let shard = Arc::new(Shard {
+            topology: topology.to_string(),
+            queue: Mutex::new(VecDeque::new()),
+            nonempty: Condvar::new(),
+            space: Condvar::new(),
+            stats: self.inner.telemetry.shard_stats(topology),
+        });
+        let thread = {
+            let inner = Arc::clone(&self.inner);
+            let shard = Arc::clone(&shard);
+            std::thread::Builder::new()
+                .name(format!("teal-serve-{topology}"))
+                .spawn(move || shard_loop(&inner, &shard))
+                .expect("spawn shard dispatcher")
         };
+        map.insert(
+            topology.to_string(),
+            ShardHandle {
+                shard: Arc::clone(&shard),
+                thread,
+            },
+        );
+        Some(shard)
+    }
+
+    /// Enqueue a request; returns a [`Ticket`] immediately. Blocks only
+    /// when the topology's shard queue is at capacity (backpressure).
+    pub fn submit(&self, topology: impl Into<String>, tm: TrafficMatrix) -> Ticket {
+        let topology = topology.into();
+        let slot = ResponseSlot::new();
         if self.inner.shutdown.load(Ordering::Acquire) {
             slot.fulfill(Err(ServeError::ShuttingDown));
             return Ticket { slot };
         }
+        // Route by topology. Unknown ids fail here instead of spawning a
+        // dispatch lane per typo'd request.
+        if self.inner.registry.get(&topology).is_none() {
+            slot.fulfill(Err(ServeError::UnknownTopology(topology)));
+            return Ticket { slot };
+        }
+        let Some(shard) = self.shard(&topology) else {
+            slot.fulfill(Err(ServeError::ShuttingDown));
+            return Ticket { slot };
+        };
+        let req = Request {
+            tm,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
         {
-            let mut q = self.inner.queue.lock().expect("queue lock");
+            let mut q = shard.queue.lock().expect("queue lock");
             while q.len() >= self.inner.cfg.queue_capacity
                 && !self.inner.shutdown.load(Ordering::Acquire)
             {
-                q = self.inner.space.wait(q).expect("queue wait");
+                q = shard.space.wait(q).expect("queue wait");
             }
+            // Checked under the queue lock: the shard's final
+            // drain-or-exit decision holds this same lock, so either this
+            // push lands before that drain (and is served) or the flag is
+            // visible here and the request is refused — never enqueued
+            // after the last drain and dropped (the submit/shutdown race).
             if self.inner.shutdown.load(Ordering::Acquire) {
                 drop(q);
                 slot.fulfill(Err(ServeError::ShuttingDown));
@@ -233,7 +326,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             q.push_back(req);
             self.inner.telemetry.on_enqueue();
         }
-        self.inner.nonempty.notify_one();
+        shard.nonempty.notify_one();
         Ticket { slot }
     }
 
@@ -246,14 +339,36 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
         self.submit(topology, tm).wait()
     }
 
-    /// Stop accepting requests, serve everything already queued, and join
-    /// the dispatcher. Idempotent; also runs on drop.
-    pub fn shutdown(&mut self) {
+    /// Stop accepting requests, serve everything already queued on every
+    /// shard, and join the shard dispatchers. Idempotent, callable from any
+    /// thread (even concurrently with submitters); also runs on drop.
+    pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.nonempty.notify_all();
-        self.inner.space.notify_all();
-        if let Some(h) = self.dispatcher.take() {
-            h.join().expect("dispatcher panicked");
+        // Collect the shard map first: creation re-checks the flag under
+        // this lock, so no new shard can appear afterwards.
+        let handles: Vec<ShardHandle> = {
+            let mut map = self.inner.shards.lock().expect("shard map lock");
+            map.drain().map(|(_, h)| h).collect()
+        };
+        for h in &handles {
+            h.shard.nonempty.notify_all();
+            h.shard.space.notify_all();
+        }
+        for h in handles {
+            h.thread.join().expect("shard dispatcher panicked");
+            // Safety net: the queue-lock protocol above means the shard
+            // exits only with an empty queue, but a stranded ticket would
+            // hang its client forever — sweep and refuse rather than trust.
+            let mut q = h.shard.queue.lock().expect("queue lock");
+            let leftover: Vec<Request> = q.drain(..).collect();
+            drop(q);
+            if !leftover.is_empty() {
+                self.inner.telemetry.on_drain(leftover.len());
+            }
+            for req in leftover {
+                self.inner.telemetry.on_error();
+                req.slot.fulfill(Err(ServeError::ShuttingDown));
+            }
         }
     }
 }
@@ -264,16 +379,21 @@ impl<M: PolicyModel + Send + Sync + 'static> Drop for ServeDaemon<M> {
     }
 }
 
-/// Drain the queue, coalesce by topology, serve, repeat until shutdown.
-fn dispatcher_loop<M: PolicyModel>(inner: &Inner<M>) {
+/// One shard's dispatcher: drain the shard queue, coalesce, serve through
+/// the shard-owned arena, repeat until shutdown drains it dry.
+fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
+    // The shard's private ADMM arena (see module docs for ownership rules).
+    let mut scratch = BatchScratch::new();
     loop {
         let drained = {
-            let mut q = inner.queue.lock().expect("queue lock");
+            let mut q = shard.queue.lock().expect("queue lock");
             while q.is_empty() && !inner.shutdown.load(Ordering::Acquire) {
-                q = inner.nonempty.wait(q).expect("queue wait");
+                q = shard.nonempty.wait(q).expect("queue wait");
             }
             if q.is_empty() {
-                // Shutdown with an empty queue: done.
+                // Shutdown with an empty queue: done. This decision is made
+                // under the queue lock — see `submit` for why no request
+                // can slip in afterwards.
                 return;
             }
             // Micro-batching window: once work exists, linger briefly so
@@ -285,7 +405,7 @@ fn dispatcher_loop<M: PolicyModel>(inner: &Inner<M>) {
                     if now >= deadline {
                         break;
                     }
-                    let (guard, timeout) = inner
+                    let (guard, timeout) = shard
                         .nonempty
                         .wait_timeout(q, deadline - now)
                         .expect("queue wait");
@@ -298,41 +418,38 @@ fn dispatcher_loop<M: PolicyModel>(inner: &Inner<M>) {
             let drained: Vec<Request> = q.drain(..).collect();
             inner.telemetry.on_drain(drained.len());
             drop(q);
-            inner.space.notify_all();
+            shard.space.notify_all();
             drained
         };
-        serve_drained(inner, drained);
+        serve_drained(inner, shard, &mut scratch, drained);
     }
 }
 
-/// Group a drained queue segment by topology and serve each group through
-/// the batched path.
-fn serve_drained<M: PolicyModel>(inner: &Inner<M>, drained: Vec<Request>) {
-    // Group by topology id, preserving arrival order within each group.
-    let mut groups: Vec<(String, Vec<Request>)> = Vec::new();
-    for req in drained {
-        match groups.iter_mut().find(|(id, _)| *id == req.topology) {
-            Some((_, g)) => g.push(req),
-            None => groups.push((req.topology.clone(), vec![req])),
+/// Serve one drained queue segment through the batched path in
+/// `max_batch`-sized chunks, against one context snapshot.
+fn serve_drained<M: PolicyModel>(
+    inner: &Inner<M>,
+    shard: &Shard,
+    scratch: &mut BatchScratch,
+    drained: Vec<Request>,
+) {
+    // One context snapshot per drain: every request in it is served by the
+    // same weights even if a hot swap lands mid-drain.
+    let Some(ctx) = inner.registry.get(&shard.topology) else {
+        for req in drained {
+            // Count before unblocking, like every other reply path: a
+            // client that has its reply always sees itself in `stats()`.
+            inner.telemetry.on_error();
+            req.slot
+                .fulfill(Err(ServeError::UnknownTopology(shard.topology.clone())));
         }
-    }
-    for (topology, requests) in groups {
-        // One context snapshot per group: every request in the group is
-        // served by the same weights even if a hot swap lands mid-group.
-        let Some(ctx) = inner.registry.get(&topology) else {
-            for req in requests {
-                req.slot
-                    .fulfill(Err(ServeError::UnknownTopology(topology.clone())));
-                inner.telemetry.on_error();
-            }
-            continue;
-        };
-        let mut requests = requests;
-        while !requests.is_empty() {
-            let take = requests.len().min(inner.cfg.max_batch.max(1));
-            let chunk: Vec<Request> = requests.drain(..take).collect();
-            serve_chunk(inner, &ctx, &topology, chunk);
-        }
+        return;
+    };
+    let mut requests = drained;
+    while !requests.is_empty() {
+        let take = requests.len().min(inner.cfg.max_batch.max(1));
+        let chunk: Vec<Request> = requests.drain(..take).collect();
+        serve_chunk(inner, shard, scratch, &ctx, chunk);
     }
 }
 
@@ -346,8 +463,9 @@ fn serve_drained<M: PolicyModel>(inner: &Inner<M>, drained: Vec<Request>) {
 /// classify, degrading to per-request serving.
 fn serve_chunk<M: PolicyModel>(
     inner: &Inner<M>,
-    ctx: &std::sync::Arc<ServingContext<M>>,
-    topology: &str,
+    shard: &Shard,
+    scratch: &mut BatchScratch,
+    ctx: &Arc<ServingContext<M>>,
     mut chunk: Vec<Request>,
 ) {
     // Cloned once; evictions below remove the matching entry instead of
@@ -355,7 +473,7 @@ fn serve_chunk<M: PolicyModel>(
     let mut tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
     while !chunk.is_empty() {
         let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ctx.try_allocate_batch(&tms)
+            ctx.try_allocate_batch_with(&tms, scratch)
         }));
         match batched {
             // A model whose allocate_batch drops or invents results would
@@ -377,7 +495,12 @@ fn serve_chunk<M: PolicyModel>(
                 let latencies: Vec<Duration> = chunk.iter().map(|r| r.enqueued.elapsed()).collect();
                 // Count the batch before unblocking any client, so a caller
                 // that has its reply always sees itself in `stats()`.
-                inner.telemetry.on_batch(topology, &latencies);
+                shard
+                    .stats
+                    .lock()
+                    .expect("telemetry lock")
+                    .record_batch(&latencies);
+                inner.telemetry.on_complete(latencies.len() as u64);
                 for ((req, allocation), latency) in chunk.into_iter().zip(allocs).zip(latencies) {
                     req.slot.fulfill(Ok(ServeReply {
                         allocation,
@@ -404,13 +527,18 @@ fn serve_chunk<M: PolicyModel>(
             Err(_) => {
                 for req in chunk {
                     let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        ctx.try_allocate_batch(std::slice::from_ref(&req.tm))
+                        ctx.try_allocate_batch_with(std::slice::from_ref(&req.tm), scratch)
                     }));
                     match one {
                         Ok(Ok((mut allocs, _))) if allocs.len() == 1 => {
                             let allocation = allocs.pop().expect("len checked");
                             let latency = req.enqueued.elapsed();
-                            inner.telemetry.on_batch(topology, &[latency]);
+                            shard
+                                .stats
+                                .lock()
+                                .expect("telemetry lock")
+                                .record_batch(&[latency]);
+                            inner.telemetry.on_complete(1);
                             req.slot.fulfill(Ok(ServeReply {
                                 allocation,
                                 latency,
@@ -434,8 +562,9 @@ fn serve_chunk<M: PolicyModel>(
                         Err(_) => {
                             inner.telemetry.on_error();
                             req.slot.fulfill(Err(ServeError::Internal(format!(
-                                "allocation panicked for topology {topology:?} \
+                                "allocation panicked for topology {:?} \
                                  (matrix of {} demands)",
+                                shard.topology,
                                 req.tm.len()
                             ))));
                         }

@@ -10,31 +10,37 @@
 //! # Architecture
 //!
 //! ```text
-//!   clients (any thread)                dispatcher thread
-//!   ────────────────────                ─────────────────────────────
-//!   submit(topo, tm) ──► request queue ──► drain + linger (coalescer)
-//!        │                                   │ group by topology
-//!        │                                   ▼
-//!        │                        registry.get(topo)  ── snapshot read
-//!        │                                   │
-//!        │                                   ▼
-//!        │                    ServingContext::allocate_batch(tms)
-//!        │                       (one forward pass for the group,
-//!        ▼                        parallel warm-started ADMM)
-//!   Ticket::wait ◄──────────── per-request response slots
+//!   clients (any thread)            per-topology shards (one thread each)
+//!   ────────────────────            ───────────────────────────────────────
+//!   submit(topo, tm) ── route ──►  shard "b4":   queue ► drain + linger
+//!        │               by           │  registry.get ── snapshot read
+//!        │             topology       ▼
+//!        │                         try_allocate_batch_with(tms, arena)
+//!        │                            (one forward pass per window,
+//!        │                             arena-reusing batched ADMM)
+//!        │                        shard "swan":  queue ► drain + linger
+//!        │                            │  ... a true parallel lane ...
+//!        ▼                            ▼
+//!   Ticket::wait ◄─────────────── per-request response slots
 //! ```
 //!
 //! Three components, each deliberately built from operations that commute
 //! across cores (the scalable-commutativity design rule — no lock is ever
-//! held across model compute):
+//! held across model compute, and no two shards share per-window mutable
+//! state, so their dispatch is conflict-free by construction):
 //!
-//! * **Request queue + micro-batching coalescer** ([`ServeDaemon`]).
-//!   Concurrent callers enqueue `(topology id, traffic matrix)` pairs; the
-//!   dispatcher drains the queue (lingering up to [`ServeConfig::linger`]
-//!   so bursts pile up), groups requests by topology, and serves each group
-//!   through one batched forward pass + parallel ADMM. Unrelated clients'
-//!   matrices share matrix products; replies report the coalesced
-//!   [`ServeReply::batch_size`]. Backpressure is a bounded queue.
+//! * **Per-topology dispatch shards** ([`ServeDaemon`]). Submit routes each
+//!   `(topology id, traffic matrix)` pair to its topology's shard — a
+//!   dedicated dispatcher thread with a private queue, condvars, ADMM
+//!   arena ([`teal_core::BatchScratch`]), and telemetry slot. Each shard
+//!   drains its queue (lingering up to [`ServeConfig::linger`] so bursts
+//!   pile up) and serves the window through one batched forward pass +
+//!   arena-reusing batched ADMM: steady-state windows reuse all ADMM
+//!   solver state across windows. Unrelated clients' matrices share
+//!   matrix products; replies report the coalesced
+//!   [`ServeReply::batch_size`]. Backpressure is a bounded per-shard
+//!   queue. On multicore, topologies serve genuinely in parallel; the
+//!   shard-arena ownership rules are in the `daemon` module docs.
 //! * **Topology/model registry with hot swap** ([`ModelRegistry`]). One
 //!   [`teal_core::ServingContext`] per topology (each with its prebuilt
 //!   ADMM skeleton) behind snapshot reads: `get` clones an `Arc` and drops

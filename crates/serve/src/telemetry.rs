@@ -2,20 +2,23 @@
 //! depth, and the coalesced batch-size distribution.
 //!
 //! The recording side is deliberately cheap and contention-free in the
-//! places that matter: latency and batch records are written only by the
-//! dispatcher thread (behind short-lived mutexes nobody else contends on
-//! during steady state), and queue-depth gauges are plain atomics updated
-//! by submitters. Readers take a consistent [`TelemetrySnapshot`] copy.
+//! places that matter: each dispatcher shard owns its topology's
+//! [`ShardStats`] outright (latency histogram, batch counters, batch-size
+//! distribution) and records into it without touching any shared map —
+//! shards never contend with each other on the hot path. Queue-depth
+//! gauges and the completed counter are plain atomics updated from any
+//! thread. Readers take a consistent [`TelemetrySnapshot`] copy, locking
+//! each shard's stats only long enough to copy them out.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Log-spaced latency histogram: bucket `i` covers per-request latencies of
-/// roughly `2^(i/4)` nanoseconds (four sub-buckets per octave, ≤ ~19%
-/// relative quantile error — plenty for p50/p99 serving dashboards while
-/// keeping recording allocation-free).
+/// roughly `2^(i/4)` nanoseconds (four sub-buckets per octave — quantile
+/// error bounded by half a sub-bucket, ≤ ~9% relative, plenty for p50/p99
+/// serving dashboards while keeping recording allocation-free).
 #[derive(Clone)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
@@ -48,9 +51,13 @@ impl LatencyHistogram {
         (((ns as f64).log2() * SUBDIV) as usize).min(NUM_BUCKETS - 1)
     }
 
-    /// Representative (geometric lower-edge) latency of bucket `i`.
+    /// Representative latency of bucket `i`: its *geometric midpoint*. The
+    /// bucket spans `[2^(i/S), 2^((i+1)/S))`; reporting the lower edge (as
+    /// an earlier version did) systematically understated every quantile by
+    /// up to a full sub-bucket (~19%), while the midpoint is off by at most
+    /// half a sub-bucket (~9%) in either direction.
     fn bucket_value(i: usize) -> f64 {
-        2f64.powf(i as f64 / SUBDIV)
+        2f64.powf((i as f64 + 0.5) / SUBDIV)
     }
 
     /// Record one observation.
@@ -95,55 +102,78 @@ impl LatencyHistogram {
     }
 }
 
-/// Per-topology serving counters.
+/// One shard's serving counters, owned by that shard's dispatcher thread
+/// and registered with [`Telemetry`] for snapshotting. Only the owning
+/// shard writes; `snapshot` readers lock briefly to copy.
 #[derive(Default)]
-struct TopoStats {
+pub(crate) struct ShardStats {
     latency: LatencyHistogram,
     requests: u64,
     batches: u64,
+    /// Coalesced-batch size → occurrence count (for this shard).
+    batch_sizes: HashMap<usize, u64>,
+}
+
+impl ShardStats {
+    /// Record one coalesced batch of per-request latencies.
+    pub(crate) fn record_batch(&mut self, latencies: &[Duration]) {
+        *self.batch_sizes.entry(latencies.len()).or_insert(0) += 1;
+        self.batches += 1;
+        self.requests += latencies.len() as u64;
+        for &l in latencies {
+            self.latency.record(l);
+        }
+    }
 }
 
 /// Aggregate daemon telemetry (see module docs for the locking story).
 #[derive(Default)]
 pub struct Telemetry {
-    per_topo: Mutex<HashMap<String, TopoStats>>,
-    /// Coalesced-batch size → occurrence count.
-    batch_sizes: Mutex<HashMap<usize, u64>>,
-    /// Requests currently enqueued (gauge).
+    /// Topology id → that shard's stats. The map is touched only at shard
+    /// creation and in `snapshot`; recording goes through the `Arc` each
+    /// shard retains.
+    shards: Mutex<HashMap<String, Arc<Mutex<ShardStats>>>>,
+    /// Requests currently enqueued across all shards (gauge).
     queue_depth: AtomicUsize,
-    /// Deepest queue ever observed.
+    /// Deepest aggregate queue ever observed.
     max_queue_depth: AtomicUsize,
     /// Total requests completed (including error responses).
     completed: AtomicU64,
 }
 
 impl Telemetry {
+    /// The stats slot for `topology`, creating it on first use. Shards call
+    /// this once at startup and then record lock-free of the map.
+    pub(crate) fn shard_stats(&self, topology: &str) -> Arc<Mutex<ShardStats>> {
+        let mut map = self.shards.lock().expect("telemetry lock");
+        Arc::clone(map.entry(topology.to_string()).or_default())
+    }
+
     /// Gauge bump when a request is enqueued.
     pub(crate) fn on_enqueue(&self) {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Gauge drop when the dispatcher drains `n` requests.
+    /// Gauge drop when a shard drains `n` requests.
     pub(crate) fn on_drain(&self, n: usize) {
         self.queue_depth.fetch_sub(n, Ordering::Relaxed);
     }
 
-    /// Record one coalesced batch of `latencies` for `topology`.
+    /// Count `n` successfully answered requests.
+    pub(crate) fn on_complete(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one coalesced batch of `latencies` for `topology` (test and
+    /// convenience path; shards record through their retained handle).
+    #[cfg(test)]
     pub(crate) fn on_batch(&self, topology: &str, latencies: &[Duration]) {
-        {
-            let mut sizes = self.batch_sizes.lock().expect("telemetry lock");
-            *sizes.entry(latencies.len()).or_insert(0) += 1;
-        }
-        let mut per_topo = self.per_topo.lock().expect("telemetry lock");
-        let stats = per_topo.entry(topology.to_string()).or_default();
-        stats.batches += 1;
-        stats.requests += latencies.len() as u64;
-        for &l in latencies {
-            stats.latency.record(l);
-        }
-        self.completed
-            .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+        self.shard_stats(topology)
+            .lock()
+            .expect("telemetry lock")
+            .record_batch(latencies);
+        self.on_complete(latencies.len() as u64);
     }
 
     /// Record a request that completed with an error (still counted).
@@ -153,26 +183,25 @@ impl Telemetry {
 
     /// Take a consistent copy of all counters.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let per_topo = self.per_topo.lock().expect("telemetry lock");
-        let mut per_topology: Vec<TopoSnapshot> = per_topo
-            .iter()
-            .map(|(name, s)| TopoSnapshot {
+        let shards = self.shards.lock().expect("telemetry lock");
+        let mut per_topology = Vec::with_capacity(shards.len());
+        let mut batch_sizes: HashMap<usize, u64> = HashMap::new();
+        for (name, stats) in shards.iter() {
+            let s = stats.lock().expect("telemetry lock");
+            per_topology.push(TopoSnapshot {
                 topology: name.clone(),
                 requests: s.requests,
                 batches: s.batches,
                 mean: s.latency.mean(),
                 p50: s.latency.quantile(0.50),
                 p99: s.latency.quantile(0.99),
-            })
-            .collect();
+            });
+            for (&size, &n) in &s.batch_sizes {
+                *batch_sizes.entry(size).or_insert(0) += n;
+            }
+        }
         per_topology.sort_by(|a, b| a.topology.cmp(&b.topology));
-        let mut batch_sizes: Vec<(usize, u64)> = self
-            .batch_sizes
-            .lock()
-            .expect("telemetry lock")
-            .iter()
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let mut batch_sizes: Vec<(usize, u64)> = batch_sizes.into_iter().collect();
         batch_sizes.sort_unstable();
         TelemetrySnapshot {
             per_topology,
@@ -189,11 +218,11 @@ impl Telemetry {
 pub struct TelemetrySnapshot {
     /// Per-topology latency/request stats, sorted by topology id.
     pub per_topology: Vec<TopoSnapshot>,
-    /// `(batch size, occurrences)` of the coalescer, sorted by size.
+    /// `(batch size, occurrences)` across all shards, sorted by size.
     pub batch_sizes: Vec<(usize, u64)>,
-    /// Requests currently waiting in the queue.
+    /// Requests currently waiting in shard queues.
     pub queue_depth: usize,
-    /// Deepest queue observed since startup.
+    /// Deepest aggregate queue observed since startup.
     pub max_queue_depth: usize,
     /// Total requests answered (success or error).
     pub completed: u64,
@@ -249,6 +278,29 @@ mod tests {
         assert!(p50 >= Duration::from_micros(80), "p50 {p50:?} too low");
         assert_eq!(h.count(), 8);
         assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn constant_stream_quantiles_within_one_sub_bucket() {
+        // Regression for the lower-edge bug: p50 of a constant-latency
+        // stream must land within one sub-bucket (a factor of 2^(1/SUBDIV))
+        // of the true latency. Reporting each bucket's lower geometric edge
+        // understated it by up to ~19%.
+        let sub = 2f64.powf(1.0 / SUBDIV);
+        for truth_us in [3u64, 47, 100, 999, 12_345] {
+            let mut h = LatencyHistogram::default();
+            for _ in 0..1000 {
+                h.record(Duration::from_micros(truth_us));
+            }
+            let truth = (truth_us * 1000) as f64;
+            for q in [0.5, 0.99] {
+                let est = h.quantile(q).as_nanos() as f64;
+                assert!(
+                    est <= truth * sub && est >= truth / sub,
+                    "q{q}: estimate {est}ns not within one sub-bucket of {truth}ns"
+                );
+            }
+        }
     }
 
     #[test]

@@ -237,11 +237,74 @@ fn malformed_request_errors_without_killing_the_daemon() {
 }
 
 #[test]
+fn racing_submit_and_shutdown_never_strands_a_ticket() {
+    // The submit/shutdown race: a request that passes the shutdown check
+    // concurrently with `shutdown()` being set must never be enqueued after
+    // a shard's final drain and dropped without a response. After shutdown
+    // and all submitters have returned, every ticket must already hold a
+    // reply — a served allocation or a typed `ShuttingDown` — never hang.
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 20;
+    for round in 0..3u64 {
+        let env = Arc::new(Env::for_topology(teal_topology::b4()));
+        let registry = ModelRegistry::new();
+        registry.insert("b4", context(&env, round));
+        let daemon = ServeDaemon::start(
+            registry,
+            ServeConfig {
+                linger: std::time::Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        let tm = TrafficMatrix::new(vec![5.0; env.num_demands()]);
+        let (mut served, mut refused) = (0usize, 0usize);
+        std::thread::scope(|s| {
+            let daemon = &daemon;
+            let tm = &tm;
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                handles.push(s.spawn(move || {
+                    (0..PER_THREAD)
+                        .map(|_| daemon.submit("b4", tm.clone()))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            // Land the shutdown mid-storm, racing the submits above.
+            let stopper = s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                daemon.shutdown();
+            });
+            let tickets: Vec<_> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect();
+            stopper.join().expect("shutdown thread");
+            // Shutdown has returned and no submitter is in flight: a
+            // correct daemon has already fulfilled every single slot.
+            for (i, t) in tickets.iter().enumerate() {
+                assert!(t.is_ready(), "round {round}: ticket {i} stranded");
+            }
+            for t in tickets {
+                match t.wait() {
+                    Ok(_) => served += 1,
+                    Err(teal_serve::ServeError::ShuttingDown) => refused += 1,
+                    Err(e) => panic!("round {round}: unexpected error {e}"),
+                }
+            }
+        });
+        assert_eq!(served + refused, THREADS * PER_THREAD);
+        let stats = daemon.stats();
+        assert_eq!(stats.queue_depth, 0, "round {round}: queue gauge leaked");
+        eprintln!("round {round}: served {served}, refused {refused}");
+    }
+}
+
+#[test]
 fn shutdown_serves_queued_requests_then_rejects() {
     let env = Arc::new(Env::for_topology(teal_topology::b4()));
     let registry = ModelRegistry::new();
     registry.insert("b4", context(&env, 0));
-    let mut daemon = ServeDaemon::with_defaults(registry);
+    let daemon = ServeDaemon::with_defaults(registry);
     let tm = TrafficMatrix::new(vec![10.0; env.num_demands()]);
     let tickets: Vec<_> = (0..4).map(|_| daemon.submit("b4", tm.clone())).collect();
     daemon.shutdown();
