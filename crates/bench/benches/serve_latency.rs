@@ -1,6 +1,8 @@
 //! Criterion bench: the `teal-serve` daemon under concurrent clients
 //! across two topologies, versus sequentially draining the same request
-//! stream through direct `ServingContext::allocate` calls.
+//! stream through direct `ServingContext::allocate` calls — plus a
+//! loopback-socket arm (pipelined `TealClient` → `TealServer`) measuring
+//! what the wire front end adds on top of the in-process path.
 //!
 //! Each iteration serves `REQUESTS` requests (split over `CLIENTS` client
 //! threads for the daemon), so requests/sec = `REQUESTS / mean`. The
@@ -18,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use teal_core::{EngineConfig, Env, ServingContext, TealConfig, TealModel};
-use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon, SubmitRequest, TealClient, TealServer};
 use teal_topology::{b4, generate, TopoKind};
 use teal_traffic::{TrafficConfig, TrafficModel};
 
@@ -96,7 +98,7 @@ fn bench_serve_latency(c: &mut Criterion) {
             ),
         );
     }
-    let daemon = ServeDaemon::start(registry, ServeConfig::default());
+    let daemon = std::sync::Arc::new(ServeDaemon::start(registry, ServeConfig::default()));
     group.bench_with_input(BenchmarkId::new("daemon_coalesced", &label), &(), |b, _| {
         b.iter(|| {
             std::thread::scope(|s| {
@@ -113,7 +115,12 @@ fn bench_serve_latency(c: &mut Criterion) {
                             .iter()
                             .skip(t)
                             .step_by(CLIENTS)
-                            .map(|&(w, i)| daemon.submit(loads[w].id, loads[w].tms[i].clone()))
+                            .map(|&(w, i)| {
+                                daemon.submit(SubmitRequest::new(
+                                    loads[w].id,
+                                    loads[w].tms[i].clone(),
+                                ))
+                            })
                             .collect();
                         tickets
                             .into_iter()
@@ -128,7 +135,51 @@ fn bench_serve_latency(c: &mut Criterion) {
             })
         })
     });
+
+    // The wire front end on loopback TCP: same stream, same daemon, but
+    // submitted as pipelined id-tagged frames through one TealClient per
+    // client thread (persistent connections — that is the point of a
+    // serving socket). The delta to `daemon_coalesced` is the codec +
+    // loopback + out-of-order reply drain.
+    let server = TealServer::bind(std::sync::Arc::clone(&daemon), "127.0.0.1:0")
+        .expect("bind loopback bench server");
+    let clients: Vec<TealClient> = (0..CLIENTS)
+        .map(|_| TealClient::connect(server.local_addr()).expect("bench client connect"))
+        .collect();
+    group.bench_with_input(BenchmarkId::new("socket_pipelined", &label), &(), |b, _| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (t, client) in clients.iter().enumerate() {
+                    let loads = &loads;
+                    let stream = &stream;
+                    handles.push(s.spawn(move || {
+                        let tickets: Vec<_> = stream
+                            .iter()
+                            .skip(t)
+                            .step_by(CLIENTS)
+                            .map(|&(w, i)| {
+                                client.submit(&SubmitRequest::new(
+                                    loads[w].id,
+                                    loads[w].tms[i].clone(),
+                                ))
+                            })
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|t| t.wait().expect("served over socket").allocation)
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("client thread"))
+                    .count()
+            })
+        })
+    });
     group.finish();
+    drop(clients);
 
     let stats = daemon.stats();
     eprintln!(

@@ -353,6 +353,24 @@ impl<M: PolicyModel> ServingContext<M> {
         self.allocate_batch_inner_with(tms, None, scratch)
     }
 
+    /// [`ServingContext::try_allocate_batch_on`] with a caller-owned
+    /// [`BatchScratch`]: the §5.3 failure-recovery path (capacities of
+    /// failed links zeroed, no retraining) served out of a retained arena.
+    /// A dispatch lane that keeps a scratch for its failure windows reuses
+    /// all ADMM solver state across repeated windows on the same degraded
+    /// topology — the solver is simply reminted against the
+    /// failure-overridden skeleton, so a failure burst serves at
+    /// steady-state cost. The scratch may be freely alternated between
+    /// override and plain windows (reminting rebinds every shared handle).
+    pub fn try_allocate_batch_on_with(
+        &self,
+        topo: &Topology,
+        tms: &[TrafficMatrix],
+        scratch: &mut BatchScratch,
+    ) -> Result<(Vec<Allocation>, Duration), AllocError> {
+        self.allocate_batch_inner_with(tms, Some(topo), scratch)
+    }
+
     /// Matrices per forward-pass sub-batch: large enough to amortize
     /// per-pass overhead, small enough that the working set of each layer
     /// stays cache-resident on modest hardware.

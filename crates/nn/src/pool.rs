@@ -37,6 +37,11 @@
 //! its last `Job` and re-arms it in place when no worker still holds a
 //! reference, and the job queue is preallocated — at serving rates the
 //! per-dispatch cost is one queue push, not an allocation.
+//!
+//! Submitters may bound their fan-out with [`with_thread_cap`]: a capped
+//! job carries a helper budget, and workers scanning the queue skip
+//! capped-out jobs instead of piling on — the mechanism behind
+//! `teal-serve`'s per-shard thread caps when topologies outnumber cores.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +55,13 @@ struct Job {
     /// increment, which [`run`] outlives by construction.
     task: *const (dyn Fn(usize) + Sync),
     n: usize,
+    /// Maximum number of *workers* allowed to help this job (the submitting
+    /// thread always participates on top). `usize::MAX` means uncapped; a
+    /// serving shard running under [`with_thread_cap`] bounds it so one
+    /// topology's ADMM tiles cannot monopolize the pool.
+    helper_cap: usize,
+    /// Workers currently helping (reserved slots against `helper_cap`).
+    helpers: AtomicUsize,
     /// Next unclaimed index; claims at or past `n` mean "exhausted".
     next: AtomicUsize,
     /// Set when any chunk panicked; the submitter re-panics.
@@ -70,6 +82,24 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
+    /// Reserve one helper slot against `helper_cap`; workers that fail to
+    /// reserve leave the job to the threads already on it.
+    fn try_reserve_helper(&self) -> bool {
+        let mut h = self.helpers.load(Ordering::Relaxed);
+        loop {
+            if h >= self.helper_cap {
+                return false;
+            }
+            match self
+                .helpers
+                .compare_exchange_weak(h, h + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(cur) => h = cur,
+            }
+        }
+    }
+
     /// Claim and execute chunks until the job is exhausted. Called by
     /// workers and by the submitting thread alike.
     fn help(&self) {
@@ -164,13 +194,24 @@ fn worker_loop(shared: &Shared) {
                 {
                     q.pop_front();
                 }
-                if let Some(j) = q.front() {
-                    break Arc::clone(j);
+                // First live job with a free helper slot: a capped-out job
+                // (helper_cap reached) is skipped so workers fall through to
+                // whatever is queued behind it instead of piling onto a lane
+                // that asked to be left alone.
+                let claimable = q
+                    .iter()
+                    .find(|j| j.next.load(Ordering::Relaxed) < j.n && j.try_reserve_helper())
+                    .map(Arc::clone);
+                if let Some(j) = claimable {
+                    break j;
                 }
                 q = shared.available.wait(q).expect("pool queue wait");
             }
         };
         job.help();
+        // `help` returns only once the job is exhausted, so releasing the
+        // slot never reopens capacity on a job that still has chunks.
+        job.helpers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -185,6 +226,35 @@ pub fn worker_count() -> usize {
     global().workers
 }
 
+thread_local! {
+    /// Thread cap applied to jobs submitted from this thread (see
+    /// [`with_thread_cap`]). `None` = uncapped.
+    static THREAD_CAP: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with every [`run`] call *from this thread* capped to `cap`
+/// threads total (the submitting thread plus at most `cap - 1` pool
+/// workers). `cap == 1` runs jobs entirely on the submitting thread without
+/// touching the queue. Nested and re-entrant uses compose (the innermost
+/// cap wins); jobs submitted by *worker* threads on behalf of a capped job
+/// are not capped — the cap binds at the dispatch lane's top-level calls,
+/// which is where serving shards submit their ADMM tiles.
+///
+/// This is the mechanism behind `teal-serve`'s per-shard thread caps: when
+/// topology count exceeds core count, each shard pins its tile fan-out so
+/// shards degrade into roughly-even lanes instead of thrashing the pool.
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_CAP.with(|c| c.replace(Some(cap.max(1))));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Execute `f(0)`, …, `f(n - 1)` across the pool, returning once all calls
 /// have finished. Each index is claimed by exactly one thread, so `f` may
 /// hand out disjoint `&mut` chunks through interior unsafe (see `par`).
@@ -194,12 +264,15 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let pool = global();
-    if pool.workers == 0 || n == 1 {
+    let cap = THREAD_CAP.with(|c| c.get());
+    if pool.workers == 0 || n == 1 || cap == Some(1) {
         for i in 0..n {
             f(i);
         }
         return;
     }
+    // Workers allowed to help this job on top of the submitting thread.
+    let helper_cap = cap.map_or(usize::MAX, |c| c - 1);
     // Erase the borrow: `run` does not return until `done == n`, and no
     // thread dereferences `task` after the claim counter passes `n`.
     // SAFETY: pure lifetime erasure of a fat reference; validity is upheld
@@ -218,16 +291,18 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
             if let Some(m) = Arc::get_mut(&mut cached) {
                 m.task = task;
                 m.n = n;
+                m.helper_cap = helper_cap;
+                *m.helpers.get_mut() = 0;
                 *m.next.get_mut() = 0;
                 *m.poisoned.get_mut() = false;
                 *m.payload.get_mut().expect("pool payload lock") = None;
                 *m.done.get_mut().expect("pool job lock") = 0;
                 cached
             } else {
-                fresh_job(task, n)
+                fresh_job(task, n, helper_cap)
             }
         }
-        None => fresh_job(task, n),
+        None => fresh_job(task, n, helper_cap),
     };
     {
         let mut q = pool.shared.queue.lock().expect("pool queue lock");
@@ -261,10 +336,12 @@ thread_local! {
     static JOB_CACHE: std::cell::Cell<Option<Arc<Job>>> = const { std::cell::Cell::new(None) };
 }
 
-fn fresh_job(task: *const (dyn Fn(usize) + Sync), n: usize) -> Arc<Job> {
+fn fresh_job(task: *const (dyn Fn(usize) + Sync), n: usize, helper_cap: usize) -> Arc<Job> {
     Arc::new(Job {
         task,
         n,
+        helper_cap,
+        helpers: AtomicUsize::new(0),
         next: AtomicUsize::new(0),
         poisoned: AtomicBool::new(false),
         payload: Mutex::new(None),
@@ -329,7 +406,7 @@ mod tests {
         let erased: *const (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(fref)
         };
-        let job = fresh_job(erased, 8);
+        let job = fresh_job(erased, 8, usize::MAX);
         job.help();
         job.wait();
         assert_eq!(hits[0].load(Ordering::Relaxed), 1);
@@ -343,6 +420,58 @@ mod tests {
         }
         assert!(job.poisoned.load(Ordering::Acquire));
         assert!(job.payload.lock().expect("payload").is_some());
+    }
+
+    #[test]
+    fn thread_cap_one_runs_on_the_submitting_thread() {
+        let submitter = std::thread::current().id();
+        let ran = AtomicUsize::new(0);
+        with_thread_cap(1, || {
+            run(64, &|_| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    submitter,
+                    "cap=1 chunk escaped to a pool worker"
+                );
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        // The cap is scoped: it must not leak past the closure.
+        assert_eq!(THREAD_CAP.with(|c| c.get()), None);
+    }
+
+    #[test]
+    fn thread_cap_bounds_concurrent_executors() {
+        // Under any pool size, a cap of 2 must never let more than 2
+        // threads (submitter + 1 helper) execute chunks at once. The sleep
+        // widens each chunk so an over-cap worker would be caught.
+        let current = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        with_thread_cap(2, || {
+            run(32, &|_| {
+                let c = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(c, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                current.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            (1..=2).contains(&peak),
+            "peak executors {peak} exceeds cap 2"
+        );
+    }
+
+    #[test]
+    fn capped_results_match_uncapped() {
+        let sum_capped = AtomicUsize::new(0);
+        with_thread_cap(3, || {
+            run(100, &|i| {
+                sum_capped.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum_capped.load(Ordering::Relaxed), 5050);
     }
 
     #[test]

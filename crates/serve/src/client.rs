@@ -1,0 +1,213 @@
+//! `TealClient`: a blocking TCP client with pipelined submits.
+//!
+//! [`TealClient::submit`] encodes and sends the request immediately and
+//! returns a [`Ticket`] — the same handle in-process callers get — without
+//! waiting for the reply; callers pipeline as many requests as they like
+//! and redeem the tickets in any order. A background reader thread matches
+//! REPLY frames to tickets by request id (the server answers out of
+//! order), so one slow request never blocks the replies behind it.
+//!
+//! The client is shareable across threads (`submit` takes `&self`; sends
+//! are serialized by a short-held writer lock, replies are dispatched by
+//! the reader thread), and the request ids are minted from one atomic —
+//! concurrent submitters commute, mirroring the serving core's submit
+//! path. A dropped or failed connection fulfills every outstanding ticket
+//! with [`ServeError::Internal`] rather than hanging its waiters.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use teal_traffic::TrafficMatrix;
+
+use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
+use crate::wire;
+
+/// Client-side shared state between submitters and the reader thread.
+struct ClientShared {
+    /// In-flight request id → response slot.
+    pending: Mutex<HashMap<u64, Arc<ResponseSlot>>>,
+    /// Set once the reader has exited (connection gone): new submits fail
+    /// fast instead of queueing onto a dead socket.
+    closed: AtomicBool,
+}
+
+impl ClientShared {
+    /// Fail every in-flight request (connection died or client dropped).
+    fn fail_all(&self, why: &str) {
+        let drained: Vec<Arc<ResponseSlot>> = {
+            let mut pending = self.pending.lock().expect("client pending lock");
+            pending.drain().map(|(_, s)| s).collect()
+        };
+        for slot in drained {
+            slot.fulfill(Err(ServeError::Internal(why.to_string())));
+        }
+    }
+}
+
+/// Blocking TCP client for a [`crate::TealServer`] (see module docs).
+pub struct TealClient {
+    /// Sender half plus its reusable encode buffer; the lock is held only
+    /// to encode and write one frame.
+    writer: Mutex<(TcpStream, Vec<u8>)>,
+    /// Reader half (kept for shutdown on drop).
+    stream: TcpStream,
+    shared: Arc<ClientShared>,
+    next_id: AtomicU64,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl TealClient {
+    /// Connect and perform the versioned handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TealClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Pipelined small frames: never let Nagle hold a request back for
+        // a delayed ACK.
+        stream.set_nodelay(true)?;
+        let mut buf = Vec::new();
+        wire::encode_hello(&mut buf);
+        wire::write_frame(&mut stream, &buf)?;
+        match wire::read_frame(&mut stream, &mut buf) {
+            Ok(true) => wire::decode_hello_ok(&buf)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?,
+            Ok(false) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed during handshake (version rejected?)",
+                ))
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
+            }
+        };
+        let shared = Arc::new(ClientShared {
+            pending: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let stream = stream.try_clone()?;
+            std::thread::Builder::new()
+                .name("teal-client-reader".into())
+                .spawn(move || reader_loop(stream, &shared))
+                .expect("spawn client reader")
+        };
+        Ok(TealClient {
+            writer: Mutex::new((stream.try_clone()?, Vec::new())),
+            stream,
+            shared,
+            next_id: AtomicU64::new(0),
+            reader: Some(reader),
+        })
+    }
+
+    /// Pipeline one request; returns its [`Ticket`] immediately. A send
+    /// failure (dead connection) is reported through the ticket, keeping
+    /// the submit-then-redeem control flow identical to the in-process
+    /// daemon API.
+    pub fn submit(&self, req: &SubmitRequest) -> Ticket {
+        let slot = ResponseSlot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        if self.shared.closed.load(Ordering::Acquire) {
+            slot.fulfill(Err(ServeError::Internal("connection closed".into())));
+            return ticket;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Register before sending: the reply can race back before this
+        // thread regains the CPU.
+        self.shared
+            .pending
+            .lock()
+            .expect("client pending lock")
+            .insert(id, Arc::clone(&slot));
+        let sent = {
+            // Encode into the writer-owned buffer under the same short
+            // lock that serializes the send: steady-state submitters reuse
+            // one buffer instead of allocating per pipelined request.
+            let mut w = self.writer.lock().expect("client writer lock");
+            let (stream, buf) = &mut *w;
+            wire::encode_request(buf, id, req);
+            wire::write_frame(stream, buf)
+        };
+        // Close the race with the reader's fail_all: if the reader
+        // observed EOF and drained `pending` between our closed-check and
+        // the insert above, nobody else will ever fulfill this slot — the
+        // send may even "succeed" into a half-closed socket. Re-checking
+        // `closed` after registering makes the overlap visible here.
+        if sent.is_err() || self.shared.closed.load(Ordering::Acquire) {
+            if let Some(slot) = self
+                .shared
+                .pending
+                .lock()
+                .expect("client pending lock")
+                .remove(&id)
+            {
+                slot.fulfill(Err(ServeError::Internal(if sent.is_err() {
+                    "connection write failed".into()
+                } else {
+                    "connection closed".into()
+                })));
+            }
+        }
+        ticket
+    }
+
+    /// Submit a plain request and block for the reply.
+    pub fn allocate(
+        &self,
+        topology: impl Into<String>,
+        tm: TrafficMatrix,
+    ) -> Result<ServeReply, ServeError> {
+        self.submit(&SubmitRequest::new(topology, tm)).wait()
+    }
+
+    /// [`TealClient::allocate`] with a bounded wait; the wire twin of
+    /// [`Ticket::wait_timeout`].
+    pub fn allocate_timeout(
+        &self,
+        topology: impl Into<String>,
+        tm: TrafficMatrix,
+        timeout: Duration,
+    ) -> Result<ServeReply, ServeError> {
+        self.submit(&SubmitRequest::new(topology, tm))
+            .wait_timeout(timeout)
+    }
+}
+
+impl Drop for TealClient {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            h.join().expect("client reader panicked");
+        }
+        self.shared
+            .fail_all("client dropped with requests in flight");
+    }
+}
+
+/// Match incoming REPLY frames to pending tickets by id until the
+/// connection ends; then fail whatever is left.
+fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
+    let mut buf = Vec::new();
+    while let Ok(true) = wire::read_frame(&mut stream, &mut buf) {
+        let Ok((id, result)) = wire::decode_reply(&buf) else {
+            break;
+        };
+        let slot = shared
+            .pending
+            .lock()
+            .expect("client pending lock")
+            .remove(&id);
+        if let Some(slot) = slot {
+            slot.fulfill(result);
+        }
+    }
+    shared.closed.store(true, Ordering::Release);
+    shared.fail_all("connection closed with requests in flight");
+}

@@ -1,10 +1,13 @@
-//! The serving daemon: per-topology dispatch shards, each with its own
-//! request queue, micro-batching coalescer, and ADMM arena.
+//! The transport-agnostic serving core: per-topology dispatch shards, each
+//! with its own request queue, micro-batching coalescer, admission control,
+//! and ADMM arenas — behind the narrow `submit(SubmitRequest) -> Ticket`
+//! API every front end (in-process callers, the TCP [`crate::TealServer`])
+//! shares.
 //!
-//! Concurrent callers [`ServeDaemon::submit`] `(topology id, traffic
-//! matrix)` pairs; the submit path routes each request to its topology's
-//! *shard* — a dedicated dispatcher thread with a private queue — which
-//! drains, coalesces, and pushes each batch through
+//! Concurrent callers [`ServeDaemon::submit`] a [`SubmitRequest`]; the
+//! submit path validates it, applies admission control, and routes it to
+//! its topology's *shard* — a dedicated dispatcher thread with a private
+//! queue — which drains, coalesces, and pushes each batch through
 //! [`ServingContext::try_allocate_batch_with`] so unrelated clients'
 //! matrices share one set of forward-pass matrix products — the paper's
 //! "TE allocation as one fixed-cost batched compute step", turned into a
@@ -13,25 +16,55 @@
 //!
 //! The hot path is built from commutative operations (requests to
 //! different topologies share *no* per-window mutable state, so their
-//! dispatch commutes and needs no coordination): enqueue appends under a
-//! shard-local queue lock held for O(1), each shard snapshots its context
-//! from the [`ModelRegistry`] (see its docs), and responses land in
-//! per-request slots nobody else touches. There is no lock held across
-//! model compute, and no two shards ever share a lock on the hot path.
+//! dispatch commutes and needs no coordination — and the same holds across
+//! *connections* of the wire front end, which all funnel into this one
+//! submit path): enqueue appends under a shard-local queue lock held for
+//! O(1), each shard snapshots its context from the [`ModelRegistry`] (see
+//! its docs), and responses land in per-request slots nobody else touches.
+//! There is no lock held across model compute, and no two shards ever
+//! share a lock on the hot path.
+//!
+//! # Admission control and deadlines
+//!
+//! A request may carry a relative deadline ([`SubmitRequest::deadline`]).
+//! Admission control acts at two points:
+//!
+//! * **At enqueue (shed):** a zero/elapsed budget is refused immediately
+//!   with [`ServeError::DeadlineExceeded`], and a deadline'd request
+//!   arriving at a full shard queue is refused with
+//!   [`ServeError::Overloaded`] instead of blocking (queueing it would
+//!   only burn its budget; deadline-less requests keep the classic
+//!   blocking backpressure). Sheds count in
+//!   [`crate::TelemetrySnapshot::shed`].
+//! * **At drain (expire):** when the shard forms a batch, requests whose
+//!   deadline passed while queued get [`ServeError::DeadlineExceeded`]
+//!   instead of occupying a lane in the forward pass. Expiries count in
+//!   [`crate::TelemetrySnapshot::expired`].
+//!
+//! # Failure-aware requests (§5.3 end to end)
+//!
+//! A request may carry failed-link overrides. The shard groups each
+//! drained window *by override signature* (canonicalized link set): plain
+//! requests form the steady-state sub-batch served out of the shard's
+//! primary arena — untouched by failure traffic — while each distinct
+//! failure scenario forms its own sub-batch served through
+//! [`ServingContext::try_allocate_batch_on_with`] against a
+//! capacity-overridden topology, out of a second, failure-dedicated
+//! arena. A failure window therefore serves *without retraining and
+//! without perturbing the steady-state arena* — the paper's
+//! failure-recovery path, reachable end to end from a socket.
 //!
 //! # Shard arena ownership
 //!
-//! Every shard owns one [`teal_core::BatchScratch`]: the ADMM batch arena,
-//! reminted solver, and report buffers its windows reuse. Only the shard's
-//! dispatcher thread ever touches it, so steady-state windows reuse all
-//! ADMM solver state with zero coordination (the reply allocations
-//! themselves are minted per window — clients consume them). The scratch
-//! lives in the shard, *not* in the serving context — a hot checkpoint
-//! swap replaces
-//! the context `Arc` but leaves the shard's arena (and its warmed-up
-//! capacity) untouched, and the next window simply runs against the new
-//! weights (swap safety: a scratch carries no weight- or topology-derived
-//! state across windows, only buffer capacity).
+//! Every shard owns two [`teal_core::BatchScratch`]es: the steady-state
+//! arena its plain windows reuse, and a failure arena its override
+//! sub-batches reuse (repeated windows on the same degraded topology remint
+//! into warmed buffers). Only the shard's dispatcher thread ever touches
+//! them. The scratches live in the shard, *not* in the serving context — a
+//! hot checkpoint swap replaces the context `Arc` but leaves the shard's
+//! arenas (and their warmed-up capacity) untouched, and the next window
+//! simply runs against the new weights (swap safety: a scratch carries no
+//! weight- or topology-derived state across windows, only buffer capacity).
 //!
 //! # Shutdown protocol
 //!
@@ -47,103 +80,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use teal_core::{AllocError, BatchScratch, PolicyModel, ServingContext};
-use teal_lp::Allocation;
+use teal_topology::Topology;
 use teal_traffic::TrafficMatrix;
 
 use crate::registry::ModelRegistry;
+use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
 use crate::telemetry::{ShardStats, Telemetry, TelemetrySnapshot};
-
-/// Why a request could not be served.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ServeError {
-    /// No context registered under the requested topology id.
-    UnknownTopology(String),
-    /// The daemon is shutting down and no longer accepts requests.
-    ShuttingDown,
-    /// A hot-swap checkpoint failed to parse or did not match the model.
-    Checkpoint(String),
-    /// The request itself could not be served (e.g. a traffic matrix whose
-    /// dimensions do not match the topology's demand set).
-    BadRequest(String),
-    /// The daemon failed internally while serving (e.g. a worker panic).
-    /// The request was well-formed and may be retried.
-    Internal(String),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::UnknownTopology(id) => write!(f, "unknown topology {id:?}"),
-            ServeError::ShuttingDown => write!(f, "serving daemon is shutting down"),
-            ServeError::Checkpoint(m) => write!(f, "checkpoint swap failed: {m}"),
-            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
-            ServeError::Internal(m) => write!(f, "internal serving error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-/// A served allocation plus per-request serving metadata.
-#[derive(Clone, Debug)]
-pub struct ServeReply {
-    /// The TE allocation for the submitted matrix.
-    pub allocation: Allocation,
-    /// End-to-end latency: enqueue → response ready.
-    pub latency: Duration,
-    /// How many requests shared the coalesced forward pass.
-    pub batch_size: usize,
-}
-
-/// One-shot response slot a [`Ticket`] waits on.
-struct ResponseSlot {
-    slot: Mutex<Option<Result<ServeReply, ServeError>>>,
-    ready: Condvar,
-}
-
-impl ResponseSlot {
-    fn new() -> Arc<Self> {
-        Arc::new(ResponseSlot {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        })
-    }
-
-    fn fulfill(&self, r: Result<ServeReply, ServeError>) {
-        let mut slot = self.slot.lock().expect("response lock");
-        *slot = Some(r);
-        self.ready.notify_all();
-    }
-}
-
-/// Handle to a submitted request; redeem with [`Ticket::wait`].
-pub struct Ticket {
-    slot: Arc<ResponseSlot>,
-}
-
-impl Ticket {
-    /// Block until the response is ready.
-    pub fn wait(self) -> Result<ServeReply, ServeError> {
-        let mut slot = self.slot.slot.lock().expect("response lock");
-        loop {
-            if let Some(r) = slot.take() {
-                return r;
-            }
-            slot = self.slot.ready.wait(slot).expect("response wait");
-        }
-    }
-
-    /// Non-blocking poll: true once [`Ticket::wait`] would return
-    /// immediately.
-    pub fn is_ready(&self) -> bool {
-        self.slot.slot.lock().expect("response lock").is_some()
-    }
-}
 
 /// One queued request (its topology is implied by the shard holding it).
 struct Request {
     tm: TrafficMatrix,
     enqueued: Instant,
+    /// Absolute expiry minted from [`SubmitRequest::deadline`] at enqueue.
+    expires: Option<Instant>,
+    /// Canonical failed-link override set; empty = steady-state path.
+    signature: Vec<(usize, usize)>,
     slot: Arc<ResponseSlot>,
 }
 
@@ -158,10 +109,16 @@ pub struct ServeConfig {
     /// stragglers before dispatching (micro-batching window). Zero
     /// dispatches immediately.
     pub linger: Duration,
-    /// Per-shard queue bound; submitters block once this many requests are
-    /// waiting for one topology (backpressure instead of unbounded memory
-    /// growth).
+    /// Per-shard queue bound. Deadline-less submitters block once this many
+    /// requests are waiting for one topology (backpressure instead of
+    /// unbounded memory growth); deadline'd requests are shed instead.
     pub queue_capacity: usize,
+    /// Cap on pool threads (submitting dispatcher + helpers) each shard may
+    /// use for its ADMM tiles and forward-pass kernels. `None` = share the
+    /// whole `teal_nn::pool`. Set this when topology counts grow past core
+    /// counts so shards degrade into roughly-even lanes instead of
+    /// thrashing the pool.
+    pub shard_threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -170,14 +127,15 @@ impl Default for ServeConfig {
             max_batch: 16,
             linger: Duration::from_micros(200),
             queue_capacity: 1024,
+            shard_threads: None,
         }
     }
 }
 
 /// One topology's dispatch lane: private queue, condvars, and telemetry
-/// slot. The shard's dispatcher thread additionally owns a
-/// [`BatchScratch`] (thread-local by construction — it lives on the
-/// dispatcher's stack and is never shared).
+/// slot. The shard's dispatcher thread additionally owns two
+/// [`BatchScratch`]es (thread-local by construction — they live on the
+/// dispatcher's stack and are never shared).
 struct Shard {
     topology: String,
     queue: Mutex<VecDeque<Request>>,
@@ -209,7 +167,8 @@ struct Inner<M: PolicyModel> {
     telemetry: Telemetry,
 }
 
-/// The long-running TE serving daemon (see module docs).
+/// The long-running TE serving core (see module docs). Transport front
+/// ends ([`crate::TealServer`]) and in-process callers share this object.
 pub struct ServeDaemon<M: PolicyModel + Send + Sync + 'static> {
     inner: Arc<Inner<M>>,
 }
@@ -283,31 +242,81 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
     }
 
     /// Enqueue a request; returns a [`Ticket`] immediately. Blocks only
-    /// when the topology's shard queue is at capacity (backpressure).
-    pub fn submit(&self, topology: impl Into<String>, tm: TrafficMatrix) -> Ticket {
-        let topology = topology.into();
+    /// when the topology's shard queue is at capacity *and* the request
+    /// carries no deadline (backpressure); deadline'd requests are shed
+    /// instead of queued late (see the module docs' admission-control
+    /// section).
+    pub fn submit(&self, req: SubmitRequest) -> Ticket {
         let slot = ResponseSlot::new();
+        self.submit_on(req, Arc::clone(&slot));
+        Ticket::new(slot)
+    }
+
+    /// [`ServeDaemon::submit`] into a caller-provided response slot — the
+    /// hook the wire front end uses so it can register the slot in its
+    /// reply map *before* any fulfillment (including synchronous submit
+    /// errors) can fire.
+    pub(crate) fn submit_on(&self, req: SubmitRequest, slot: Arc<ResponseSlot>) {
         if self.inner.shutdown.load(Ordering::Acquire) {
             slot.fulfill(Err(ServeError::ShuttingDown));
-            return Ticket { slot };
+            return;
         }
         // Route by topology. Unknown ids fail here instead of spawning a
         // dispatch lane per typo'd request.
-        if self.inner.registry.get(&topology).is_none() {
-            slot.fulfill(Err(ServeError::UnknownTopology(topology)));
-            return Ticket { slot };
-        }
-        let Some(shard) = self.shard(&topology) else {
-            slot.fulfill(Err(ServeError::ShuttingDown));
-            return Ticket { slot };
+        let Some(ctx) = self.inner.registry.get(&req.topology) else {
+            slot.fulfill(Err(ServeError::UnknownTopology(req.topology)));
+            return;
         };
-        let req = Request {
-            tm,
-            enqueued: Instant::now(),
+        // Validate the failure overrides against the serving topology up
+        // front: a typo'd link must be a per-request error, not a silent
+        // no-op override (or a whole-group BadTopology later).
+        let signature = req.override_signature();
+        let topo = ctx.env().topo();
+        for &(a, b) in &signature {
+            if a >= topo.num_nodes()
+                || b >= topo.num_nodes()
+                || (topo.find_edge(a, b).is_none() && topo.find_edge(b, a).is_none())
+            {
+                slot.fulfill(Err(ServeError::BadRequest(format!(
+                    "failed link {a}-{b} does not exist in topology {:?}",
+                    req.topology
+                ))));
+                return;
+            }
+        }
+        let Some(shard) = self.shard(&req.topology) else {
+            slot.fulfill(Err(ServeError::ShuttingDown));
+            return;
+        };
+        let now = Instant::now();
+        // Shed a request whose budget is already gone: enqueueing it could
+        // only produce a stale allocation nobody will apply.
+        if req.deadline.is_some_and(|d| d.is_zero()) {
+            self.inner.telemetry.on_shed();
+            slot.fulfill(Err(ServeError::DeadlineExceeded));
+            return;
+        }
+        let request = Request {
+            tm: req.tm,
+            enqueued: now,
+            expires: req.deadline.map(|d| now + d),
+            signature,
             slot: Arc::clone(&slot),
         };
         {
             let mut q = shard.queue.lock().expect("queue lock");
+            if request.expires.is_some() && q.len() >= self.inner.cfg.queue_capacity {
+                // Admission control: a deadline'd request meeting a full
+                // queue is refused *now* — blocking would silently convert
+                // its budget into queueing delay.
+                drop(q);
+                self.inner.telemetry.on_shed();
+                slot.fulfill(Err(ServeError::Overloaded(format!(
+                    "shard {:?} queue full ({} waiting)",
+                    shard.topology, self.inner.cfg.queue_capacity
+                ))));
+                return;
+            }
             while q.len() >= self.inner.cfg.queue_capacity
                 && !self.inner.shutdown.load(Ordering::Acquire)
             {
@@ -321,22 +330,22 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             if self.inner.shutdown.load(Ordering::Acquire) {
                 drop(q);
                 slot.fulfill(Err(ServeError::ShuttingDown));
-                return Ticket { slot };
+                return;
             }
-            q.push_back(req);
+            q.push_back(request);
             self.inner.telemetry.on_enqueue();
         }
         shard.nonempty.notify_one();
-        Ticket { slot }
     }
 
-    /// Submit and block for the reply (convenience for synchronous callers).
+    /// Submit a plain request and block for the reply (convenience for
+    /// synchronous callers).
     pub fn allocate(
         &self,
         topology: impl Into<String>,
         tm: TrafficMatrix,
     ) -> Result<ServeReply, ServeError> {
-        self.submit(topology, tm).wait()
+        self.submit(SubmitRequest::new(topology, tm)).wait()
     }
 
     /// Stop accepting requests, serve everything already queued on every
@@ -380,10 +389,24 @@ impl<M: PolicyModel + Send + Sync + 'static> Drop for ServeDaemon<M> {
 }
 
 /// One shard's dispatcher: drain the shard queue, coalesce, serve through
-/// the shard-owned arena, repeat until shutdown drains it dry.
+/// the shard-owned arenas, repeat until shutdown drains it dry.
 fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
-    // The shard's private ADMM arena (see module docs for ownership rules).
+    // The shard's private ADMM arenas (see module docs for ownership
+    // rules): one for the steady-state path, one for failure overrides so
+    // a failure burst never disturbs the steady arena's warmed state.
     let mut scratch = BatchScratch::new();
+    let mut failure_scratch = BatchScratch::new();
+    // Failure scenarios this shard has already built the overridden
+    // topology for: a sustained burst on one degraded topology must not
+    // pay a topology clone + rebuild per window. Keyed by the `Env` whose
+    // topology the overrides were derived from — holding the `Arc` both
+    // detects a registry swap to a different environment (cache cleared)
+    // and makes pointer comparison ABA-safe; hot checkpoint swaps keep the
+    // env, so the cache survives them.
+    let mut overrides = OverrideCache {
+        env: None,
+        topos: HashMap::new(),
+    };
     loop {
         let drained = {
             let mut q = shard.queue.lock().expect("queue lock");
@@ -392,7 +415,7 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
             }
             if q.is_empty() {
                 // Shutdown with an empty queue: done. This decision is made
-                // under the queue lock — see `submit` for why no request
+                // under the queue lock — see `submit_on` for why no request
                 // can slip in afterwards.
                 return;
             }
@@ -421,16 +444,78 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
             shard.space.notify_all();
             drained
         };
-        serve_drained(inner, shard, &mut scratch, drained);
+        // Per-shard thread cap: bind the pool fan-out of everything this
+        // window computes (forward-pass kernels and ADMM tiles alike) from
+        // this, the submitting thread.
+        match inner.cfg.shard_threads {
+            Some(cap) => teal_nn::pool::with_thread_cap(cap, || {
+                serve_drained(
+                    inner,
+                    shard,
+                    &mut scratch,
+                    &mut failure_scratch,
+                    &mut overrides,
+                    drained,
+                );
+            }),
+            None => serve_drained(
+                inner,
+                shard,
+                &mut scratch,
+                &mut failure_scratch,
+                &mut overrides,
+                drained,
+            ),
+        }
     }
 }
 
-/// Serve one drained queue segment through the batched path in
-/// `max_batch`-sized chunks, against one context snapshot.
+/// Per-shard cache of failure-overridden topologies (see `shard_loop`).
+struct OverrideCache {
+    /// The environment the cached topologies were derived from.
+    env: Option<Arc<teal_core::Env>>,
+    /// Canonical failure signature → prebuilt overridden topology.
+    topos: HashMap<Vec<(usize, usize)>, Topology>,
+}
+
+/// Most distinct failure scenarios a shard caches topologies for. Failure
+/// signatures are client-chosen (up to 2^links valid combinations), so an
+/// unbounded cache would let a hostile wire client grow server memory
+/// without limit; at the cap the cache is simply reset — a live burst
+/// re-caches its scenario on the next window at one rebuild's cost.
+const MAX_CACHED_OVERRIDES: usize = 32;
+
+impl OverrideCache {
+    /// The overridden topology for `sig`, built (and cached) on first use
+    /// against `env`'s base topology.
+    fn get(&mut self, env: &Arc<teal_core::Env>, sig: &[(usize, usize)]) -> &Topology {
+        if !self.env.as_ref().is_some_and(|e| Arc::ptr_eq(e, env)) {
+            self.topos.clear();
+            self.env = Some(Arc::clone(env));
+        }
+        if !self.topos.contains_key(sig) && self.topos.len() >= MAX_CACHED_OVERRIDES {
+            self.topos.clear();
+        }
+        self.topos.entry(sig.to_vec()).or_insert_with(|| {
+            let mut topo = env.topo().clone();
+            for &(a, b) in sig {
+                topo = topo.with_failed_link(a, b);
+            }
+            topo
+        })
+    }
+}
+
+/// Serve one drained queue segment: expire stale requests, split the rest
+/// into the steady-state sub-batch and one sub-batch per failure-override
+/// signature, and push each through the batched path in `max_batch`-sized
+/// chunks against one context snapshot.
 fn serve_drained<M: PolicyModel>(
     inner: &Inner<M>,
     shard: &Shard,
     scratch: &mut BatchScratch,
+    failure_scratch: &mut BatchScratch,
+    overrides: &mut OverrideCache,
     drained: Vec<Request>,
 ) {
     // One context snapshot per drain: every request in it is served by the
@@ -445,36 +530,75 @@ fn serve_drained<M: PolicyModel>(
         }
         return;
     };
-    let mut requests = drained;
-    while !requests.is_empty() {
-        let take = requests.len().min(inner.cfg.max_batch.max(1));
-        let chunk: Vec<Request> = requests.drain(..take).collect();
-        serve_chunk(inner, shard, scratch, &ctx, chunk);
+    // Admission control, drain side: a request whose deadline lapsed while
+    // queued must not occupy a lane in the forward pass — its caller has
+    // already moved on.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(drained.len());
+    for req in drained {
+        if req.expires.is_some_and(|e| e <= now) {
+            inner.telemetry.on_expired();
+            req.slot.fulfill(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(req);
+        }
+    }
+    // Group by override signature, preserving arrival order within each
+    // group. The empty signature — the steady-state path — is always group
+    // 0 and is served out of the shard's primary arena; each failure
+    // scenario gets its own coalesced sub-batch on the failure arena.
+    type SignatureGroup = (Vec<(usize, usize)>, Vec<Request>);
+    let mut groups: Vec<SignatureGroup> = vec![(Vec::new(), Vec::new())];
+    for req in live {
+        match groups.iter_mut().find(|(sig, _)| *sig == req.signature) {
+            Some((_, g)) => g.push(req),
+            None => groups.push((req.signature.clone(), vec![req])),
+        }
+    }
+    for (sig, mut requests) in groups {
+        if requests.is_empty() {
+            continue;
+        }
+        let (override_topo, group_scratch) = if sig.is_empty() {
+            (None, &mut *scratch)
+        } else {
+            (Some(overrides.get(ctx.env(), &sig)), &mut *failure_scratch)
+        };
+        while !requests.is_empty() {
+            let take = requests.len().min(inner.cfg.max_batch.max(1));
+            let chunk: Vec<Request> = requests.drain(..take).collect();
+            serve_chunk(inner, shard, group_scratch, &ctx, override_topo, chunk);
+        }
     }
 }
 
-/// Serve one coalesced chunk, isolating faults without losing batching.
-/// The engine's [`AllocError::BadRequest`] names the offending request, so
-/// only that one is failed and the remainder is re-batched in a single
-/// pass — one malformed matrix must not serialize (or error) 31 innocent
-/// requests. A poisoned worker is a *server* fault: the chunk gets a
-/// retryable [`ServeError::Internal`], never `BadRequest`. `catch_unwind`
-/// stays as a last line of defense against panics the engine does not
-/// classify, degrading to per-request serving.
+/// Serve one coalesced chunk (plain or failure-overridden), isolating
+/// faults without losing batching. The engine's [`AllocError::BadRequest`]
+/// names the offending request, so only that one is failed and the
+/// remainder is re-batched in a single pass — one malformed matrix must not
+/// serialize (or error) 31 innocent requests. A poisoned worker is a
+/// *server* fault: the chunk gets a retryable [`ServeError::Internal`],
+/// never `BadRequest`. `catch_unwind` stays as a last line of defense
+/// against panics the engine does not classify, degrading to per-request
+/// serving.
 fn serve_chunk<M: PolicyModel>(
     inner: &Inner<M>,
     shard: &Shard,
     scratch: &mut BatchScratch,
     ctx: &Arc<ServingContext<M>>,
+    override_topo: Option<&Topology>,
     mut chunk: Vec<Request>,
 ) {
+    let allocate = |tms: &[TrafficMatrix], scratch: &mut BatchScratch| match override_topo {
+        Some(topo) => ctx.try_allocate_batch_on_with(topo, tms, scratch),
+        None => ctx.try_allocate_batch_with(tms, scratch),
+    };
     // Cloned once; evictions below remove the matching entry instead of
     // re-cloning the whole remainder each retry.
     let mut tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
     while !chunk.is_empty() {
-        let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ctx.try_allocate_batch_with(&tms, scratch)
-        }));
+        let batched =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| allocate(&tms, scratch)));
         match batched {
             // A model whose allocate_batch drops or invents results would
             // silently strand zipped-out clients on their slots forever;
@@ -527,7 +651,7 @@ fn serve_chunk<M: PolicyModel>(
             Err(_) => {
                 for req in chunk {
                     let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        ctx.try_allocate_batch_with(std::slice::from_ref(&req.tm), scratch)
+                        allocate(std::slice::from_ref(&req.tm), scratch)
                     }));
                     match one {
                         Ok(Ok((mut allocs, _))) if allocs.len() == 1 => {

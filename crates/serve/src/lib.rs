@@ -1,64 +1,88 @@
-//! `teal-serve`: a multi-topology TE serving daemon.
+//! `teal-serve`: a multi-topology TE serving system — a transport-agnostic
+//! serving core plus a TCP wire front end.
 //!
 //! The paper's pitch is that TE allocation becomes a *fixed-cost batched
 //! compute step* fast enough to run inside the TE control interval. The
 //! library crates realize the compute step ([`teal_core::ServingContext`]);
-//! this crate turns it into a long-running, concurrency-safe **service** —
-//! the bridge from "library" to the ROADMAP's "serve heavy traffic from
-//! millions of users".
+//! this crate turns it into a long-running, concurrency-safe **service**
+//! reachable over a socket — the bridge from "library" to the ROADMAP's
+//! "serve heavy traffic from millions of users".
 //!
 //! # Architecture
 //!
 //! ```text
-//!   clients (any thread)            per-topology shards (one thread each)
-//!   ────────────────────            ───────────────────────────────────────
-//!   submit(topo, tm) ── route ──►  shard "b4":   queue ► drain + linger
-//!        │               by           │  registry.get ── snapshot read
-//!        │             topology       ▼
-//!        │                         try_allocate_batch_with(tms, arena)
-//!        │                            (one forward pass per window,
-//!        │                             arena-reusing batched ADMM)
-//!        │                        shard "swan":  queue ► drain + linger
-//!        │                            │  ... a true parallel lane ...
-//!        ▼                            ▼
-//!   Ticket::wait ◄─────────────── per-request response slots
+//!   wire clients                     server front end        serving core
+//!   ────────────                     ────────────────        ────────────────────
+//!   TealClient ── REQUEST frames ──► TealServer
+//!     │  (pipelined, id-tagged)        conn reader ──┐
+//!     │                                              │ submit(SubmitRequest)
+//!   in-process clients                               ▼
+//!   ──────────────────            ┌──── admission control ────┐
+//!   submit(SubmitRequest) ───────►│ shed: queue full+deadline │
+//!        │                        │ shed: budget already gone │
+//!        │                        └──────────┬────────────────┘
+//!        │                            route by topology
+//!        │                                   ▼
+//!        │                  shard "b4":   queue ► drain + linger
+//!        │                     │  expire stale deadlines (DeadlineExceeded)
+//!        │                     │  group by failed-link signature
+//!        │                     ▼                       ▼
+//!        │          plain sub-batch             failure sub-batches
+//!        │          try_allocate_batch_with     try_allocate_batch_on_with
+//!        │          (steady-state arena)        (failure arena, §5.3 topo)
+//!        │                  shard "swan":  ... a true parallel lane ...
+//!        ▼                                   ▼
+//!   Ticket::wait /                 per-request response slots
+//!   Ticket::wait_timeout ◄──────── (completion queue notifies the
+//!   conn writer ◄───────────────── wire writer; replies drain out of
+//!     REPLY frames, any order)     order by request id)
 //! ```
 //!
-//! Three components, each deliberately built from operations that commute
-//! across cores (the scalable-commutativity design rule — no lock is ever
-//! held across model compute, and no two shards share per-window mutable
-//! state, so their dispatch is conflict-free by construction):
+//! Layered deliberately:
 //!
-//! * **Per-topology dispatch shards** ([`ServeDaemon`]). Submit routes each
-//!   `(topology id, traffic matrix)` pair to its topology's shard — a
-//!   dedicated dispatcher thread with a private queue, condvars, ADMM
-//!   arena ([`teal_core::BatchScratch`]), and telemetry slot. Each shard
-//!   drains its queue (lingering up to [`ServeConfig::linger`] so bursts
-//!   pile up) and serves the window through one batched forward pass +
-//!   arena-reusing batched ADMM: steady-state windows reuse all ADMM
-//!   solver state across windows. Unrelated clients' matrices share
-//!   matrix products; replies report the coalesced
-//!   [`ServeReply::batch_size`]. Backpressure is a bounded per-shard
-//!   queue. On multicore, topologies serve genuinely in parallel; the
-//!   shard-arena ownership rules are in the `daemon` module docs.
-//! * **Topology/model registry with hot swap** ([`ModelRegistry`]). One
-//!   [`teal_core::ServingContext`] per topology (each with its prebuilt
-//!   ADMM skeleton) behind snapshot reads: `get` clones an `Arc` and drops
-//!   the lock before any compute. [`ModelRegistry::swap_checkpoint_str`]
-//!   loads new weights via `teal-nn`'s checkpoint format and atomically
-//!   republishes the context — in-flight requests finish on the weights
-//!   they snapshotted, so a swap never drops or mixes a response.
-//! * **Serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]).
-//!   Per-topology latency histograms (p50/p99/mean), queue-depth gauges,
-//!   and the coalesced batch-size distribution, readable at any time
-//!   without pausing the daemon.
+//! * **Request vocabulary** ([`SubmitRequest`], [`ServeReply`],
+//!   [`ServeError`], [`Ticket`]) — one set of types spoken by every
+//!   transport. A request carries two optional scenario axes: a
+//!   **deadline** (admission control: shed at enqueue, expire at drain,
+//!   bounded waits via [`Ticket::wait_timeout`]) and **failed-link
+//!   overrides** (the paper's §5.3 failure recovery, served without
+//!   retraining through [`teal_core::ServingContext::try_allocate_batch_on_with`]).
+//! * **Serving core** ([`ServeDaemon`]) — per-topology dispatch shards
+//!   behind the narrow `submit(SubmitRequest) -> Ticket` API. Submit
+//!   routes each request to its topology's shard — a dedicated dispatcher
+//!   thread with a private queue, condvars, two ADMM arenas
+//!   ([`teal_core::BatchScratch`]: steady-state + failure), and a
+//!   telemetry slot. Each shard drains its queue (lingering up to
+//!   [`ServeConfig::linger`] so bursts pile up), expires stale requests,
+//!   groups the rest by failure signature, and serves each sub-batch
+//!   through one batched forward pass + arena-reusing batched ADMM.
+//!   Backpressure is a bounded per-shard queue; [`ServeConfig::shard_threads`]
+//!   optionally caps one shard's `teal_nn::pool` fan-out so shards degrade
+//!   into even lanes when topologies outnumber cores. Built from
+//!   commutative operations across cores *and* connections (the
+//!   scalable-commutativity design rule): no lock is held across model
+//!   compute and no two shards share hot-path state, so a network front
+//!   end multiplying concurrent submitters scales the same way more
+//!   threads do.
+//! * **Wire front end** ([`wire`], [`TealServer`], [`TealClient`]) —
+//!   std-only TCP (no async runtime): a length-prefixed, versioned binary
+//!   codec; a server whose per-connection reader feeds the core and whose
+//!   writer drains tickets **out of order by request id** off a completion
+//!   queue; and a blocking client with pipelined submits returning the
+//!   same [`Ticket`] handle in-process callers use.
+//! * **Topology/model registry with hot swap** ([`ModelRegistry`]) and
+//!   **serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]:
+//!   p50/p99 latency histograms, queue-depth gauges, batch-size
+//!   distribution, and the admission-control `shed`/`expired` counters) —
+//!   unchanged semantics from the in-process daemon, now observable
+//!   across the socket boundary too.
 //!
-//! # Quickstart
+//! # Quickstart (in-process)
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use teal_core::{Env, EngineConfig, ServingContext, TealConfig, TealModel};
-//! use teal_serve::{ModelRegistry, ServeDaemon};
+//! use teal_serve::{ModelRegistry, ServeDaemon, SubmitRequest};
 //! use teal_topology::b4;
 //! use teal_traffic::TrafficMatrix;
 //!
@@ -69,18 +93,58 @@
 //! let daemon = ServeDaemon::with_defaults(registry);
 //!
 //! let tm = TrafficMatrix::new(vec![20.0; env.num_demands()]);
-//! let reply = daemon.allocate("b4", tm).expect("served");
+//! let reply = daemon.allocate("b4", tm.clone()).expect("served");
+//! println!("batch of {} in {:?}", reply.batch_size, reply.latency);
+//!
+//! // Scenario axes: bounded wait + a failure window, same submit API.
+//! let degraded = daemon.submit(
+//!     SubmitRequest::new("b4", tm)
+//!         .with_deadline(std::time::Duration::from_millis(50))
+//!         .with_failed_link(0, 1),
+//! );
+//! match degraded.wait() {
+//!     Ok(reply) => println!("failure window served: {:?}", reply.latency),
+//!     Err(e) => println!("shed/expired: {e}"),
+//! }
+//! ```
+//!
+//! # Quickstart (wire)
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use teal_serve::{ModelRegistry, ServeDaemon, TealClient, TealServer};
+//! # use teal_core::{Env, EngineConfig, ServingContext, TealConfig, TealModel};
+//! # use teal_topology::b4;
+//! # use teal_traffic::TrafficMatrix;
+//! # let env = Arc::new(Env::for_topology(b4()));
+//! # let model = TealModel::new(Arc::clone(&env), TealConfig::default());
+//! # let registry = ModelRegistry::new();
+//! # registry.insert("b4", ServingContext::new(model, EngineConfig::paper_default(12)));
+//! let daemon = Arc::new(ServeDaemon::with_defaults(registry));
+//! let server = TealServer::bind(Arc::clone(&daemon), "127.0.0.1:0").expect("bind");
+//! let client = TealClient::connect(server.local_addr()).expect("connect");
+//! let tm = TrafficMatrix::new(vec![20.0; env.num_demands()]);
+//! let reply = client.allocate("b4", tm).expect("served over TCP");
 //! println!("batch of {} in {:?}", reply.batch_size, reply.latency);
 //! ```
 //!
-//! See `examples/serve_loop.rs` for the full submit → coalesced batch →
-//! hot weight swap loop, and the `serve_latency` bench in `teal-bench` for
-//! the daemon-vs-sequential throughput comparison (`BENCH_serve.json`).
+//! See `examples/wire_serve.rs` for the full socket loop (plain +
+//! deadline'd + failure requests, sheds/expiries in telemetry),
+//! `examples/serve_loop.rs` for the in-process submit → coalesce → hot
+//! swap loop, and the `serve_latency` bench in `teal-bench` for the
+//! daemon-vs-sequential-vs-socket comparison (`BENCH_serve.json`).
 
+pub mod client;
 pub mod daemon;
 pub mod registry;
+mod request;
+pub mod server;
 pub mod telemetry;
+pub mod wire;
 
-pub use daemon::{ServeConfig, ServeDaemon, ServeError, ServeReply, Ticket};
+pub use client::TealClient;
+pub use daemon::{ServeConfig, ServeDaemon};
 pub use registry::ModelRegistry;
+pub use request::{ServeError, ServeReply, SubmitRequest, Ticket};
+pub use server::TealServer;
 pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot, TopoSnapshot};

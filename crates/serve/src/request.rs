@@ -1,0 +1,279 @@
+//! The request/reply vocabulary of the serving core: [`SubmitRequest`],
+//! [`ServeReply`], [`ServeError`], and the [`Ticket`] a submission returns.
+//!
+//! These types are deliberately **transport-agnostic**: the in-process
+//! [`crate::ServeDaemon`] API, the TCP wire codec ([`crate::wire`]), and
+//! the blocking [`crate::TealClient`] all speak exactly this vocabulary, so
+//! a request behaves identically whether it was submitted from a thread in
+//! the same process or decoded off a socket. The response-slot plumbing at
+//! the bottom of the file (one-shot slot + optional completion queue) is
+//! what lets a socket writer drain replies *out of order* without polling:
+//! fulfilling a slot pushes its request id onto the connection's
+//! completion queue.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use teal_lp::Allocation;
+use teal_traffic::TrafficMatrix;
+
+/// One serving request: which topology, what traffic, and the two optional
+/// scenario axes — a **deadline** (admission control: the request is shed
+/// or expired instead of served late) and **failed-link overrides** (the
+/// paper's §5.3 failure recovery: serve on a degraded topology without
+/// retraining).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// Registry id of the topology to serve on.
+    pub topology: String,
+    /// The traffic matrix to allocate.
+    pub tm: TrafficMatrix,
+    /// Time budget measured from enqueue. `None` = wait however long it
+    /// takes. A request whose budget is exhausted before its batch is
+    /// formed gets [`ServeError::DeadlineExceeded`] instead of a stale
+    /// allocation, and a zero budget (or a full queue) sheds at enqueue.
+    pub deadline: Option<Duration>,
+    /// Bidirectional links (node pairs) to treat as failed — capacity
+    /// zeroed, exactly as in §5.3 — for this request only. Requests with
+    /// the same override set coalesce into shared failure sub-batches;
+    /// an empty set is the steady-state path.
+    pub failed_links: Vec<(usize, usize)>,
+}
+
+impl SubmitRequest {
+    /// A plain steady-state request (no deadline, no failed links).
+    pub fn new(topology: impl Into<String>, tm: TrafficMatrix) -> Self {
+        SubmitRequest {
+            topology: topology.into(),
+            tm,
+            deadline: None,
+            failed_links: Vec::new(),
+        }
+    }
+
+    /// Bound the time this request may spend queued before serving.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Serve on a copy of the topology with the link `a`–`b` failed (both
+    /// directed edges zeroed). May be chained for multi-link failures.
+    pub fn with_failed_link(mut self, a: usize, b: usize) -> Self {
+        self.failed_links.push((a, b));
+        self
+    }
+
+    /// Replace the full failed-link override set.
+    pub fn with_failed_links(mut self, links: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.failed_links = links.into_iter().collect();
+        self
+    }
+
+    /// Canonical form of the override set — pairs ordered `(min, max)`,
+    /// sorted, deduplicated — so requests describing the same failure
+    /// scenario in different orders share one sub-batch (and one reminted
+    /// solver) at the shard.
+    pub(crate) fn override_signature(&self) -> Vec<(usize, usize)> {
+        let mut sig: Vec<(usize, usize)> = self
+            .failed_links
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        sig.sort_unstable();
+        sig.dedup();
+        sig
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No context registered under the requested topology id.
+    UnknownTopology(String),
+    /// The daemon is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A hot-swap checkpoint failed to parse or did not match the model.
+    Checkpoint(String),
+    /// The request itself could not be served (e.g. a traffic matrix whose
+    /// dimensions do not match the topology's demand set, or a failed-link
+    /// override naming a link the topology does not have).
+    BadRequest(String),
+    /// The daemon failed internally while serving (e.g. a worker panic, or
+    /// a lost wire connection). The request was well-formed and may be
+    /// retried.
+    Internal(String),
+    /// The request's time budget ran out — either expired in the queue
+    /// before its batch was formed, or (for [`Ticket::wait_timeout`]) the
+    /// caller stopped waiting.
+    DeadlineExceeded,
+    /// Admission control shed the request at enqueue: the shard's queue was
+    /// full and the request carried a deadline, so queueing it would only
+    /// burn its budget.
+    Overloaded(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTopology(id) => write!(f, "unknown topology {id:?}"),
+            ServeError::ShuttingDown => write!(f, "serving daemon is shutting down"),
+            ServeError::Checkpoint(m) => write!(f, "checkpoint swap failed: {m}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Internal(m) => write!(f, "internal serving error: {m}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Overloaded(m) => write!(f, "request shed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served allocation plus per-request serving metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReply {
+    /// The TE allocation for the submitted matrix.
+    pub allocation: Allocation,
+    /// End-to-end latency: enqueue → response ready.
+    pub latency: Duration,
+    /// How many requests shared the coalesced forward pass.
+    pub batch_size: usize,
+}
+
+/// Out-of-order completion queue: response slots created with
+/// [`ResponseSlot::with_notify`] push their tag here when fulfilled, so a
+/// wire writer can block on *any* reply becoming ready instead of polling
+/// tickets in submission order.
+pub(crate) struct Completions {
+    ready: Mutex<VecDeque<u64>>,
+    cv: Condvar,
+}
+
+impl Completions {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Completions {
+            ready: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, tag: u64) {
+        self.ready.lock().expect("completions lock").push_back(tag);
+        self.cv.notify_all();
+    }
+
+    /// Wake all waiters so they can re-check their exit condition.
+    pub(crate) fn kick(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Next ready tag; blocks until one arrives or `done()` says no more
+    /// ever will (returns `None` then).
+    pub(crate) fn pop_wait(&self, done: impl Fn() -> bool) -> Option<u64> {
+        let mut q = self.ready.lock().expect("completions lock");
+        loop {
+            if let Some(tag) = q.pop_front() {
+                return Some(tag);
+            }
+            if done() {
+                return None;
+            }
+            q = self.cv.wait(q).expect("completions wait");
+        }
+    }
+}
+
+/// One-shot response slot a [`Ticket`] waits on.
+pub(crate) struct ResponseSlot {
+    slot: Mutex<Option<Result<ServeReply, ServeError>>>,
+    ready: Condvar,
+    /// `(queue, tag)` notified on fulfillment — the wire server's
+    /// out-of-order reply path. `None` for in-process tickets.
+    notify: Option<(Arc<Completions>, u64)>,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            notify: None,
+        })
+    }
+
+    /// A slot that additionally announces its fulfillment on `completions`
+    /// under `tag` (the wire request id).
+    pub(crate) fn with_notify(completions: Arc<Completions>, tag: u64) -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            notify: Some((completions, tag)),
+        })
+    }
+
+    pub(crate) fn fulfill(&self, r: Result<ServeReply, ServeError>) {
+        {
+            let mut slot = self.slot.lock().expect("response lock");
+            *slot = Some(r);
+            self.ready.notify_all();
+        }
+        if let Some((completions, tag)) = &self.notify {
+            completions.push(*tag);
+        }
+    }
+}
+
+/// Handle to a submitted request; redeem with [`Ticket::wait`] or
+/// [`Ticket::wait_timeout`].
+pub struct Ticket {
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+        Ticket { slot }
+    }
+
+    /// Block until the response is ready.
+    pub fn wait(self) -> Result<ServeReply, ServeError> {
+        let mut slot = self.slot.slot.lock().expect("response lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.slot.ready.wait(slot).expect("response wait");
+        }
+    }
+
+    /// Block for at most `timeout`, returning
+    /// [`ServeError::DeadlineExceeded`] if no response arrived in time —
+    /// the in-process caller's version of a wire client's bounded wait.
+    /// The request itself is *not* cancelled: the shard still serves (or
+    /// expires) it and the daemon's telemetry still accounts for it, so an
+    /// abandoned ticket never leaks queue-depth gauges.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeReply, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.slot.lock().expect("response lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let (guard, _) = self
+                .slot
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("response wait");
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll: true once [`Ticket::wait`] would return
+    /// immediately.
+    pub fn is_ready(&self) -> bool {
+        self.slot.slot.lock().expect("response lock").is_some()
+    }
+}

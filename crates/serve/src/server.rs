@@ -1,0 +1,304 @@
+//! `TealServer`: the TCP front end over the transport-agnostic serving
+//! core — `std::net` and the workspace's plain-thread idioms, no async
+//! runtime (the registry is unreachable in this environment, and the
+//! blocking-thread model matches the rest of the daemon).
+//!
+//! One accept-loop thread turns each connection into a **reader** and a
+//! **writer** thread:
+//!
+//! * The reader performs the versioned handshake, then decodes pipelined
+//!   [`crate::wire`] REQUEST frames and feeds them straight into
+//!   [`ServeDaemon::submit_on`] — the same validated, admission-controlled
+//!   path in-process callers use. Before submitting, it registers the
+//!   request's response slot (keyed by the client's request id) with the
+//!   connection's reply map, so even a synchronously-failed submit has a
+//!   home for its reply.
+//! * The writer blocks on the connection's completion queue and drains
+//!   replies **out of order, by request id**, the moment each ticket
+//!   fulfills — a slow request never convoys the replies queued behind it.
+//!   At reader EOF the writer finishes every still-pending ticket before
+//!   closing (a client that half-closed its send side still gets all its
+//!   replies).
+//!
+//! Per the scalable-commutativity design rule the connections share no
+//! mutable state with each other — each has its own reply map and
+//! completion queue, and all cross-connection coordination happens inside
+//! the serving core's per-topology shards — so adding connections scales
+//! like adding submitter threads, which is exactly what the loopback soak
+//! test exercises.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use teal_core::PolicyModel;
+
+use crate::daemon::ServeDaemon;
+use crate::request::{Completions, ResponseSlot, Ticket};
+use crate::wire;
+
+/// Connection-level shared state between its reader and writer threads.
+struct Conn {
+    /// Request id → response slot ticket, inserted by the reader *before*
+    /// submit, drained by the writer as completions arrive.
+    pending: Mutex<HashMap<u64, Ticket>>,
+    completions: Arc<Completions>,
+    /// Reader hit EOF/error: no new ids will ever be inserted.
+    done_reading: AtomicBool,
+}
+
+/// Server-wide state the accept loop and `shutdown` share.
+struct ServerShared {
+    shutdown: AtomicBool,
+    /// Live connections: each thread handle paired with a clone of its
+    /// socket (for unblocking its blocking reads at shutdown). Finished
+    /// entries are pruned (joined, fd dropped) on every accept, so a
+    /// long-running server churning short-lived connections does not leak
+    /// one fd + handle per connection.
+    conns: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+}
+
+/// The TCP serving front end (see module docs).
+pub struct TealServer<M: PolicyModel + Send + Sync + 'static> {
+    daemon: Arc<ServeDaemon<M>>,
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start accepting connections that submit into `daemon`.
+    pub fn bind(daemon: Arc<ServeDaemon<M>>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let daemon = Arc::clone(&daemon);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("teal-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &daemon, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(TealServer {
+            daemon,
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core this front end feeds.
+    pub fn daemon(&self) -> &Arc<ServeDaemon<M>> {
+        &self.daemon
+    }
+
+    /// Stop accepting connections, unblock and join every connection
+    /// thread, then shut the serving core down (queued requests are still
+    /// served; see [`ServeDaemon::shutdown`]). Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop: `TcpListener::incoming` has no native
+        // cancellation in std, so poke it with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop panicked");
+        }
+        // Unblock connection readers parked in read_exact, then join.
+        let conns: Vec<(JoinHandle<()>, TcpStream)> = self
+            .shared
+            .conns
+            .lock()
+            .expect("conn list lock")
+            .drain(..)
+            .collect();
+        // Read half only: the parked readers wake with EOF and stop
+        // accepting frames, but each connection's writer still flushes the
+        // replies for requests already in the daemon's shard queues (the
+        // daemon below keeps serving until those queues drain) — a client
+        // caught mid-pipeline by shutdown gets its answers, not a hangup.
+        for (_, stream) in &conns {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (handle, _) in conns {
+            handle.join().expect("connection thread panicked");
+        }
+        self.daemon.shutdown();
+    }
+}
+
+impl<M: PolicyModel + Send + Sync + 'static> Drop for TealServer<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop<M: PolicyModel + Send + Sync + 'static>(
+    listener: &TcpListener,
+    daemon: &Arc<ServeDaemon<M>>,
+    shared: &Arc<ServerShared>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Latency service: replies are small frames that must not sit in
+        // Nagle's buffer waiting for a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        // Without a clone the connection could not be unblocked at
+        // shutdown; refuse it rather than risk a hang.
+        let Ok(unblock) = stream.try_clone() else {
+            continue;
+        };
+        let daemon = Arc::clone(daemon);
+        let handle = std::thread::Builder::new()
+            .name("teal-serve-conn".into())
+            .spawn(move || serve_connection(stream, &daemon))
+            .expect("spawn connection thread");
+        let mut conns = shared.conns.lock().expect("conn list lock");
+        // Prune finished connections: join their threads and release the
+        // fd clones before tracking the new one — a long-lived server must
+        // not accumulate one fd per connection it ever served.
+        let mut live = Vec::with_capacity(conns.len() + 1);
+        for (h, s) in conns.drain(..) {
+            if h.is_finished() {
+                h.join().expect("connection thread panicked");
+            } else {
+                live.push((h, s));
+            }
+        }
+        live.push((handle, unblock));
+        *conns = live;
+    }
+}
+
+/// Drive one connection: handshake, spawn the writer, then decode and
+/// submit requests until EOF/error.
+fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
+    mut stream: TcpStream,
+    daemon: &Arc<ServeDaemon<M>>,
+) {
+    let mut buf = Vec::new();
+    // Handshake: HELLO in, HELLO_OK out. Anything else closes the socket
+    // (this includes version mismatches — a v2 client gets a hangup, not
+    // silently misdecoded frames).
+    match wire::read_frame(&mut stream, &mut buf) {
+        Ok(true) => {
+            if wire::decode_hello(&buf).is_err() {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        _ => return,
+    }
+    let mut out = Vec::new();
+    wire::encode_hello_ok(&mut out);
+    if wire::write_frame(&mut (&stream), &out).is_err() {
+        return;
+    }
+
+    let conn = Arc::new(Conn {
+        pending: Mutex::new(HashMap::new()),
+        completions: Completions::new(),
+        done_reading: AtomicBool::new(false),
+    });
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        std::thread::Builder::new()
+            .name("teal-serve-conn-writer".into())
+            .spawn(move || writer_loop(stream, &conn))
+            .expect("spawn connection writer")
+    };
+
+    // Reader loop: decode pipelined requests, register the slot, submit.
+    // A clean EOF, a broken socket, or a protocol violation all end it the
+    // same way: no more requests from this peer.
+    while let Ok(true) = wire::read_frame(&mut stream, &mut buf) {
+        let (id, req) = match wire::decode_request(&buf) {
+            Ok(decoded) => decoded,
+            Err(_) => break, // protocol violation: hang up
+        };
+        let slot = ResponseSlot::with_notify(Arc::clone(&conn.completions), id);
+        {
+            let mut pending = conn.pending.lock().expect("pending map lock");
+            // A duplicated id would orphan the first ticket; refuse the
+            // connection rather than guess which reply the client meant.
+            // Checked *before* inserting: replacing the in-flight ticket
+            // would leave the writer waiting forever on a slot that was
+            // never submitted.
+            if pending.contains_key(&id) {
+                break;
+            }
+            pending.insert(id, Ticket::new(Arc::clone(&slot)));
+        }
+        // Submit *after* registration: even an immediately-fulfilled error
+        // reply finds its ticket in the map.
+        daemon.submit_on(req, slot);
+    }
+    conn.done_reading.store(true, Ordering::Release);
+    conn.completions.kick();
+    // The writer drains every pending ticket before exiting; join it so
+    // the server's shutdown join sees a fully-settled connection.
+    writer.join().expect("connection writer panicked");
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Drain replies out of order as tickets fulfill, until the reader is done
+/// and nothing is pending.
+fn writer_loop(stream: TcpStream, conn: &Conn) {
+    let mut stream = stream;
+    let mut out = Vec::new();
+    loop {
+        let done = || {
+            conn.done_reading.load(Ordering::Acquire)
+                && conn.pending.lock().expect("pending map lock").is_empty()
+        };
+        let Some(id) = conn.completions.pop_wait(done) else {
+            return;
+        };
+        let Some(ticket) = conn.pending.lock().expect("pending map lock").remove(&id) else {
+            continue; // already drained (duplicate-id hangup path)
+        };
+        // The completion queue announced this id, so wait() is immediate.
+        let reply = ticket.wait();
+        wire::encode_reply(&mut out, id, &reply);
+        if wire::write_frame(&mut stream, &out).is_err() {
+            // Client went away: keep consuming completions so the shard's
+            // fulfillments don't pile up a queue, but stop writing.
+            drain_silently(conn);
+            return;
+        }
+    }
+}
+
+/// Consume remaining completions without writing (dead client socket).
+fn drain_silently(conn: &Conn) {
+    loop {
+        let done = || {
+            conn.done_reading.load(Ordering::Acquire)
+                && conn.pending.lock().expect("pending map lock").is_empty()
+        };
+        let Some(id) = conn.completions.pop_wait(done) else {
+            return;
+        };
+        conn.pending.lock().expect("pending map lock").remove(&id);
+    }
+}

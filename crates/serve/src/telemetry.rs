@@ -139,6 +139,11 @@ pub struct Telemetry {
     max_queue_depth: AtomicUsize,
     /// Total requests completed (including error responses).
     completed: AtomicU64,
+    /// Requests shed by admission control at enqueue (full queue with a
+    /// deadline, or a budget already spent).
+    shed: AtomicU64,
+    /// Requests whose deadline lapsed in the queue (expired at drain time).
+    expired: AtomicU64,
 }
 
 impl Telemetry {
@@ -181,6 +186,19 @@ impl Telemetry {
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an admission-control shed at enqueue (the request was
+    /// answered — with an error — so it also counts as completed).
+    pub(crate) fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one drain-time deadline expiry (also a completed reply).
+    pub(crate) fn on_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent copy of all counters.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let shards = self.shards.lock().expect("telemetry lock");
@@ -209,6 +227,8 @@ impl Telemetry {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,6 +246,12 @@ pub struct TelemetrySnapshot {
     pub max_queue_depth: usize,
     /// Total requests answered (success or error).
     pub completed: u64,
+    /// Requests shed by admission control at enqueue (counted in
+    /// `completed` too — sheds are answered, with an error).
+    pub shed: u64,
+    /// Requests whose deadline lapsed while queued (drain-time expiries;
+    /// also counted in `completed`).
+    pub expired: u64,
 }
 
 impl TelemetrySnapshot {

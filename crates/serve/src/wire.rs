@@ -1,0 +1,441 @@
+//! Length-prefixed binary wire codec for the TCP front end.
+//!
+//! Every message on a connection is a *frame*: a little-endian `u32`
+//! payload length followed by the payload, whose first byte is the message
+//! kind. A connection opens with a versioned handshake (client sends
+//! [`encode_hello`], server answers [`encode_hello_ok`] or closes), after
+//! which the client pipelines [`encode_request`] frames and the server
+//! answers with [`encode_reply`] frames **in any order** — replies are
+//! matched to requests by the caller-chosen `u64` request id, never by
+//! position, which is what lets the server drain tickets as they complete.
+//!
+//! The payload encodings are fixed-layout little-endian (no
+//! self-description): the version field in the handshake is the only
+//! compatibility gate, and it is bumped whenever any layout below changes.
+//! Round-trip identity for every message type (including every
+//! [`ServeError`] variant) is property-tested in
+//! `crates/serve/tests/wire_roundtrip.rs`.
+//!
+//! Layouts (after the kind byte):
+//!
+//! ```text
+//! HELLO      magic b"TEAL" · version u16
+//! HELLO_OK   version u16
+//! REQUEST    id u64 · topology str · deadline (u8 flag, u64 ns if 1)
+//!            · failed links (u32 count, (u32, u32) node pairs)
+//!            · demands (u32 count, f64 each)
+//! REPLY      id u64 · tag u8
+//!            tag 0 (ok):  k u16 · num_demands u32 · splits f64 × (nd·k)
+//!                         · latency u64 ns · batch_size u32
+//!            tag 1 (err): error code u8 · message str
+//! str        u32 byte length · UTF-8 bytes
+//! ```
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+use teal_lp::Allocation;
+use teal_traffic::TrafficMatrix;
+
+use crate::request::{ServeError, ServeReply, SubmitRequest};
+
+/// Handshake magic: the first bytes any teal-serve peer sends.
+pub const MAGIC: &[u8; 4] = b"TEAL";
+/// Wire protocol version; bump on any layout change.
+pub const VERSION: u16 = 1;
+/// Upper bound on a single frame (guards the length prefix against a
+/// corrupt or hostile peer asking us to allocate gigabytes).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Message kinds (first payload byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    Hello = 1,
+    HelloOk = 2,
+    Request = 3,
+    Reply = 4,
+}
+
+/// A malformed or incompatible frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode (message named in the text).
+    Protocol(String),
+    /// Handshake version mismatch.
+    Version { got: u16, want: u16 },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Protocol(m) => write!(f, "wire protocol error: {m}"),
+            WireError::Version { got, want } => {
+                write!(
+                    f,
+                    "wire version mismatch: peer speaks v{got}, we speak v{want}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Write one frame (length prefix + payload) to `w`. The payload buffer is
+/// caller-owned so steady-state senders reuse one encode buffer.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload into `buf` (cleared and reused). Returns
+/// `Ok(false)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool, WireError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+// --------------------------------------------------------------- writing
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Encode the client half of the handshake.
+pub fn encode_hello(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(Kind::Hello as u8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+}
+
+/// Encode the server half of the handshake.
+pub fn encode_hello_ok(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(Kind::HelloOk as u8);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+}
+
+/// Encode one request under the caller-chosen pipelining id.
+pub fn encode_request(buf: &mut Vec<u8>, id: u64, req: &SubmitRequest) {
+    buf.clear();
+    buf.push(Kind::Request as u8);
+    buf.extend_from_slice(&id.to_le_bytes());
+    put_str(buf, &req.topology);
+    match req.deadline {
+        Some(d) => {
+            buf.push(1);
+            buf.extend_from_slice(&(d.as_nanos().min(u128::from(u64::MAX)) as u64).to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+    buf.extend_from_slice(&(req.failed_links.len() as u32).to_le_bytes());
+    for &(a, b) in &req.failed_links {
+        buf.extend_from_slice(&(a as u32).to_le_bytes());
+        buf.extend_from_slice(&(b as u32).to_le_bytes());
+    }
+    buf.extend_from_slice(&(req.tm.len() as u32).to_le_bytes());
+    for &v in req.tm.demands() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Stable error code for each [`ServeError`] variant.
+fn error_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::UnknownTopology(_) => 0,
+        ServeError::ShuttingDown => 1,
+        ServeError::Checkpoint(_) => 2,
+        ServeError::BadRequest(_) => 3,
+        ServeError::Internal(_) => 4,
+        ServeError::DeadlineExceeded => 5,
+        ServeError::Overloaded(_) => 6,
+    }
+}
+
+/// Encode one reply (success or typed error) under its request id.
+pub fn encode_reply(buf: &mut Vec<u8>, id: u64, reply: &Result<ServeReply, ServeError>) {
+    buf.clear();
+    buf.push(Kind::Reply as u8);
+    buf.extend_from_slice(&id.to_le_bytes());
+    match reply {
+        Ok(r) => {
+            buf.push(0);
+            buf.extend_from_slice(&(r.allocation.k() as u16).to_le_bytes());
+            buf.extend_from_slice(&(r.allocation.num_demands() as u32).to_le_bytes());
+            for &v in r.allocation.splits() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            buf.extend_from_slice(
+                &(r.latency.as_nanos().min(u128::from(u64::MAX)) as u64).to_le_bytes(),
+            );
+            buf.extend_from_slice(&(r.batch_size as u32).to_le_bytes());
+        }
+        Err(e) => {
+            buf.push(1);
+            buf.push(error_code(e));
+            let msg = match e {
+                ServeError::UnknownTopology(m)
+                | ServeError::Checkpoint(m)
+                | ServeError::BadRequest(m)
+                | ServeError::Internal(m)
+                | ServeError::Overloaded(m) => m.as_str(),
+                ServeError::ShuttingDown | ServeError::DeadlineExceeded => "",
+            };
+            put_str(buf, msg);
+        }
+    }
+}
+
+// --------------------------------------------------------------- reading
+
+/// Cursor over a frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(WireError::Protocol(format!(
+                "truncated frame: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Protocol("string field is not UTF-8".into()))
+    }
+
+    /// Validate a decoded element count against the bytes actually left in
+    /// the frame *before* any `Vec::with_capacity` — a hostile count field
+    /// must be a protocol error, never a multi-gigabyte allocation request
+    /// (which would abort the process on failure).
+    fn check_count(&self, n: usize, elem_bytes: usize, what: &str) -> Result<(), WireError> {
+        let need = n.checked_mul(elem_bytes);
+        let have = self.buf.len() - self.pos;
+        match need {
+            Some(need) if need <= have => Ok(()),
+            _ => Err(WireError::Protocol(format!(
+                "{what} count {n} exceeds the {have} bytes remaining in the frame"
+            ))),
+        }
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Protocol(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// The message kind of a payload (its first byte).
+pub fn peek_kind(payload: &[u8]) -> Result<Kind, WireError> {
+    match payload.first() {
+        Some(1) => Ok(Kind::Hello),
+        Some(2) => Ok(Kind::HelloOk),
+        Some(3) => Ok(Kind::Request),
+        Some(4) => Ok(Kind::Reply),
+        Some(k) => Err(WireError::Protocol(format!("unknown message kind {k}"))),
+        None => Err(WireError::Protocol("empty frame".into())),
+    }
+}
+
+/// Validate a HELLO payload, returning the peer's version.
+pub fn decode_hello(payload: &[u8]) -> Result<u16, WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::Hello as u8 {
+        return Err(WireError::Protocol("expected HELLO".into()));
+    }
+    if r.take(4)? != MAGIC {
+        return Err(WireError::Protocol("bad handshake magic".into()));
+    }
+    let version = r.u16()?;
+    r.done()?;
+    if version != VERSION {
+        return Err(WireError::Version {
+            got: version,
+            want: VERSION,
+        });
+    }
+    Ok(version)
+}
+
+/// Validate a HELLO_OK payload, returning the server's version.
+pub fn decode_hello_ok(payload: &[u8]) -> Result<u16, WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::HelloOk as u8 {
+        return Err(WireError::Protocol("expected HELLO_OK".into()));
+    }
+    let version = r.u16()?;
+    r.done()?;
+    if version != VERSION {
+        return Err(WireError::Version {
+            got: version,
+            want: VERSION,
+        });
+    }
+    Ok(version)
+}
+
+/// Decode a REQUEST payload into `(id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, SubmitRequest), WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::Request as u8 {
+        return Err(WireError::Protocol("expected REQUEST".into()));
+    }
+    let id = r.u64()?;
+    let topology = r.str()?;
+    let deadline = match r.u8()? {
+        0 => None,
+        1 => Some(Duration::from_nanos(r.u64()?)),
+        f => return Err(WireError::Protocol(format!("bad deadline flag {f}"))),
+    };
+    let nlinks = r.u32()? as usize;
+    r.check_count(nlinks, 8, "failed-link")?;
+    let mut failed_links = Vec::with_capacity(nlinks);
+    for _ in 0..nlinks {
+        let a = r.u32()? as usize;
+        let b = r.u32()? as usize;
+        failed_links.push((a, b));
+    }
+    let nd = r.u32()? as usize;
+    r.check_count(nd, 8, "demand")?;
+    let mut demands = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        demands.push(r.f64()?);
+    }
+    r.done()?;
+    Ok((
+        id,
+        SubmitRequest {
+            topology,
+            tm: TrafficMatrix::new(demands),
+            deadline,
+            failed_links,
+        },
+    ))
+}
+
+/// Decode a REPLY payload into `(id, result)`.
+#[allow(clippy::type_complexity)]
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Result<ServeReply, ServeError>), WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::Reply as u8 {
+        return Err(WireError::Protocol("expected REPLY".into()));
+    }
+    let id = r.u64()?;
+    let result = match r.u8()? {
+        0 => {
+            let k = r.u16()? as usize;
+            let nd = r.u32()? as usize;
+            if k == 0 {
+                return Err(WireError::Protocol("reply with k = 0 paths".into()));
+            }
+            let n = nd
+                .checked_mul(k)
+                .ok_or_else(|| WireError::Protocol("split count overflow".into()))?;
+            r.check_count(n, 8, "split")?;
+            let mut splits = Vec::with_capacity(n);
+            for _ in 0..n {
+                splits.push(r.f64()?);
+            }
+            let latency = Duration::from_nanos(r.u64()?);
+            let batch_size = r.u32()? as usize;
+            Ok(ServeReply {
+                allocation: Allocation::from_splits(k, splits),
+                latency,
+                batch_size,
+            })
+        }
+        1 => {
+            let code = r.u8()?;
+            let msg = r.str()?;
+            Err(match code {
+                0 => ServeError::UnknownTopology(msg),
+                1 => ServeError::ShuttingDown,
+                2 => ServeError::Checkpoint(msg),
+                3 => ServeError::BadRequest(msg),
+                4 => ServeError::Internal(msg),
+                5 => ServeError::DeadlineExceeded,
+                6 => ServeError::Overloaded(msg),
+                c => {
+                    return Err(WireError::Protocol(format!("unknown error code {c}")));
+                }
+            })
+        }
+        t => return Err(WireError::Protocol(format!("bad reply tag {t}"))),
+    };
+    r.done()?;
+    Ok((id, result))
+}

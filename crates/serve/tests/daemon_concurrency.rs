@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use teal_core::{EngineConfig, Env, PolicyModel, ServingContext, TealConfig, TealModel};
 use teal_lp::Allocation;
-use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon, SubmitRequest};
 use teal_topology::{generate, TopoKind};
 use teal_traffic::TrafficMatrix;
 
@@ -206,9 +206,9 @@ fn malformed_request_errors_without_killing_the_daemon() {
     // be evicted by index and the innocents re-batched together — not
     // serialized into singletons, and not failed.
     let goods: Vec<_> = (0..3)
-        .map(|_| daemon.submit("b4", good_tm.clone()))
+        .map(|_| daemon.submit(SubmitRequest::new("b4", good_tm.clone())))
         .collect();
-    let bad = daemon.submit("b4", bad_tm);
+    let bad = daemon.submit(SubmitRequest::new("b4", bad_tm));
     for good in goods {
         let reply = good
             .wait()
@@ -265,7 +265,7 @@ fn racing_submit_and_shutdown_never_strands_a_ticket() {
             for _ in 0..THREADS {
                 handles.push(s.spawn(move || {
                     (0..PER_THREAD)
-                        .map(|_| daemon.submit("b4", tm.clone()))
+                        .map(|_| daemon.submit(SubmitRequest::new("b4", tm.clone())))
                         .collect::<Vec<_>>()
                 }));
             }
@@ -306,7 +306,9 @@ fn shutdown_serves_queued_requests_then_rejects() {
     registry.insert("b4", context(&env, 0));
     let daemon = ServeDaemon::with_defaults(registry);
     let tm = TrafficMatrix::new(vec![10.0; env.num_demands()]);
-    let tickets: Vec<_> = (0..4).map(|_| daemon.submit("b4", tm.clone())).collect();
+    let tickets: Vec<_> = (0..4)
+        .map(|_| daemon.submit(SubmitRequest::new("b4", tm.clone())))
+        .collect();
     daemon.shutdown();
     for t in tickets {
         t.wait().expect("queued request dropped by shutdown");
@@ -351,6 +353,7 @@ proptest! {
                 max_batch,
                 linger: std::time::Duration::from_micros(linger_us),
                 queue_capacity: 64,
+                shard_threads: None,
             },
         );
         let served: Vec<(usize, Allocation)> = std::thread::scope(|s| {

@@ -1,0 +1,139 @@
+//! Loopback socket soak (the CI job): N client connections × M pipelined
+//! requests × 2 topologies, with a mid-soak hot checkpoint swap and a
+//! failure-override burst, asserting **zero lost tickets** — every
+//! submitted request gets exactly one reply, the daemon's accounting
+//! balances, and no gauge leaks.
+
+use std::sync::Arc;
+use std::time::Duration;
+use teal_core::{EngineConfig, Env, PolicyModel, ServingContext, TealConfig, TealModel};
+use teal_serve::{ModelRegistry, ServeDaemon, SubmitRequest, TealClient, TealServer};
+use teal_topology::{generate, TopoKind};
+use teal_traffic::TrafficMatrix;
+
+fn model_cfg(seed: u64) -> TealConfig {
+    TealConfig {
+        gnn_layers: 3,
+        seed,
+        ..TealConfig::default()
+    }
+}
+
+fn context(env: &Arc<Env>, seed: u64) -> ServingContext<TealModel> {
+    ServingContext::new(
+        TealModel::new(Arc::clone(env), model_cfg(seed)),
+        EngineConfig::paper_default(env.topo().num_nodes()),
+    )
+}
+
+#[test]
+fn loopback_soak_zero_lost_tickets() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 48; // pipelined per connection
+
+    let env_b4 = Arc::new(Env::for_topology(teal_topology::b4()));
+    let env_swan = Arc::new(Env::for_topology(generate(TopoKind::Swan, 0.3, 7)));
+    let registry = ModelRegistry::new();
+    registry.insert("b4", context(&env_b4, 0));
+    registry.insert("swan", context(&env_swan, 5));
+    let daemon = Arc::new(ServeDaemon::with_defaults(registry));
+    let server = TealServer::bind(Arc::clone(&daemon), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Donor weights for the mid-soak hot swap.
+    let donor = TealModel::new(Arc::clone(&env_b4), model_cfg(42));
+    let ckpt = teal_nn::checkpoint::to_string(donor.store());
+
+    // A real link per topology for the failure bursts (SWAN's edge set is
+    // generated, so hardcoding node pairs would trip submit validation).
+    let fail_b4 = {
+        let e = &env_b4.topo().edges()[0];
+        (e.src, e.dst)
+    };
+    let fail_swan = {
+        let e = &env_swan.topo().edges()[0];
+        (e.src, e.dst)
+    };
+
+    let served: usize = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let env_b4 = Arc::clone(&env_b4);
+            let env_swan = Arc::clone(&env_swan);
+            handles.push(s.spawn(move || {
+                let client = TealClient::connect(addr).expect("soak client connect");
+                let tickets: Vec<_> = (0..PER_CLIENT)
+                    .map(|j| {
+                        let i = c * PER_CLIENT + j;
+                        let (topo, nd, fail) = if i.is_multiple_of(2) {
+                            ("b4", env_b4.num_demands(), fail_b4)
+                        } else {
+                            ("swan", env_swan.num_demands(), fail_swan)
+                        };
+                        let tm = TrafficMatrix::new(vec![1.0 + (i % 29) as f64; nd]);
+                        let req = SubmitRequest::new(topo, tm);
+                        // Every 6th request is a failure-override burst
+                        // rider (§5.3 served mid-soak), every 8th carries a
+                        // generous deadline — both must behave like plain
+                        // traffic under load.
+                        let req = if i % 6 == 3 {
+                            req.with_failed_link(fail.0, fail.1)
+                        } else if i % 8 == 5 {
+                            req.with_deadline(Duration::from_secs(60))
+                        } else {
+                            req
+                        };
+                        client.submit(&req)
+                    })
+                    .collect();
+                let mut ok = 0usize;
+                for (j, t) in tickets.into_iter().enumerate() {
+                    // Zero lost tickets: every wait returns a reply. Under
+                    // a healthy soak every reply is a served allocation
+                    // (deadlines are generous and overrides are valid).
+                    let reply = t
+                        .wait_timeout(Duration::from_secs(120))
+                        .unwrap_or_else(|e| panic!("client {c} ticket {j} lost: {e}"));
+                    assert!(reply.batch_size >= 1);
+                    assert!(reply.allocation.demand_feasible(1e-6));
+                    ok += 1;
+                }
+                ok
+            }));
+        }
+        // Mid-soak hot swap of the b4 weights, racing the pipelines.
+        let swapper = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(20));
+            daemon
+                .registry()
+                .swap_checkpoint_str("b4", &ckpt)
+                .expect("mid-soak hot swap");
+        });
+        let total = handles.into_iter().map(|h| h.join().expect("client")).sum();
+        swapper.join().expect("swap thread");
+        total
+    });
+
+    assert_eq!(served, CLIENTS * PER_CLIENT, "lost tickets in the soak");
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.completed,
+        (CLIENTS * PER_CLIENT) as u64,
+        "daemon accounting does not balance: {stats:?}"
+    );
+    assert_eq!(stats.queue_depth, 0, "queue gauge leaked: {stats:?}");
+    assert_eq!(stats.shed, 0, "healthy soak shed requests: {stats:?}");
+    assert_eq!(stats.expired, 0, "healthy soak expired requests: {stats:?}");
+    eprintln!(
+        "soak: {} requests over {CLIENTS} connections, mean batch {:.2}, max queue {}",
+        served,
+        stats.mean_batch_size(),
+        stats.max_queue_depth
+    );
+    for t in &stats.per_topology {
+        eprintln!(
+            "  {}: {} requests / {} batches, p50 {:?} p99 {:?}",
+            t.topology, t.requests, t.batches, t.p50, t.p99
+        );
+    }
+}

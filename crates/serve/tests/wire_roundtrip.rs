@@ -1,0 +1,175 @@
+//! Wire-codec identity: every message the protocol can carry —
+//! [`SubmitRequest`]s across both scenario axes, successful
+//! [`ServeReply`]s, and **every** [`ServeError`] variant — must decode to
+//! exactly what was encoded, frame layer included. The codec is
+//! fixed-layout binary with a version gate, so any accidental layout drift
+//! shows up here before it shows up as corrupted allocations in a client.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use teal_lp::Allocation;
+use teal_serve::wire;
+use teal_serve::{ServeError, ServeReply, SubmitRequest};
+use teal_traffic::TrafficMatrix;
+
+/// Encode then frame then unframe then decode, through a real byte stream.
+fn frame_roundtrip(payload: &[u8]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    wire::write_frame(&mut stream, payload).expect("write frame");
+    let mut cursor = std::io::Cursor::new(stream);
+    let mut out = Vec::new();
+    assert!(wire::read_frame(&mut cursor, &mut out).expect("read frame"));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrip_is_identity(
+        id in 0u64..u64::MAX,
+        topo_len in 0usize..24,
+        demands in proptest::collection::vec(0.0f64..1e6, 0..40),
+        deadline_ns in 0u64..10_000_000_000,
+        has_deadline in 0u8..2,
+        links in proptest::collection::vec(0u64..64, 0..12),
+    ) {
+        let topology: String = (0..topo_len).map(|i| char::from(b'a' + (i % 26) as u8)).collect();
+        let failed_links: Vec<(usize, usize)> = links
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0] as usize, c[1] as usize))
+            .collect();
+        let req = SubmitRequest {
+            topology,
+            tm: TrafficMatrix::new(demands),
+            deadline: (has_deadline == 1).then(|| Duration::from_nanos(deadline_ns)),
+            failed_links,
+        };
+        let mut buf = Vec::new();
+        wire::encode_request(&mut buf, id, &req);
+        let payload = frame_roundtrip(&buf);
+        let (got_id, got) = wire::decode_request(&payload).expect("decode request");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn ok_reply_roundtrip_is_identity(
+        id in 0u64..u64::MAX,
+        k in 1usize..6,
+        nd in 0usize..30,
+        latency_ns in 0u64..60_000_000_000,
+        batch_size in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let splits: Vec<f64> = (0..nd * k)
+            .map(|p| ((seed as usize * 31 + p * 7) % 97) as f64 / 97.0)
+            .collect();
+        let reply = ServeReply {
+            allocation: Allocation::from_splits(k, splits),
+            latency: Duration::from_nanos(latency_ns),
+            batch_size,
+        };
+        let mut buf = Vec::new();
+        wire::encode_reply(&mut buf, id, &Ok(reply.clone()));
+        let payload = frame_roundtrip(&buf);
+        let (got_id, got) = wire::decode_reply(&payload).expect("decode reply");
+        prop_assert_eq!(got_id, id);
+        // Bitwise: the allocation crossed the wire as raw f64 bits.
+        prop_assert_eq!(got, Ok(reply));
+    }
+
+    #[test]
+    fn error_reply_roundtrip_is_identity(
+        id in 0u64..u64::MAX,
+        which in 0usize..7,
+        msg_len in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let msg: String = (0..msg_len)
+            .map(|i| char::from(b' ' + ((seed as usize + i * 13) % 94) as u8))
+            .collect();
+        let err = match which {
+            0 => ServeError::UnknownTopology(msg),
+            1 => ServeError::ShuttingDown,
+            2 => ServeError::Checkpoint(msg),
+            3 => ServeError::BadRequest(msg),
+            4 => ServeError::Internal(msg),
+            5 => ServeError::DeadlineExceeded,
+            _ => ServeError::Overloaded(msg),
+        };
+        let mut buf = Vec::new();
+        wire::encode_reply(&mut buf, id, &Err(err.clone()));
+        let payload = frame_roundtrip(&buf);
+        let (got_id, got) = wire::decode_reply(&payload).expect("decode reply");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, Err(err));
+    }
+}
+
+#[test]
+fn every_error_variant_roundtrips() {
+    // The proptest above samples variants; this pins the full enumeration
+    // so adding a variant without a wire mapping fails loudly here.
+    let variants = vec![
+        ServeError::UnknownTopology("b4".into()),
+        ServeError::ShuttingDown,
+        ServeError::Checkpoint("bad tensor shape".into()),
+        ServeError::BadRequest("matrix arity".into()),
+        ServeError::Internal("worker panicked".into()),
+        ServeError::DeadlineExceeded,
+        ServeError::Overloaded("queue full (1024 waiting)".into()),
+    ];
+    let mut buf = Vec::new();
+    for (i, err) in variants.into_iter().enumerate() {
+        wire::encode_reply(&mut buf, i as u64, &Err(err.clone()));
+        let (id, got) = wire::decode_reply(&buf).expect("decode");
+        assert_eq!(id, i as u64);
+        assert_eq!(got, Err(err));
+    }
+}
+
+#[test]
+fn handshake_roundtrips_and_gates_version() {
+    let mut buf = Vec::new();
+    wire::encode_hello(&mut buf);
+    assert_eq!(wire::decode_hello(&buf).expect("hello"), wire::VERSION);
+    wire::encode_hello_ok(&mut buf);
+    assert_eq!(
+        wire::decode_hello_ok(&buf).expect("hello ok"),
+        wire::VERSION
+    );
+
+    // A peer speaking a different version must be refused, not misdecoded.
+    let mut bad = Vec::new();
+    wire::encode_hello(&mut bad);
+    let len = bad.len();
+    bad[len - 2..].copy_from_slice(&(wire::VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        wire::decode_hello(&bad),
+        Err(wire::WireError::Version { .. })
+    ));
+}
+
+#[test]
+fn truncated_and_oversized_frames_are_errors() {
+    let mut buf = Vec::new();
+    wire::encode_request(
+        &mut buf,
+        7,
+        &SubmitRequest::new("b4", TrafficMatrix::new(vec![1.0])),
+    );
+    // Truncations at every prefix length must error, never panic.
+    for cut in 0..buf.len() {
+        assert!(
+            wire::decode_request(&buf[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+    // A length prefix past MAX_FRAME is refused before allocation.
+    let huge = (wire::MAX_FRAME + 1).to_le_bytes();
+    let mut cursor = std::io::Cursor::new(huge.to_vec());
+    let mut out = Vec::new();
+    assert!(wire::read_frame(&mut cursor, &mut out).is_err());
+}

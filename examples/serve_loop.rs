@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use teal::core::{EngineConfig, Env, PolicyModel, ServingContext, TealConfig, TealModel};
 use teal::nn::checkpoint;
-use teal::serve::{ModelRegistry, ServeConfig, ServeDaemon};
+use teal::serve::{ModelRegistry, ServeConfig, ServeDaemon, SubmitRequest};
 use teal::topology::{b4, generate, TopoKind};
 use teal::traffic::{TrafficConfig, TrafficModel};
 
@@ -54,9 +54,9 @@ fn main() {
                     .map(|j| {
                         let i = client * 8 + j;
                         if i % 2 == 0 {
-                            daemon.submit("b4", tms[i / 2].clone())
+                            daemon.submit(SubmitRequest::new("b4", tms[i / 2].clone()))
                         } else {
-                            daemon.submit("swan", swan_tms[i / 2].clone())
+                            daemon.submit(SubmitRequest::new("swan", swan_tms[i / 2].clone()))
                         }
                     })
                     .collect();
