@@ -74,12 +74,15 @@ pub fn solve_teavar(inst: &TeInstance, cfg: &TeavarConfig) -> Allocation {
         });
     }
     // No-failure capacity rows (hard).
-    let e2p = inst.paths.edge_to_paths(ne);
-    for (e, plist) in e2p.iter().enumerate() {
+    for e in 0..ne {
+        let plist = inst.paths.paths_on_edge(e);
         if plist.is_empty() {
             continue;
         }
-        let coeffs: Vec<(usize, f64)> = plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
+        let coeffs: Vec<(usize, f64)> = plist
+            .iter()
+            .map(|&p| (p as usize, inst.tm.demand(p as usize / k)))
+            .collect();
         rows.push(Row {
             coeffs,
             rhs: inst.topo.edge(e).capacity,
@@ -88,8 +91,10 @@ pub fn solve_teavar(inst: &TeInstance, cfg: &TeavarConfig) -> Allocation {
     // Per-link loss rows: flow crossing the link minus L <= 0.
     if cfg.risk_penalty > 0.0 {
         for link in &links {
-            let mut touched: Vec<usize> =
-                link.iter().flat_map(|&e| e2p[e].iter().copied()).collect();
+            let mut touched: Vec<usize> = link
+                .iter()
+                .flat_map(|&e| inst.paths.paths_on_edge(e).iter().map(|&p| p as usize))
+                .collect();
             touched.sort_unstable();
             touched.dedup();
             if touched.is_empty() {

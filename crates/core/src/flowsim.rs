@@ -43,8 +43,6 @@ pub struct FlowSim<'a> {
     realized: Vec<f64>,
     /// Σ realized · weight (the reward for flow-valued objectives).
     total_realized: f64,
-    /// Paths crossing each edge.
-    e2p: Vec<Vec<u32>>,
     /// Reward definition.
     kind: RewardKind,
     /// Per-path value weight (1 for total flow; latency discount for the
@@ -74,12 +72,6 @@ impl<'a> FlowSim<'a> {
             }
             None => env.topo().capacities(),
         };
-        let e2p: Vec<Vec<u32>> = env
-            .paths()
-            .edge_to_paths(num_edges)
-            .into_iter()
-            .map(|v| v.into_iter().map(|p| p as u32).collect())
-            .collect();
         let num_paths = env.paths().num_paths();
         let pweights = match kind {
             RewardKind::DelayPenalized(gamma) => {
@@ -108,7 +100,6 @@ impl<'a> FlowSim<'a> {
             ratios: vec![1.0; num_edges],
             realized: vec![0.0; num_paths],
             total_realized: 0.0,
-            e2p,
             kind,
             pweights,
         }
@@ -221,7 +212,7 @@ impl<'a> FlowSim<'a> {
         for &(e, _, old_ratio) in &changed_edges {
             self.ratios[e] = ratio(self.loads[e], self.caps[e]);
             if (self.ratios[e] - old_ratio).abs() > 1e-15 {
-                affected.extend_from_slice(&self.e2p[e]);
+                affected.extend_from_slice(self.env.paths().paths_on_edge(e));
             }
         }
         affected.sort_unstable();

@@ -38,6 +38,11 @@
 //!   z-update and the capacity rows of the dual ascent write disjoint
 //!   contiguous tiles with no atomics; the F-update reaches them through a
 //!   precomputed entry→position permutation.
+//! * **Flat incidence arena.** The shared index itself is two flat
+//!   CSR-style arenas (path-major entry ids, edge-major positions) plus
+//!   their inverse permutations — no per-path or per-edge `Vec`s — so
+//!   every sweep's incidence walk is one linear scan of a contiguous
+//!   `u32` slice; see [`AdmmIndex`] for the layout.
 //! * **Parallelism.** Sweeps tile over demand ranges and (entry-balanced)
 //!   edge ranges × the full batch, claimed on the shared
 //!   [`teal_nn::pool`] worker pool — the same pool the forward pass uses,
@@ -122,19 +127,35 @@ pub struct AdmmReport {
 /// candidate path, which dominates solver-construction cost — hoisting it
 /// behind an `Arc` is what makes per-traffic-matrix solver construction
 /// an O(paths) copy instead of an O(nnz) rebuild.
+/// The index is a pair of flat CSR-style arenas over the incidence
+/// non-zeros, with permutations between them, and no per-path or per-edge
+/// `Vec` allocations:
+///
+/// * **Entry-id space** is path-major: entries are numbered walking every
+///   hop of every candidate path in order, so path `p`'s entries are the
+///   contiguous id range `path_start[p]..path_start[p + 1]` and
+///   `entry_path[i]` recovers the owning path. The per-matrix solver's
+///   `z`/`λ4` live in this order.
+/// * **Position space** is edge-major: the same non-zeros regrouped so edge
+///   `e` owns the contiguous position range `edge_start[e]..edge_start[e +
+///   1]` (`pos_path`/`pos_entry` describe each position). The batched
+///   solver's `z`/`λ4` live in this order, making its per-edge sweeps
+///   linear scans.
+/// * `entry_pos`/`pos_entry` are the two inverse permutations, so the
+///   F-update's incidence walk over a path is one linear scan of
+///   `entry_pos[path_start[p]..path_start[p + 1]]` — no nested-`Vec`
+///   pointer chasing at 1,000-node scale where this walk dominates.
 struct AdmmIndex {
-    /// Flattened incidence entries: `(path, edge)` per non-zero.
-    entries: Vec<(u32, u32)>,
-    /// Entry ids of each path (demand-major path indexing).
-    path_entries: Vec<Vec<u32>>,
-    /// Entry ids of each edge.
-    edge_entries: Vec<Vec<u32>>,
-    /// Edge-major entry permutation used by the batched solver: entries
-    /// regrouped so each edge's entries are contiguous *positions*. Edge
-    /// `e` owns positions `edge_start[e]..edge_start[e + 1]`.
+    /// Owning path of each incidence entry (path-major entry-id order).
+    entry_path: Vec<u32>,
+    /// Entry-id range of each path: `path_start[p]..path_start[p + 1]`.
+    path_start: Vec<usize>,
+    /// Position range of each edge: `edge_start[e]..edge_start[e + 1]`.
     edge_start: Vec<usize>,
     /// Path id of each position (edge-major order).
     pos_path: Vec<u32>,
+    /// Entry id of each position (ascending within each edge).
+    pos_entry: Vec<u32>,
     /// Entry id → edge-major position.
     entry_pos: Vec<u32>,
     /// Largest per-edge entry count (sizes the batched z-update scratch).
@@ -142,32 +163,65 @@ struct AdmmIndex {
 }
 
 impl AdmmIndex {
-    fn new(
-        entries: Vec<(u32, u32)>,
-        path_entries: Vec<Vec<u32>>,
-        edge_entries: Vec<Vec<u32>>,
-    ) -> Self {
-        let mut edge_start = Vec::with_capacity(edge_entries.len() + 1);
-        let mut pos_path = Vec::with_capacity(entries.len());
-        let mut entry_pos = vec![0u32; entries.len()];
-        edge_start.push(0);
-        for ents in &edge_entries {
-            for &i in ents {
-                entry_pos[i as usize] = pos_path.len() as u32;
-                pos_path.push(entries[i as usize].0);
+    /// Build both arenas straight from the path set with two counting
+    /// passes — O(nnz), no intermediate `Vec<Vec>` structures.
+    fn new(paths: &PathSet, num_edges: usize) -> Self {
+        let nnz: usize = paths.paths().iter().map(|p| p.edges.len()).sum();
+        let mut entry_path = Vec::with_capacity(nnz);
+        let mut entry_edge = Vec::with_capacity(nnz);
+        let mut path_start = Vec::with_capacity(paths.num_paths() + 1);
+        path_start.push(0);
+        for (p, path) in paths.paths().iter().enumerate() {
+            for &e in &path.edges {
+                entry_path.push(p as u32);
+                entry_edge.push(e as u32);
             }
-            edge_start.push(pos_path.len());
+            path_start.push(entry_path.len());
         }
-        let max_edge_entries = edge_entries.iter().map(Vec::len).max().unwrap_or(0);
+
+        // Counting sort of entry ids into edge-major positions; ascending
+        // ids within each edge, matching the entry-id iteration order.
+        let mut edge_start = vec![0usize; num_edges + 1];
+        for &e in &entry_edge {
+            edge_start[e as usize + 1] += 1;
+        }
+        for e in 0..num_edges {
+            edge_start[e + 1] += edge_start[e];
+        }
+        let mut cursor = edge_start[..num_edges].to_vec();
+        let mut pos_path = vec![0u32; nnz];
+        let mut pos_entry = vec![0u32; nnz];
+        let mut entry_pos = vec![0u32; nnz];
+        for (i, &e) in entry_edge.iter().enumerate() {
+            let pos = cursor[e as usize];
+            cursor[e as usize] += 1;
+            pos_path[pos] = entry_path[i];
+            pos_entry[pos] = i as u32;
+            entry_pos[i] = pos as u32;
+        }
+        let max_edge_entries = (0..num_edges)
+            .map(|e| edge_start[e + 1] - edge_start[e])
+            .max()
+            .unwrap_or(0);
         AdmmIndex {
-            entries,
-            path_entries,
-            edge_entries,
+            entry_path,
+            path_start,
             edge_start,
             pos_path,
+            pos_entry,
             entry_pos,
             max_edge_entries,
         }
+    }
+
+    /// Number of incidence non-zeros.
+    fn nnz(&self) -> usize {
+        self.entry_path.len()
+    }
+
+    /// Entry ids of edge `e` (ascending), as a slice of position space.
+    fn edge_entries(&self, e: usize) -> &[u32] {
+        &self.pos_entry[self.edge_start[e]..self.edge_start[e + 1]]
     }
 }
 
@@ -224,17 +278,6 @@ impl AdmmSkeleton {
             _ => vec![1.0; paths.num_paths()],
         };
 
-        let mut entries = Vec::new();
-        let mut path_entries = vec![Vec::new(); paths.num_paths()];
-        let mut edge_entries = vec![Vec::new(); num_edges];
-        for (p, path) in paths.paths().iter().enumerate() {
-            for &e in &path.edges {
-                let id = entries.len() as u32;
-                entries.push((p as u32, e as u32));
-                path_entries[p].push(id);
-                edge_entries[e].push(id);
-            }
-        }
         AdmmSkeleton {
             num_demands: paths.num_demands(),
             k: paths.k(),
@@ -242,7 +285,7 @@ impl AdmmSkeleton {
             alpha,
             caps: Arc::new(caps),
             discount: Arc::new(discount),
-            index: Arc::new(AdmmIndex::new(entries, path_entries, edge_entries)),
+            index: Arc::new(AdmmIndex::new(paths, num_edges)),
         }
     }
 
@@ -400,7 +443,7 @@ impl AdmmSolver {
         let mut warm = init.clone();
         warm.project_demand_constraints();
 
-        let nnz = self.index.entries.len();
+        let nnz = self.index.nnz();
         let mut st = State {
             f: warm.splits().to_vec(),
             z: vec![0.0; nnz],
@@ -412,7 +455,7 @@ impl AdmmSolver {
         };
         // Initialize z to match the warm-started flows and slacks to the
         // residual capacities, so iteration 1 starts near-consistent.
-        for (i, &(p, _)) in self.index.entries.iter().enumerate() {
+        for (i, &p) in self.index.entry_path.iter().enumerate() {
             st.z[i] = st.f[p as usize] * self.vols[p as usize / self.k];
         }
         for d in 0..self.num_demands {
@@ -420,7 +463,9 @@ impl AdmmSolver {
             st.s1[d] = (1.0 - sum).max(0.0);
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.index.edge_entries[e]
+            let sum: f64 = self
+                .index
+                .edge_entries(e)
                 .iter()
                 .map(|&i| st.z[i as usize])
                 .sum();
@@ -488,12 +533,13 @@ impl AdmmSolver {
                 for (j, bj) in b.iter_mut().enumerate().take(k) {
                     let p = d * k + j;
                     let mut acc = solver.vcoef[p] - l1[d] - rho * (s1[d] - 1.0);
-                    for &i in &solver.index.path_entries[p] {
-                        let i = i as usize;
+                    // Path p's entry ids are contiguous: one linear scan.
+                    let (i0, i1) = (solver.index.path_start[p], solver.index.path_start[p + 1]);
+                    for i in i0..i1 {
                         acc += -l4[i] * vol + rho * vol * z[i];
                     }
                     *bj = acc;
-                    diag[j] = rho * vol * vol * solver.index.path_entries[p].len() as f64;
+                    diag[j] = rho * vol * vol * (i1 - i0) as f64;
                 }
                 // Sherman-Morrison solve of (diag + rho*11^T) x = b.
                 let mut sum_binv = 0.0;
@@ -533,7 +579,7 @@ impl AdmmSolver {
             // buffer, no atomics.
             let mut bs: Vec<f64> = Vec::new();
             for e in 0..self.num_edges {
-                let ents = &solver.index.edge_entries[e];
+                let ents = solver.index.edge_entries(e);
                 if ents.is_empty() {
                     continue;
                 }
@@ -542,7 +588,7 @@ impl AdmmSolver {
                 bs.clear();
                 for &i in ents {
                     let i = i as usize;
-                    let (p, _) = solver.index.entries[i];
+                    let p = solver.index.entry_path[i];
                     let vol = solver.vols[p as usize / k];
                     let b =
                         -l3[e] - rho * (s3[e] - solver.caps[e]) + l4[i] + rho * f[p as usize] * vol;
@@ -561,7 +607,7 @@ impl AdmmSolver {
                 .collect();
             let edges: Vec<usize> = (0..self.num_edges).collect();
             par_iter(&edges, 64, serial, |&e| {
-                let ents = &solver.index.edge_entries[e];
+                let ents = solver.index.edge_entries(e);
                 if ents.is_empty() {
                     return;
                 }
@@ -570,7 +616,7 @@ impl AdmmSolver {
                 let mut bs: Vec<f64> = Vec::with_capacity(ents.len());
                 for &i in ents {
                     let i = i as usize;
-                    let (p, _) = solver.index.entries[i];
+                    let p = solver.index.entry_path[i];
                     let vol = solver.vols[p as usize / k];
                     let b =
                         -l3[e] - rho * (s3[e] - solver.caps[e]) + l4[i] + rho * f[p as usize] * vol;
@@ -605,7 +651,9 @@ impl AdmmSolver {
             st.s1[d] = (1.0 - sum - st.l1[d] / rho).max(0.0);
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.index.edge_entries[e]
+            let sum: f64 = self
+                .index
+                .edge_entries(e)
                 .iter()
                 .map(|&i| st.z[i as usize])
                 .sum();
@@ -623,7 +671,9 @@ impl AdmmSolver {
             resid = resid.max(g.abs());
         }
         for e in 0..self.num_edges {
-            let sum: f64 = self.index.edge_entries[e]
+            let sum: f64 = self
+                .index
+                .edge_entries(e)
                 .iter()
                 .map(|&i| st.z[i as usize])
                 .sum();
@@ -631,7 +681,7 @@ impl AdmmSolver {
             st.l3[e] += rho * g;
             resid = resid.max(g.abs());
         }
-        for (i, &(p, _)) in self.index.entries.iter().enumerate() {
+        for (i, &p) in self.index.entry_path.iter().enumerate() {
             let g = st.f[p as usize] * self.vols[p as usize / k] - st.z[i];
             st.l4[i] += rho * g;
             resid = resid.max(g.abs());
@@ -1128,7 +1178,9 @@ impl AdmmBatchSolver {
                 let l1_d = &l1[d * nb..(d + 1) * nb];
                 for j in 0..k {
                     let p = d * k + j;
-                    let ents = &idx.path_entries[p];
+                    // Path p's entry ids are contiguous; its incidence walk
+                    // is one linear scan of the `entry_pos` arena slice.
+                    let ents = &idx.entry_pos[idx.path_start[p]..idx.path_start[p + 1]];
                     let bj = &mut b[j * nb..(j + 1) * nb];
                     let vc = &self.vcoef[p * nb..(p + 1) * nb];
                     for (bv, ((&vcv, &l1v), &s1v)) in
@@ -1136,8 +1188,8 @@ impl AdmmBatchSolver {
                     {
                         *bv = vcv - l1v - rho * (s1v - 1.0);
                     }
-                    for &i in ents {
-                        let pos = idx.entry_pos[i as usize] as usize;
+                    for &pos in ents {
+                        let pos = pos as usize;
                         let l4p = &l4[pos * nb..(pos + 1) * nb];
                         let zp = &z[pos * nb..(pos + 1) * nb];
                         for (bv, (&vol, (&l4v, &zv))) in
@@ -1582,12 +1634,15 @@ mod tests {
             let coeffs = (0..k).map(|j| (d * k + j, 1.0)).collect();
             rows.push(simplex::Row { coeffs, rhs: 1.0 });
         }
-        let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
-        for (e, plist) in e2p.iter().enumerate() {
+        for e in 0..inst.topo.num_edges() {
+            let plist = inst.paths.paths_on_edge(e);
             if plist.is_empty() {
                 continue;
             }
-            let coeffs = plist.iter().map(|&p| (p, inst.tm.demand(p / k))).collect();
+            let coeffs = plist
+                .iter()
+                .map(|&p| (p as usize, inst.tm.demand(p as usize / k)))
+                .collect();
             rows.push(simplex::Row {
                 coeffs,
                 rhs: inst.topo.edge(e).capacity,

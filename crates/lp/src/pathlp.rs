@@ -69,8 +69,8 @@ pub fn build_rows(inst: &TeInstance) -> Vec<Row> {
             rhs: 1.0,
         });
     }
-    let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
-    for (e, plist) in e2p.iter().enumerate() {
+    for e in 0..inst.topo.num_edges() {
+        let plist = inst.paths.paths_on_edge(e);
         if plist.is_empty() {
             continue;
         }
@@ -80,7 +80,7 @@ pub fn build_rows(inst: &TeInstance) -> Vec<Row> {
                 // Duplicate (padded) path slots contribute multiple terms on
                 // the same variable; simplex rows sum duplicate columns when
                 // the same index repeats, so emit one term per slot.
-                (p, inst.tm.demand(p / k))
+                (p as usize, inst.tm.demand(p as usize / k))
             })
             .collect();
         rows.push(Row {
@@ -147,7 +147,6 @@ pub fn solve_mlu(inst: &TeInstance, iters: usize) -> (Allocation, LpInfo) {
             },
         );
     }
-    let e2p = inst.paths.edge_to_paths(inst.topo.num_edges());
     let mut best = alloc.clone();
     let mut best_mlu = mlu_of(inst, &alloc);
     for t in 0..iters {
@@ -183,7 +182,8 @@ pub fn solve_mlu(inst: &TeInstance, iters: usize) -> (Allocation, LpInfo) {
         // Subgradient step on the splits of paths crossing the max edge.
         let step = 0.25 / (1.0 + t as f64).sqrt();
         let cap = inst.topo.edge(emax).capacity;
-        for &p in &e2p[emax] {
+        for &p in inst.paths.paths_on_edge(emax) {
+            let p = p as usize;
             let d = p / k;
             let vol = inst.tm.demand(d);
             if vol <= 0.0 {
@@ -194,7 +194,12 @@ pub fn solve_mlu(inst: &TeInstance, iters: usize) -> (Allocation, LpInfo) {
             alloc.demand_splits_mut(d)[j] -= step * g / (1.0 + g);
         }
         // Re-project each touched demand's splits onto the full simplex.
-        let mut touched: Vec<usize> = e2p[emax].iter().map(|&p| p / k).collect();
+        let mut touched: Vec<usize> = inst
+            .paths
+            .paths_on_edge(emax)
+            .iter()
+            .map(|&p| p as usize / k)
+            .collect();
         touched.sort_unstable();
         touched.dedup();
         for d in touched {

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use teal_lp::{AdmmBatchSolver, AdmmConfig, AdmmSkeleton, Allocation, BatchArena, Objective};
-use teal_topology::{PathSet, Topology};
+use teal_topology::{gravity_pairs, large_wan, PathSet, Topology};
 use teal_traffic::TrafficMatrix;
 
 /// The batch sizes the issue calls out: singleton, tiny, odd, and a full
@@ -237,6 +237,26 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Generated large-WAN instances: the flat path/edge index arena built
+    /// from scale-free topologies (hub edges carry hundreds of paths, so
+    /// per-edge entry runs are long and uneven) must preserve batched ≡
+    /// per-matrix equivalence just like the small ring instances.
+    #[test]
+    fn large_wan_batch_matches(seed in 0u64..1_000_000, n in 64usize..128) {
+        let topo = large_wan(n, seed);
+        let pairs = gravity_pairs(&topo, 2 * n, seed ^ 0x1a2);
+        let paths = PathSet::compute(&topo, &pairs, 3);
+        let skel = AdmmSkeleton::new(&topo, &paths, Objective::TotalFlow);
+        let (nd, k) = (paths.num_demands(), paths.k());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1a3);
+        let cfg = AdmmConfig { rho: 1.0, max_iters: 3, tol: 0.0, serial: false };
+        for &nb in &[1usize, 4] {
+            let tms = random_window(nb, nd, &mut rng);
+            let inits = random_inits(nb, nd, k, &mut rng);
+            assert_batch_matches(&skel, &tms, &inits, cfg)?;
         }
     }
 

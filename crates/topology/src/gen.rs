@@ -352,6 +352,160 @@ fn star_clusters(name: &str, n: usize, target_links: usize, seed: u64) -> Topolo
     t
 }
 
+/// Deterministic large-WAN generator with a scale-free/HOT-style degree
+/// distribution, for paper-scale experiments (256–1,739 nodes, Table 1's
+/// Kdl/ASN regime).
+///
+/// Growth model: nodes arrive at random planar positions and attach to the
+/// existing graph by minimizing `distance / sqrt(degree)` — the
+/// "heuristically optimal topology" trade-off between link cost (distance)
+/// and traffic aggregation (degree). Rich nodes get richer, yielding a
+/// heavy-tailed degree distribution with geographic locality; a post-growth
+/// express mesh over the top-degree hubs keeps the hop diameter low like the
+/// real AS graph. Capacities follow the usual log-uniform circuit sizes,
+/// tiered up on hub-hub links. Connectivity holds by construction (every
+/// node attaches to the existing component), and the whole build is a pure
+/// function of `(n, seed)`.
+pub fn large_wan(n: usize, seed: u64) -> Topology {
+    assert!(n >= 8, "large_wan needs at least 8 nodes");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea1_0003);
+    let mut t = Topology::new(format!("LargeWAN-{n}"), n);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * 4.0, rng.gen::<f64>() * 4.0))
+        .collect();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        t.set_coords(i, x, y);
+    }
+    let dist = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = pts[a];
+        let (bx, by) = pts[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(0.05)
+    };
+
+    let mut deg = vec![0usize; n];
+    let add = |t: &mut Topology, deg: &mut Vec<usize>, rng: &mut StdRng, a: usize, b: usize| {
+        t.add_link(a, b, sample_capacity(rng), dist(a, b));
+        deg[a] += 1;
+        deg[b] += 1;
+    };
+
+    // Seed clique: 4 mutually linked sites.
+    const M0: usize = 4;
+    for a in 0..M0 {
+        for b in (a + 1)..M0 {
+            add(&mut t, &mut deg, &mut rng, a, b);
+        }
+    }
+
+    // HOT growth: each arrival links to the 1–3 best-scoring existing nodes.
+    for i in M0..n {
+        // 1–3 uplinks per arrival: stubs, dual-homed sites, rare tri-homed.
+        let m = 1 + rng.gen_range(0..2usize) + usize::from(rng.gen::<f64>() < 0.2);
+        let mut linked = 0;
+        while linked < m {
+            let mut best: Option<(f64, usize)> = None;
+            for (j, &dj) in deg.iter().enumerate().take(i) {
+                if t.has_link(i, j) {
+                    continue;
+                }
+                let score = dist(i, j) / (dj as f64).sqrt();
+                let better = match best {
+                    None => true,
+                    Some((s, bj)) => score < s || (score == s && j < bj),
+                };
+                if better {
+                    best = Some((score, j));
+                }
+            }
+            let Some((_, j)) = best else { break };
+            add(&mut t, &mut deg, &mut rng, i, j);
+            linked += 1;
+        }
+    }
+
+    // Express mesh between the highest-degree hubs until the link budget
+    // (~2.4 links per node, the ASN regime) is met. Hub-hub circuits carry
+    // aggregated transit, so their capacities are tiered up 4x.
+    let target_links = (n as f64 * 2.4).round() as usize;
+    let mut hubs: Vec<usize> = (0..n).collect();
+    hubs.sort_by(|&a, &b| deg[b].cmp(&deg[a]).then(a.cmp(&b)));
+    hubs.truncate((n / 12).max(4));
+    let mut links = t.num_edges() / 2;
+    let mut guard = 0;
+    while links < target_links && guard < target_links * 100 {
+        guard += 1;
+        let a = hubs[rng.gen_range(0..hubs.len())];
+        let b = hubs[rng.gen_range(0..hubs.len())];
+        if a != b && !t.has_link(a, b) {
+            t.add_link(a, b, sample_capacity(&mut rng) * 4.0, dist(a, b));
+            deg[a] += 1;
+            deg[b] += 1;
+            links += 1;
+        }
+    }
+    debug_assert!(t.is_strongly_connected());
+    t
+}
+
+/// Deterministic gravity-model demand sampling: `count` distinct ordered
+/// pairs drawn with probability proportional to the product of endpoint
+/// attachment capacity (each node's total outgoing link capacity), matching
+/// how the paper's traffic matrices concentrate on well-provisioned sites.
+/// All-pairs demand sets are quadratic in `n` and infeasible at 1,000+
+/// nodes; this is the precompute-once subsample the scale pipeline runs on.
+pub fn gravity_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let n = topo.num_nodes();
+    assert!(n >= 2, "need at least two nodes");
+    let max_pairs = n * (n - 1);
+    let count = count.min(max_pairs);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ea1_0004);
+
+    // Node weight = total outgoing capacity; cumulative table for sampling.
+    let mut w = vec![0.0f64; n];
+    for e in topo.edges() {
+        w[e.src] += e.capacity;
+    }
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &wi in &w {
+        acc += wi.max(1.0);
+        cum.push(acc);
+    }
+    let total = acc;
+    let draw = |rng: &mut StdRng| -> usize {
+        let x = rng.gen::<f64>() * total;
+        cum.partition_point(|&c| c <= x).min(n - 1)
+    };
+
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 400 {
+        guard += 1;
+        let s = draw(&mut rng);
+        let t = draw(&mut rng);
+        if s != t && seen.insert((s, t)) {
+            out.push((s, t));
+        }
+    }
+    // Degenerate weight distributions can stall rejection sampling; fill the
+    // remainder deterministically.
+    'fill: for s in 0..n {
+        if out.len() >= count {
+            break 'fill;
+        }
+        for t in 0..n {
+            if out.len() >= count {
+                break 'fill;
+            }
+            if s != t && seen.insert((s, t)) {
+                out.push((s, t));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,5 +574,89 @@ mod tests {
     #[should_panic(expected = "scale must be in")]
     fn zero_scale_rejected() {
         let _ = generate(TopoKind::Swan, 0.0, 1);
+    }
+
+    #[test]
+    fn large_wan_same_seed_bitwise_identical() {
+        let a = large_wan(256, 17);
+        let b = large_wan(256, 17);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea, eb); // src, dst, capacity, weight — exact
+        }
+        for n in 0..a.num_nodes() {
+            assert_eq!(a.coords(n), b.coords(n));
+        }
+        // Path sets over the same pairs are bitwise identical too.
+        let pairs = gravity_pairs(&a, 96, 5);
+        assert_eq!(pairs, gravity_pairs(&b, 96, 5));
+        let pa = crate::paths::PathSet::compute(&a, &pairs, 4);
+        let pb = crate::paths::PathSet::compute(&b, &pairs, 4);
+        for (x, y) in pa.paths().iter().zip(pb.paths()) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.edges, y.edges);
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn large_wan_distinct_seeds_differ() {
+        let a = large_wan(256, 1);
+        let b = large_wan(256, 2);
+        let differs = a.num_edges() != b.num_edges()
+            || a.edges().iter().zip(b.edges()).any(|(ea, eb)| ea != eb);
+        assert!(differs, "distinct seeds produced identical topologies");
+    }
+
+    #[test]
+    fn large_wan_structure_and_invariants() {
+        for &(n, seed) in &[(256usize, 7u64), (400, 11)] {
+            let t = large_wan(n, seed);
+            assert_eq!(t.num_nodes(), n);
+            assert!(t.is_strongly_connected());
+            // Link budget near 2.4 per node (directed edges are double).
+            let links = t.num_edges() / 2;
+            assert!(
+                links >= 2 * n && links <= 3 * n,
+                "n={n}: {links} links out of budget"
+            );
+            // Scale-free flavor: a heavy tail well above the median degree.
+            let mut deg = vec![0usize; n];
+            for e in t.edges() {
+                deg[e.src] += 1;
+            }
+            let max = *deg.iter().max().unwrap();
+            let mut sorted = deg.clone();
+            sorted.sort_unstable();
+            let median = sorted[n / 2];
+            assert!(
+                max >= 6 * median.max(1),
+                "no hubs: max degree {max}, median {median}"
+            );
+            // Generated paths satisfy the structural invariants.
+            let pairs = gravity_pairs(&t, 2 * n, seed);
+            let ps = crate::paths::PathSet::compute(&t, &pairs, 4);
+            stats::check_path_set(&t, &ps).unwrap();
+        }
+    }
+
+    #[test]
+    fn gravity_pairs_valid_and_deterministic() {
+        let t = large_wan(128, 3);
+        let p1 = gravity_pairs(&t, 300, 9);
+        let p2 = gravity_pairs(&t, 300, 9);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 300);
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d) in &p1 {
+            assert!(s < 128 && d < 128 && s != d);
+            assert!(seen.insert((s, d)), "duplicate pair");
+        }
+        // Distinct seeds sample different windows.
+        assert_ne!(p1, gravity_pairs(&t, 300, 10));
+        // Requesting more than n*(n-1) pairs saturates instead of looping.
+        let small = large_wan(8, 1);
+        assert_eq!(gravity_pairs(&small, 10_000, 1).len(), 8 * 7);
     }
 }

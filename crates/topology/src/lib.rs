@@ -11,6 +11,6 @@ pub mod graph;
 pub mod paths;
 pub mod stats;
 
-pub use gen::{b4, generate, TopoKind};
+pub use gen::{b4, generate, gravity_pairs, large_wan, TopoKind};
 pub use graph::{Edge, EdgeId, NodeId, Topology};
-pub use paths::{dijkstra, k_shortest_paths, Path, PathSet};
+pub use paths::{dijkstra, k_shortest_paths, k_shortest_paths_with, KspScratch, Path, PathSet};

@@ -7,6 +7,17 @@
 //! fewer than `k` simple paths, the available paths are repeated cyclically
 //! so every demand has exactly `k` slots (split ratios on duplicates simply
 //! add on the same physical path).
+//!
+//! Two details matter at paper scale (754–1,739 nodes, §6):
+//!
+//! * Yen's inner loop runs one masked Dijkstra per spur node — thousands per
+//!   pair. [`KspScratch`] keeps the distance/predecessor arrays, the binary
+//!   heap, and epoch-stamped ban/mark arrays alive across those runs, so the
+//!   precompute is allocation-free per spur instead of building fresh
+//!   `HashSet`s and `Vec`s each time.
+//! * The edge→path incidence is flattened at construction into a CSR-style
+//!   offsets+indices pair ([`PathSet::paths_on_edge`]), replacing the old
+//!   `Vec<Vec<usize>>` that every solver rebuilt per call.
 
 use crate::graph::{EdgeId, NodeId, Topology};
 use std::cmp::Ordering;
@@ -64,20 +75,98 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Dijkstra shortest path from `src` to `dst` by edge weight, optionally
-/// masking out edges and nodes (used by Yen's spur computation).
-pub fn dijkstra_masked(
+/// Reusable scratch buffers for [`k_shortest_paths_with`] and the masked
+/// Dijkstra underneath it.
+///
+/// Ban and mark sets are epoch-stamped arrays: membership is `stamp[i] ==
+/// epoch`, and "clearing" a set is one counter increment. Distance and
+/// predecessor arrays are reset via a touched-node list, so each Dijkstra run
+/// costs O(visited) to clean up rather than O(n). One scratch per worker
+/// thread makes the 1,000-node KSP precompute allocation-free in steady state.
+pub struct KspScratch {
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<HeapEntry>,
+    edge_ban: Vec<u32>,
+    node_ban: Vec<u32>,
+    node_mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl KspScratch {
+    /// Scratch sized for `topo`. A scratch may be reused across topologies;
+    /// buffers grow on demand.
+    pub fn new(topo: &Topology) -> KspScratch {
+        KspScratch {
+            dist: vec![f64::INFINITY; topo.num_nodes()],
+            prev: vec![None; topo.num_nodes()],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            edge_ban: vec![0; topo.num_edges()],
+            node_ban: vec![0; topo.num_nodes()],
+            node_mark: vec![0; topo.num_nodes()],
+            epoch: 0,
+        }
+    }
+
+    fn fit(&mut self, topo: &Topology) {
+        let n = topo.num_nodes();
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, None);
+            self.node_ban.resize(n, 0);
+            self.node_mark.resize(n, 0);
+        }
+        if self.edge_ban.len() < topo.num_edges() {
+            self.edge_ban.resize(topo.num_edges(), 0);
+        }
+    }
+
+    /// A fresh epoch value; stamps from prior epochs are implicitly cleared.
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: zero every stamp so stale values cannot alias.
+            self.edge_ban.iter_mut().for_each(|v| *v = 0);
+            self.node_ban.iter_mut().for_each(|v| *v = 0);
+            self.node_mark.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+/// Masked Dijkstra over scratch buffers. Edges/nodes whose stamp equals
+/// `ban_epoch` are masked out; passing a fresh epoch with nothing stamped
+/// runs unmasked. Semantics are identical to the `HashSet`-based
+/// [`dijkstra_masked`]: same relaxations, same heap tie-breaks.
+fn dijkstra_scratch(
     topo: &Topology,
     src: NodeId,
     dst: NodeId,
-    banned_edges: &HashSet<EdgeId>,
-    banned_nodes: &HashSet<NodeId>,
+    scratch: &mut KspScratch,
+    ban_epoch: u32,
 ) -> Option<Path> {
-    let n = topo.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
+    let KspScratch {
+        dist,
+        prev,
+        touched,
+        heap,
+        edge_ban,
+        node_ban,
+        ..
+    } = scratch;
+    // Reset state touched by the previous run.
+    for &v in touched.iter() {
+        dist[v] = f64::INFINITY;
+        prev[v] = None;
+    }
+    touched.clear();
+    heap.clear();
+
     dist[src] = 0.0;
+    touched.push(src);
     heap.push(HeapEntry {
         dist: 0.0,
         node: src,
@@ -90,11 +179,14 @@ pub fn dijkstra_masked(
             continue;
         }
         for &(next, eid) in topo.neighbors(node) {
-            if banned_edges.contains(&eid) || banned_nodes.contains(&next) {
+            if edge_ban[eid] == ban_epoch || node_ban[next] == ban_epoch {
                 continue;
             }
             let nd = d + topo.edge(eid).weight;
             if nd < dist[next] {
+                if dist[next].is_infinite() {
+                    touched.push(next);
+                }
                 dist[next] = nd;
                 prev[next] = Some((node, eid));
                 heap.push(HeapEntry {
@@ -125,9 +217,31 @@ pub fn dijkstra_masked(
     })
 }
 
+/// Dijkstra shortest path from `src` to `dst` by edge weight, optionally
+/// masking out edges and nodes (used by Yen's spur computation).
+pub fn dijkstra_masked(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    banned_edges: &HashSet<EdgeId>,
+    banned_nodes: &HashSet<NodeId>,
+) -> Option<Path> {
+    let mut scratch = KspScratch::new(topo);
+    let ban = scratch.next_epoch();
+    for &e in banned_edges {
+        scratch.edge_ban[e] = ban;
+    }
+    for &v in banned_nodes {
+        scratch.node_ban[v] = ban;
+    }
+    dijkstra_scratch(topo, src, dst, &mut scratch, ban)
+}
+
 /// Plain shortest path.
 pub fn dijkstra(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
-    dijkstra_masked(topo, src, dst, &HashSet::new(), &HashSet::new())
+    let mut scratch = KspScratch::new(topo);
+    let ban = scratch.next_epoch();
+    dijkstra_scratch(topo, src, dst, &mut scratch, ban)
 }
 
 /// Hop counts from `src` to every node (BFS, unit weights).
@@ -151,7 +265,22 @@ pub fn bfs_hops(topo: &Topology, src: NodeId) -> Vec<Option<usize>> {
 
 /// Yen's algorithm: up to `k` loop-free shortest paths from `src` to `dst`.
 pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    let Some(first) = dijkstra(topo, src, dst) else {
+    let mut scratch = KspScratch::new(topo);
+    k_shortest_paths_with(topo, src, dst, k, &mut scratch)
+}
+
+/// [`k_shortest_paths`] with caller-provided scratch, so a precompute loop
+/// over many pairs reuses one set of buffers per worker thread.
+pub fn k_shortest_paths_with(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    scratch: &mut KspScratch,
+) -> Vec<Path> {
+    scratch.fit(topo);
+    let unmasked = scratch.next_epoch();
+    let Some(first) = dijkstra_scratch(topo, src, dst, scratch, unmasked) else {
         return Vec::new();
     };
     let mut accepted: Vec<Path> = vec![first];
@@ -166,34 +295,44 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
             let root_edges = &prev.edges[..i];
             let root_weight: f64 = root_edges.iter().map(|&e| topo.edge(e).weight).sum();
 
+            let ban = scratch.next_epoch();
             // Ban the next edge of every accepted path sharing this root.
-            let mut banned_edges = HashSet::new();
             for p in &accepted {
                 if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
                     if let Some(&e) = p.edges.get(i) {
-                        banned_edges.insert(e);
+                        scratch.edge_ban[e] = ban;
                     }
                 }
             }
             // Ban root nodes (except the spur) to keep paths simple.
-            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
+            for &v in &root_nodes[..i] {
+                scratch.node_ban[v] = ban;
+            }
 
-            if let Some(spur) = dijkstra_masked(topo, spur_node, dst, &banned_edges, &banned_nodes)
-            {
-                let mut nodes = root_nodes[..i].to_vec();
-                nodes.extend_from_slice(&spur.nodes);
-                let mut edges = root_edges.to_vec();
-                edges.extend_from_slice(&spur.edges);
-                let cand = Path {
-                    nodes,
-                    edges,
-                    weight: root_weight + spur.weight,
-                };
-                if cand.is_simple()
-                    && !accepted.iter().any(|p| p.edges == cand.edges)
-                    && !candidates.iter().any(|p| p.edges == cand.edges)
-                {
-                    candidates.push(cand);
+            if let Some(spur) = dijkstra_scratch(topo, spur_node, dst, scratch, ban) {
+                // Simplicity check without materializing the joined path: the
+                // root and spur are each simple, so only cross-duplicates
+                // between them can occur.
+                let mark = scratch.next_epoch();
+                for &v in &root_nodes[..i] {
+                    scratch.node_mark[v] = mark;
+                }
+                let simple = spur.nodes.iter().all(|&v| scratch.node_mark[v] != mark);
+                if simple {
+                    let mut nodes = root_nodes[..i].to_vec();
+                    nodes.extend_from_slice(&spur.nodes);
+                    let mut edges = root_edges.to_vec();
+                    edges.extend_from_slice(&spur.edges);
+                    let cand = Path {
+                        nodes,
+                        edges,
+                        weight: root_weight + spur.weight,
+                    };
+                    if !accepted.iter().any(|p| p.edges == cand.edges)
+                        && !candidates.iter().any(|p| p.edges == cand.edges)
+                    {
+                        candidates.push(cand);
+                    }
                 }
             }
         }
@@ -218,6 +357,11 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
 }
 
 /// Precomputed candidate paths for a set of demand pairs.
+///
+/// Alongside the paths themselves, `compute` flattens the edge→path
+/// incidence once into a CSR-style arena (`e2p_off` offsets into `e2p` path
+/// ids), so solvers query [`paths_on_edge`](PathSet::paths_on_edge) as a
+/// slice instead of rebuilding a `Vec<Vec<usize>>` per call.
 #[derive(Clone, Debug)]
 pub struct PathSet {
     k: usize,
@@ -225,6 +369,13 @@ pub struct PathSet {
     /// `pairs.len() * k` paths, demand-major. Pairs with fewer than `k`
     /// simple paths repeat theirs cyclically.
     paths: Vec<Path>,
+    /// Directed edge count of the topology the set was computed on.
+    num_edges: usize,
+    /// Edge-major offsets: paths crossing edge `e` live at
+    /// `e2p[e2p_off[e]..e2p_off[e + 1]]`, ascending.
+    e2p_off: Vec<u32>,
+    /// Flat path-id arena indexed by `e2p_off`.
+    e2p: Vec<u32>,
 }
 
 impl PathSet {
@@ -247,10 +398,35 @@ impl PathSet {
             }
             paths.extend(found.into_iter().take(k));
         }
+
+        // Flatten the edge→path incidence with a counting sort: path-major
+        // fill keeps each edge's path-id list ascending.
+        let num_edges = topo.num_edges();
+        let mut e2p_off = vec![0u32; num_edges + 1];
+        for p in &paths {
+            for &e in &p.edges {
+                e2p_off[e + 1] += 1;
+            }
+        }
+        for e in 0..num_edges {
+            e2p_off[e + 1] += e2p_off[e];
+        }
+        let mut cursor: Vec<u32> = e2p_off[..num_edges].to_vec();
+        let mut e2p = vec![0u32; e2p_off[num_edges] as usize];
+        for (p_idx, p) in paths.iter().enumerate() {
+            for &e in &p.edges {
+                e2p[cursor[e] as usize] = p_idx as u32;
+                cursor[e] += 1;
+            }
+        }
+
         PathSet {
             k,
             pairs: pairs.to_vec(),
             paths,
+            num_edges,
+            e2p_off,
+            e2p,
         }
     }
 
@@ -272,6 +448,11 @@ impl PathSet {
     /// Total number of path slots (`num_demands * k`).
     pub fn num_paths(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Directed edge count of the topology this set was computed on.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
     }
 
     /// All paths, demand-major.
@@ -302,22 +483,17 @@ impl PathSet {
         t
     }
 
-    /// For each edge, the list of path indices crossing it.
-    pub fn edge_to_paths(&self, num_edges: usize) -> Vec<Vec<usize>> {
-        let mut out = vec![Vec::new(); num_edges];
-        for (p_idx, p) in self.paths.iter().enumerate() {
-            for &e in &p.edges {
-                out[e].push(p_idx);
-            }
-        }
-        for v in &mut out {
-            v.dedup();
-        }
-        out
+    /// Path ids crossing directed edge `e`, ascending. Precomputed once at
+    /// construction — the inverse of each path's edge list, as a borrow.
+    pub fn paths_on_edge(&self, e: EdgeId) -> &[u32] {
+        let lo = self.e2p_off[e] as usize;
+        let hi = self.e2p_off[e + 1] as usize;
+        &self.e2p[lo..hi]
     }
 }
 
 /// Run Yen's per pair on a crossbeam thread pool, preserving input order.
+/// Each worker thread owns one [`KspScratch`].
 fn parallel_paths(topo: &Topology, pairs: &[(NodeId, NodeId)], k: usize) -> Vec<Vec<Path>> {
     let n = pairs.len();
     if n == 0 {
@@ -328,9 +504,10 @@ fn parallel_paths(topo: &Topology, pairs: &[(NodeId, NodeId)], k: usize) -> Vec<
         .unwrap_or(1)
         .min(8);
     if threads <= 1 || n < 32 {
+        let mut scratch = KspScratch::new(topo);
         return pairs
             .iter()
-            .map(|&(s, t)| k_shortest_paths(topo, s, t, k))
+            .map(|&(s, t)| k_shortest_paths_with(topo, s, t, k, &mut scratch))
             .collect();
     }
     let mut out: Vec<Vec<Path>> = vec![Vec::new(); n];
@@ -341,8 +518,9 @@ fn parallel_paths(topo: &Topology, pairs: &[(NodeId, NodeId)], k: usize) -> Vec<
         {
             let _ = ci;
             scope.spawn(move |_| {
+                let mut scratch = KspScratch::new(topo);
                 for (p, o) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *o = k_shortest_paths(topo, p.0, p.1, k);
+                    *o = k_shortest_paths_with(topo, p.0, p.1, k, &mut scratch);
                 }
             });
         }
@@ -382,6 +560,20 @@ mod tests {
     }
 
     #[test]
+    fn dijkstra_masked_respects_bans() {
+        let t = diamond();
+        // Ban the 0->1 edge: best route becomes 0-2-3 (weight 3).
+        let e01 = t.find_edge(0, 1).unwrap();
+        let banned: HashSet<_> = [e01].into_iter().collect();
+        let p = dijkstra_masked(&t, 0, 3, &banned, &HashSet::new()).unwrap();
+        assert_eq!(p.nodes, vec![0, 2, 3]);
+        // Ban node 1 instead: same result.
+        let bn: HashSet<_> = [1usize].into_iter().collect();
+        let p2 = dijkstra_masked(&t, 0, 3, &HashSet::new(), &bn).unwrap();
+        assert_eq!(p2.nodes, vec![0, 2, 3]);
+    }
+
+    #[test]
     fn yen_orders_by_weight() {
         let t = diamond();
         let ps = k_shortest_paths(&t, 0, 3, 3);
@@ -400,6 +592,30 @@ mod tests {
         t.add_link(1, 2, 1.0, 1.0);
         let ps = k_shortest_paths(&t, 0, 2, 4);
         assert_eq!(ps.len(), 1); // only one simple path exists
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch across many (src, dst, k) queries must give the same
+        // answers as a fresh scratch per query.
+        let t = diamond();
+        let mut shared = KspScratch::new(&t);
+        for s in 0..4 {
+            for d in 0..4 {
+                if s == d {
+                    continue;
+                }
+                for k in 1..=4 {
+                    let a = k_shortest_paths_with(&t, s, d, k, &mut shared);
+                    let b = k_shortest_paths(&t, s, d, k);
+                    assert_eq!(a.len(), b.len());
+                    for (pa, pb) in a.iter().zip(&b) {
+                        assert_eq!(pa.edges, pb.edges);
+                        assert_eq!(pa.nodes, pb.nodes);
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -429,15 +645,23 @@ mod tests {
     }
 
     #[test]
-    fn edge_to_paths_inverse() {
+    fn flat_edge_index_is_exact_inverse() {
         let t = diamond();
         let ps = PathSet::compute(&t, &[(0, 3), (3, 0)], 4);
-        let e2p = ps.edge_to_paths(t.num_edges());
-        for (e, plist) in e2p.iter().enumerate() {
+        assert_eq!(ps.num_edges(), t.num_edges());
+        let mut listed = 0usize;
+        for e in 0..t.num_edges() {
+            let plist = ps.paths_on_edge(e);
+            // Ascending and deduplicated by construction.
+            assert!(plist.windows(2).all(|w| w[0] < w[1]));
             for &p in plist {
-                assert!(ps.paths()[p].edges.contains(&e));
+                assert!(ps.paths()[p as usize].edges.contains(&e));
             }
+            listed += plist.len();
         }
+        // Every (path, edge) incidence appears exactly once.
+        let expected: usize = ps.paths().iter().map(|p| p.len()).sum();
+        assert_eq!(listed, expected);
     }
 
     #[test]

@@ -58,6 +58,58 @@ pub fn routable_demand_share(topo: &Topology, paths: &PathSet) -> Vec<f64> {
     counts.into_iter().map(|c| 100.0 * c as f64 / nd).collect()
 }
 
+/// Structural invariants every generated `(topology, path set)` pair must
+/// satisfy. Returns the first violation as a message, `Ok(())` otherwise.
+///
+/// Checks: the topology is strongly connected; every path slot is simple,
+/// non-empty, connects its demand pair, walks existing edges contiguously,
+/// and carries the exact sum of its edge weights. The generator regression
+/// tests run this over `large_wan` outputs at several seeds and scales.
+pub fn check_path_set(topo: &Topology, paths: &PathSet) -> Result<(), String> {
+    if !topo.is_strongly_connected() {
+        return Err("topology is not strongly connected".into());
+    }
+    if paths.num_edges() != topo.num_edges() {
+        return Err(format!(
+            "path set records {} edges, topology has {}",
+            paths.num_edges(),
+            topo.num_edges()
+        ));
+    }
+    for (d, &(s, t)) in paths.pairs().iter().enumerate() {
+        for (j, p) in paths.paths_for(d).iter().enumerate() {
+            let tag = |msg: &str| format!("demand {d} ({s}->{t}) path {j}: {msg}");
+            if p.is_empty() {
+                return Err(tag("empty path"));
+            }
+            if !p.is_simple() {
+                return Err(tag("path revisits a node"));
+            }
+            if p.nodes.first() != Some(&s) || p.nodes.last() != Some(&t) {
+                return Err(tag("endpoints do not match the demand pair"));
+            }
+            if p.edges.len() + 1 != p.nodes.len() {
+                return Err(tag("edge/node count mismatch"));
+            }
+            let mut weight = 0.0;
+            for (h, &e) in p.edges.iter().enumerate() {
+                if e >= topo.num_edges() {
+                    return Err(tag("edge id out of range"));
+                }
+                let edge = topo.edge(e);
+                if edge.src != p.nodes[h] || edge.dst != p.nodes[h + 1] {
+                    return Err(tag("edge does not connect consecutive nodes"));
+                }
+                weight += edge.weight;
+            }
+            if (weight - p.weight).abs() > 1e-9 * weight.max(1.0) {
+                return Err(tag("stored weight disagrees with edge weights"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Summary statistics of a distribution: (mean, p25, p50, p75, max).
 pub fn five_point(values: &[f64]) -> (f64, f64, f64, f64, f64) {
     if values.is_empty() {
