@@ -144,6 +144,65 @@ pub struct BatchScratch {
     solver: Option<teal_lp::AdmmBatchSolver>,
     outs: Vec<Allocation>,
     reports: Vec<teal_lp::AdmmReport>,
+    /// Aggregated solver introspection of the last window (see
+    /// [`SolveReport`]); `None` before the first window or when ADMM is
+    /// disabled.
+    last_solve: Option<SolveReport>,
+}
+
+/// Per-window solver introspection: what the ADMM fine-tuning stage
+/// actually did for one batched window — the §3.4 quality/latency knob
+/// made measurable. Aggregated over the window's lanes from the per-matrix
+/// [`teal_lp::AdmmReport`]s; `Copy`, so recording it is allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Matrices in the window (ADMM lanes).
+    pub lanes: usize,
+    /// Sum of iterations executed across lanes.
+    pub iterations: u64,
+    /// Fewest iterations any lane ran.
+    pub min_iterations: usize,
+    /// Most iterations any lane ran.
+    pub max_iterations: usize,
+    /// Lanes frozen by the convergence mask before the iteration budget
+    /// (`tol > 0` only; always 0 under the paper's fixed-iteration
+    /// fine-tuning).
+    pub frozen_lanes: usize,
+    /// Worst final primal (feasibility) residual across lanes.
+    pub max_primal_residual: f64,
+    /// Worst final dual (stationarity) residual across lanes.
+    pub max_dual_residual: f64,
+}
+
+impl SolveReport {
+    fn from_reports(reports: &[teal_lp::AdmmReport], budget: usize) -> Option<Self> {
+        if reports.is_empty() {
+            return None;
+        }
+        let mut agg = SolveReport {
+            lanes: reports.len(),
+            iterations: 0,
+            min_iterations: usize::MAX,
+            max_iterations: 0,
+            frozen_lanes: 0,
+            max_primal_residual: 0.0,
+            max_dual_residual: 0.0,
+        };
+        for r in reports {
+            agg.iterations += r.iterations as u64;
+            agg.min_iterations = agg.min_iterations.min(r.iterations);
+            agg.max_iterations = agg.max_iterations.max(r.iterations);
+            agg.frozen_lanes += usize::from(r.iterations < budget);
+            agg.max_primal_residual = agg.max_primal_residual.max(r.primal_residual);
+            agg.max_dual_residual = agg.max_dual_residual.max(r.dual_residual);
+        }
+        Some(agg)
+    }
+
+    /// Mean iterations per lane.
+    pub fn mean_iterations(&self) -> f64 {
+        self.iterations as f64 / self.lanes.max(1) as f64
+    }
 }
 
 impl Default for BatchScratch {
@@ -160,6 +219,7 @@ impl BatchScratch {
             solver: None,
             outs: Vec::new(),
             reports: Vec::new(),
+            last_solve: None,
         }
     }
 
@@ -167,6 +227,14 @@ impl BatchScratch {
     /// scratch (empty before the first window, or when fine-tuning is off).
     pub fn reports(&self) -> &[teal_lp::AdmmReport] {
         &self.reports
+    }
+
+    /// Aggregated [`SolveReport`] of the last window served through this
+    /// scratch — how the ADMM stage spent its iteration budget. `None`
+    /// before the first window, when fine-tuning is disabled, or after a
+    /// window that failed before the solve.
+    pub fn solve_report(&self) -> Option<SolveReport> {
+        self.last_solve
     }
 }
 
@@ -409,6 +477,9 @@ impl<M: PolicyModel> ServingContext<M> {
         if tms.is_empty() {
             return Ok((Vec::new(), Duration::ZERO));
         }
+        // Cleared up front so a failed (or ADMM-less) window never leaves a
+        // stale report behind for callers polling `solve_report`.
+        scratch.last_solve = None;
         let start = Instant::now();
         let env = self.model.env();
         // Validate every request up front: one bad matrix must not take the
@@ -469,6 +540,8 @@ impl<M: PolicyModel> ServingContext<M> {
                     solver.run_batch_into(&raw, admm_cfg, arena, outs, reports);
                 }));
                 run.map_err(|payload| AllocError::Poisoned(panic_text(payload)))?;
+                scratch.last_solve =
+                    SolveReport::from_reports(&scratch.reports, admm_cfg.max_iters);
                 std::mem::take(&mut scratch.outs)
             }
             _ => raw,

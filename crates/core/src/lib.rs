@@ -68,7 +68,7 @@ pub mod tsne;
 
 pub use coma::{train_coma, validate, validate_reward, ComaConfig, TrainReport};
 pub use direct::{train_direct, DirectConfig};
-pub use engine::{AllocError, BatchScratch, EngineConfig, ServingContext, TealEngine};
+pub use engine::{AllocError, BatchScratch, EngineConfig, ServingContext, SolveReport, TealEngine};
 pub use env::{Env, ModelInput};
 pub use flowsim::FlowSim;
 pub use flowsim::RewardKind;

@@ -118,8 +118,22 @@ impl AdmmConfig {
 pub struct AdmmReport {
     /// Iterations actually executed.
     pub iterations: usize,
-    /// Final max primal residual (normalized units).
+    /// Final max primal (feasibility) residual, normalized units. Infinite
+    /// when no iteration ran.
     pub primal_residual: f64,
+    /// Final dual residual (ρ · max step size of the F/z blocks): the
+    /// stationarity half of the convergence test — the all-zero point has
+    /// zero primal residual but a large dual one. Infinite when no
+    /// iteration ran.
+    pub dual_residual: f64,
+}
+
+impl AdmmReport {
+    /// The combined convergence residual the `tol` stop tests against:
+    /// `max(primal, dual)`.
+    pub fn residual(&self) -> f64 {
+        self.primal_residual.max(self.dual_residual)
+    }
 }
 
 /// Immutable path-edge incidence indexing shared by every solver built for
@@ -475,7 +489,8 @@ impl AdmmSolver {
         let rho = cfg.rho;
         let serial = cfg.serial;
         let mut iterations = 0;
-        let mut residual = f64::INFINITY;
+        let mut last_primal = f64::INFINITY;
+        let mut last_dual = f64::INFINITY;
         for _ in 0..cfg.max_iters {
             if let Some(flag) = cancel {
                 if flag.load(std::sync::atomic::Ordering::Relaxed) {
@@ -489,9 +504,10 @@ impl AdmmSolver {
             // Convergence needs both feasibility (primal residual) and a
             // stationary iterate (dual residual ~ ρ * step size); primal
             // alone is satisfied by the all-zero point.
-            residual = primal.max(rho * df).max(rho * dz);
+            last_primal = primal;
+            last_dual = rho * df.max(dz);
             iterations += 1;
-            if cfg.tol > 0.0 && residual < cfg.tol {
+            if cfg.tol > 0.0 && last_primal.max(last_dual) < cfg.tol {
                 break;
             }
         }
@@ -502,7 +518,8 @@ impl AdmmSolver {
             out,
             AdmmReport {
                 iterations,
-                primal_residual: residual,
+                primal_residual: last_primal,
+                dual_residual: last_dual,
             },
         )
     }
@@ -760,6 +777,11 @@ pub struct BatchArena {
     df: Vec<f64>,
     dz: Vec<f64>,
     primal: Vec<f64>,
+    /// Per-lane primal/dual residuals captured at each lane's *last active*
+    /// iteration (the sweep buffers above are overwritten every iteration,
+    /// including for lanes already frozen by the convergence mask).
+    primal_final: Vec<f64>,
+    dual_final: Vec<f64>,
     dbounds: Vec<usize>,
     ebounds: Vec<usize>,
     lane_max: Vec<std::sync::atomic::AtomicU64>,
@@ -785,6 +807,8 @@ impl BatchArena {
             df: Vec::new(),
             dz: Vec::new(),
             primal: Vec::new(),
+            primal_final: Vec::new(),
+            dual_final: Vec::new(),
             dbounds: Vec::new(),
             ebounds: Vec::new(),
             lane_max: Vec::new(),
@@ -806,6 +830,10 @@ impl BatchArena {
         self.iterations.resize(nb, 0);
         self.residual.clear();
         self.residual.resize(nb, f64::INFINITY);
+        for buf in [&mut self.primal_final, &mut self.dual_final] {
+            buf.clear();
+            buf.resize(nb, f64::INFINITY);
+        }
         for buf in [&mut self.df, &mut self.dz, &mut self.primal] {
             buf.clear();
             buf.resize(nb, 0.0);
@@ -1014,6 +1042,8 @@ impl AdmmBatchSolver {
             df,
             dz,
             primal,
+            primal_final,
+            dual_final,
             dbounds,
             ebounds,
             lane_max,
@@ -1106,7 +1136,9 @@ impl AdmmBatchSolver {
                 iterations[b] += 1;
                 // Same two-sided test as the per-matrix solver: feasibility
                 // (primal) plus a stationary iterate (dual ~ ρ · step).
-                residual[b] = primal[b].max(rho * df[b]).max(rho * dz[b]);
+                primal_final[b] = primal[b];
+                dual_final[b] = rho * df[b].max(dz[b]);
+                residual[b] = primal_final[b].max(dual_final[b]);
                 if cfg.tol > 0.0 && residual[b] < cfg.tol {
                     active[b] = false;
                 }
@@ -1128,7 +1160,8 @@ impl AdmmBatchSolver {
             out.project_demand_constraints();
             reports.push(AdmmReport {
                 iterations: iterations[b],
-                primal_residual: residual[b],
+                primal_residual: primal_final[b],
+                dual_residual: dual_final[b],
             });
         }
     }

@@ -45,8 +45,46 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Jobs ever submitted through [`run`] (including ones served entirely on
+/// the submitting thread).
+static JOBS: AtomicU64 = AtomicU64::new(0);
+/// Chunks executed by the submitting (caller) thread.
+static CALLER_CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Chunks stolen by pool workers helping a job.
+static HELPER_CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Times a worker scanned past a live job because its helper cap was
+/// already met (the [`with_thread_cap`] skip path).
+static CAPPED_SKIPS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time pool activity counters: process-wide, monotone since
+/// startup. Take two snapshots and subtract to meter an interval. The
+/// caller/helper split is the pool's occupancy story — how much kernel work
+/// the submitting dispatchers ran themselves versus what the worker threads
+/// stole — and `capped_skips` counts demand the thread caps turned away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted through [`run`].
+    pub jobs: u64,
+    /// Chunks executed by submitting threads.
+    pub caller_chunks: u64,
+    /// Chunks executed by pool workers.
+    pub helper_chunks: u64,
+    /// Worker scans that skipped a live job because its helper cap was met.
+    pub capped_skips: u64,
+}
+
+/// Snapshot the pool counters (relaxed loads; cheap enough for dashboards).
+pub fn stats() -> PoolStats {
+    PoolStats {
+        jobs: JOBS.load(Ordering::Relaxed),
+        caller_chunks: CALLER_CHUNKS.load(Ordering::Relaxed),
+        helper_chunks: HELPER_CHUNKS.load(Ordering::Relaxed),
+        capped_skips: CAPPED_SKIPS.load(Ordering::Relaxed),
+    }
+}
 
 /// One indexed task: workers claim indices `0..n` until exhausted.
 struct Job {
@@ -101,13 +139,18 @@ impl Job {
     }
 
     /// Claim and execute chunks until the job is exhausted. Called by
-    /// workers and by the submitting thread alike.
-    fn help(&self) {
+    /// workers and by the submitting thread alike. Returns the number of
+    /// chunks this thread claimed, so the caller can attribute them to the
+    /// right occupancy counter with one flush instead of a fetch-add per
+    /// chunk.
+    fn help(&self) -> u64 {
+        let mut claimed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
-                return;
+                return claimed;
             }
+            claimed += 1;
             // Fast-fail a poisoned job: the submitter re-panics regardless
             // of what later chunks compute, so executing them only burns
             // worker time other jobs could use. Claimed chunks still count
@@ -198,17 +241,33 @@ fn worker_loop(shared: &Shared) {
                 // (helper_cap reached) is skipped so workers fall through to
                 // whatever is queued behind it instead of piling onto a lane
                 // that asked to be left alone.
+                let mut skipped = 0u64;
                 let claimable = q
                     .iter()
-                    .find(|j| j.next.load(Ordering::Relaxed) < j.n && j.try_reserve_helper())
+                    .find(|j| {
+                        if j.next.load(Ordering::Relaxed) >= j.n {
+                            return false;
+                        }
+                        if j.try_reserve_helper() {
+                            return true;
+                        }
+                        skipped += 1;
+                        false
+                    })
                     .map(Arc::clone);
+                if skipped > 0 {
+                    CAPPED_SKIPS.fetch_add(skipped, Ordering::Relaxed);
+                }
                 if let Some(j) = claimable {
                     break j;
                 }
                 q = shared.available.wait(q).expect("pool queue wait");
             }
         };
-        job.help();
+        let stolen = job.help();
+        if stolen > 0 {
+            HELPER_CHUNKS.fetch_add(stolen, Ordering::Relaxed);
+        }
         // `help` returns only once the job is exhausted, so releasing the
         // slot never reopens capacity on a job that still has chunks.
         job.helpers.fetch_sub(1, Ordering::Relaxed);
@@ -263,12 +322,14 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
     if n == 0 {
         return;
     }
+    JOBS.fetch_add(1, Ordering::Relaxed);
     let pool = global();
     let cap = THREAD_CAP.with(|c| c.get());
     if pool.workers == 0 || n == 1 || cap == Some(1) {
         for i in 0..n {
             f(i);
         }
+        CALLER_CHUNKS.fetch_add(n as u64, Ordering::Relaxed);
         return;
     }
     // Workers allowed to help this job on top of the submitting thread.
@@ -309,7 +370,10 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         q.push_back(Arc::clone(&job));
     }
     pool.shared.available.notify_all();
-    job.help();
+    let ran = job.help();
+    if ran > 0 {
+        CALLER_CHUNKS.fetch_add(ran, Ordering::Relaxed);
+    }
     job.wait();
     // Drop our queue entry eagerly (workers also skip exhausted fronts).
     {
@@ -368,6 +432,19 @@ mod tests {
     #[test]
     fn empty_job_is_a_noop() {
         run(0, &|_| panic!("must never be called"));
+    }
+
+    #[test]
+    fn stats_count_jobs_and_chunks() {
+        // Counters are process-global and other tests run concurrently, so
+        // only delta lower bounds are meaningful here.
+        let before = stats();
+        run(64, &|_| {});
+        let after = stats();
+        assert!(after.jobs > before.jobs, "job not counted");
+        let chunks = (after.caller_chunks - before.caller_chunks)
+            + (after.helper_chunks - before.helper_chunks);
+        assert!(chunks >= 64, "expected >= 64 new chunks, got {chunks}");
     }
 
     #[test]

@@ -17,29 +17,92 @@
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use teal_traffic::TrafficMatrix;
 
 use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
+use crate::telemetry::TelemetrySnapshot;
 use crate::wire;
+
+/// One-shot slot a telemetry scrape waits on (the STATS twin of
+/// [`ResponseSlot`], carrying a snapshot instead of an allocation).
+struct StatsSlot {
+    slot: Mutex<Option<Result<TelemetrySnapshot, ServeError>>>,
+    ready: Condvar,
+}
+
+impl StatsSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(StatsSlot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, r: Result<TelemetrySnapshot, ServeError>) {
+        let mut slot = self.slot.lock().expect("stats slot lock");
+        *slot = Some(r);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<TelemetrySnapshot, ServeError> {
+        let mut slot = self.slot.lock().expect("stats slot lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.ready.wait(slot).expect("stats slot wait");
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Result<TelemetrySnapshot, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().expect("stats slot lock");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("stats slot wait");
+            slot = guard;
+        }
+    }
+}
 
 /// Client-side shared state between submitters and the reader thread.
 struct ClientShared {
     /// In-flight request id → response slot.
     pending: Mutex<HashMap<u64, Arc<ResponseSlot>>>,
+    /// In-flight telemetry scrape id → stats slot (ids share the request
+    /// id space; the server keys both reply kinds off the same counter).
+    stats_pending: Mutex<HashMap<u64, Arc<StatsSlot>>>,
     /// Set once the reader has exited (connection gone): new submits fail
     /// fast instead of queueing onto a dead socket.
     closed: AtomicBool,
 }
 
 impl ClientShared {
-    /// Fail every in-flight request (connection died or client dropped).
+    /// Fail every in-flight request and scrape (connection died or client
+    /// dropped).
     fn fail_all(&self, why: &str) {
         let drained: Vec<Arc<ResponseSlot>> = {
             let mut pending = self.pending.lock().expect("client pending lock");
             pending.drain().map(|(_, s)| s).collect()
+        };
+        for slot in drained {
+            slot.fulfill(Err(ServeError::Internal(why.to_string())));
+        }
+        let drained: Vec<Arc<StatsSlot>> = {
+            let mut stats = self.stats_pending.lock().expect("client stats lock");
+            stats.drain().map(|(_, s)| s).collect()
         };
         for slot in drained {
             slot.fulfill(Err(ServeError::Internal(why.to_string())));
@@ -87,6 +150,7 @@ impl TealClient {
         };
         let shared = Arc::new(ClientShared {
             pending: Mutex::new(HashMap::new()),
+            stats_pending: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
         });
         let reader = {
@@ -177,6 +241,55 @@ impl TealClient {
         self.submit(&SubmitRequest::new(topology, tm))
             .wait_timeout(timeout)
     }
+
+    /// Scrape the server's live [`TelemetrySnapshot`] over the connection
+    /// (a STATS frame). Blocks until the reply arrives; pipelines with
+    /// in-flight requests like any other frame.
+    pub fn stats(&self) -> Result<TelemetrySnapshot, ServeError> {
+        self.request_stats()?.wait()
+    }
+
+    /// [`TealClient::stats`] with a bounded wait.
+    pub fn stats_timeout(&self, timeout: Duration) -> Result<TelemetrySnapshot, ServeError> {
+        self.request_stats()?.wait_timeout(timeout)
+    }
+
+    /// Send one STATS frame following submit's register-before-send
+    /// protocol (and its reader-race re-check; see [`TealClient::submit`]).
+    fn request_stats(&self) -> Result<Arc<StatsSlot>, ServeError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Internal("connection closed".into()));
+        }
+        let slot = StatsSlot::new();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats_pending
+            .lock()
+            .expect("client stats lock")
+            .insert(id, Arc::clone(&slot));
+        let sent = {
+            let mut w = self.writer.lock().expect("client writer lock");
+            let (stream, buf) = &mut *w;
+            wire::encode_stats_request(buf, id);
+            wire::write_frame(stream, buf)
+        };
+        if sent.is_err() || self.shared.closed.load(Ordering::Acquire) {
+            if let Some(slot) = self
+                .shared
+                .stats_pending
+                .lock()
+                .expect("client stats lock")
+                .remove(&id)
+            {
+                slot.fulfill(Err(ServeError::Internal(if sent.is_err() {
+                    "connection write failed".into()
+                } else {
+                    "connection closed".into()
+                })));
+            }
+        }
+        Ok(slot)
+    }
 }
 
 impl Drop for TealClient {
@@ -191,21 +304,39 @@ impl Drop for TealClient {
     }
 }
 
-/// Match incoming REPLY frames to pending tickets by id until the
-/// connection ends; then fail whatever is left.
+/// Match incoming REPLY/STATS_OK frames to pending tickets and stats
+/// slots by id until the connection ends; then fail whatever is left.
 fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
     let mut buf = Vec::new();
     while let Ok(true) = wire::read_frame(&mut stream, &mut buf) {
-        let Ok((id, result)) = wire::decode_reply(&buf) else {
-            break;
-        };
-        let slot = shared
-            .pending
-            .lock()
-            .expect("client pending lock")
-            .remove(&id);
-        if let Some(slot) = slot {
-            slot.fulfill(result);
+        match wire::peek_kind(&buf) {
+            Ok(wire::Kind::Reply) => {
+                let Ok((id, result)) = wire::decode_reply(&buf) else {
+                    break;
+                };
+                let slot = shared
+                    .pending
+                    .lock()
+                    .expect("client pending lock")
+                    .remove(&id);
+                if let Some(slot) = slot {
+                    slot.fulfill(result);
+                }
+            }
+            Ok(wire::Kind::StatsOk) => {
+                let Ok((id, snap)) = wire::decode_stats_reply(&buf) else {
+                    break;
+                };
+                let slot = shared
+                    .stats_pending
+                    .lock()
+                    .expect("client stats lock")
+                    .remove(&id);
+                if let Some(slot) = slot {
+                    slot.fulfill(Ok(snap));
+                }
+            }
+            _ => break, // protocol violation: treat as a dead connection
         }
     }
     shared.closed.store(true, Ordering::Release);

@@ -85,12 +85,14 @@ use teal_traffic::TrafficMatrix;
 
 use crate::registry::ModelRegistry;
 use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
-use crate::telemetry::{ShardStats, Telemetry, TelemetrySnapshot};
+use crate::telemetry::{ShardStats, StageTimings, Telemetry, TelemetrySnapshot, Trace};
 
 /// One queued request (its topology is implied by the shard holding it).
 struct Request {
     tm: TrafficMatrix,
-    enqueued: Instant,
+    /// Stage trace, stamped at enqueue; the shard stamps drain/solve spans
+    /// as the request moves through the pipeline.
+    trace: Trace,
     /// Absolute expiry minted from [`SubmitRequest::deadline`] at enqueue.
     expires: Option<Instant>,
     /// Canonical failed-link override set; empty = steady-state path.
@@ -298,7 +300,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
         }
         let request = Request {
             tm: req.tm,
-            enqueued: now,
+            trace: Trace::at(now),
             expires: req.deadline.map(|d| now + d),
             signature,
             slot: Arc::clone(&slot),
@@ -535,11 +537,14 @@ fn serve_drained<M: PolicyModel>(
     // already moved on.
     let now = Instant::now();
     let mut live = Vec::with_capacity(drained.len());
-    for req in drained {
+    for mut req in drained {
         if req.expires.is_some_and(|e| e <= now) {
             inner.telemetry.on_expired();
             req.slot.fulfill(Err(ServeError::DeadlineExceeded));
         } else {
+            // Coalesce stamp: queue-wait ends here for everything served
+            // out of this drain.
+            req.trace.stamp_drained(now);
             live.push(req);
         }
     }
@@ -597,8 +602,19 @@ fn serve_chunk<M: PolicyModel>(
     // re-cloning the whole remainder each retry.
     let mut tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
     while !chunk.is_empty() {
+        // Solve span: forward pass + ADMM fine-tuning for this attempt. A
+        // re-batch after a bad-request eviction restamps — the successful
+        // attempt is the one whose span is reported.
+        let solve_start = Instant::now();
+        for r in chunk.iter_mut() {
+            r.trace.stamp_solve_start(solve_start);
+        }
         let batched =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| allocate(&tms, scratch)));
+        let solve_end = Instant::now();
+        for r in chunk.iter_mut() {
+            r.trace.stamp_solve_end(solve_end);
+        }
         match batched {
             // A model whose allocate_batch drops or invents results would
             // silently strand zipped-out clients on their slots forever;
@@ -616,19 +632,32 @@ fn serve_chunk<M: PolicyModel>(
             }
             Ok(Ok((allocs, _))) => {
                 let batch_size = chunk.len();
-                let latencies: Vec<Duration> = chunk.iter().map(|r| r.enqueued.elapsed()).collect();
+                // One reply-write stamp for the whole chunk: per-stage
+                // spans and the end-to-end latency are derived from the
+                // same instant so the stages always sum to the total.
+                let solve = scratch.solve_report();
+                let done = Instant::now();
+                let latencies: Vec<Duration> = chunk
+                    .iter()
+                    .map(|r| done.saturating_duration_since(r.trace.enqueued()))
+                    .collect();
+                let stages: Vec<StageTimings> =
+                    chunk.iter().map(|r| r.trace.stages(done)).collect();
                 // Count the batch before unblocking any client, so a caller
                 // that has its reply always sees itself in `stats()`.
-                shard
-                    .stats
-                    .lock()
-                    .expect("telemetry lock")
-                    .record_batch(&latencies);
+                shard.stats.lock().expect("telemetry lock").record_batch(
+                    &latencies,
+                    &stages,
+                    solve.as_ref(),
+                );
                 inner.telemetry.on_complete(latencies.len() as u64);
-                for ((req, allocation), latency) in chunk.into_iter().zip(allocs).zip(latencies) {
+                for (((req, allocation), latency), stages) in
+                    chunk.into_iter().zip(allocs).zip(latencies).zip(stages)
+                {
                     req.slot.fulfill(Ok(ServeReply {
                         allocation,
                         latency,
+                        stages,
                         batch_size,
                     }));
                 }
@@ -649,23 +678,29 @@ fn serve_chunk<M: PolicyModel>(
                 return;
             }
             Err(_) => {
-                for req in chunk {
+                for mut req in chunk {
+                    req.trace.stamp_solve_start(Instant::now());
                     let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         allocate(std::slice::from_ref(&req.tm), scratch)
                     }));
+                    req.trace.stamp_solve_end(Instant::now());
                     match one {
                         Ok(Ok((mut allocs, _))) if allocs.len() == 1 => {
                             let allocation = allocs.pop().expect("len checked");
-                            let latency = req.enqueued.elapsed();
-                            shard
-                                .stats
-                                .lock()
-                                .expect("telemetry lock")
-                                .record_batch(&[latency]);
+                            let solve = scratch.solve_report();
+                            let done = Instant::now();
+                            let latency = done.saturating_duration_since(req.trace.enqueued());
+                            let stages = req.trace.stages(done);
+                            shard.stats.lock().expect("telemetry lock").record_batch(
+                                &[latency],
+                                &[stages],
+                                solve.as_ref(),
+                            );
                             inner.telemetry.on_complete(1);
                             req.slot.fulfill(Ok(ServeReply {
                                 allocation,
                                 latency,
+                                stages,
                                 batch_size: 1,
                             }));
                         }

@@ -15,27 +15,38 @@
 //!   ────────────                     ────────────────        ────────────────────
 //!   TealClient ── REQUEST frames ──► TealServer
 //!     │  (pipelined, id-tagged)        conn reader ──┐
-//!     │                                              │ submit(SubmitRequest)
-//!   in-process clients                               ▼
+//!     │ ── STATS frame ─► snapshot ──► completions   │ submit(SubmitRequest)
+//!   in-process clients     (scrape)                  ▼
 //!   ──────────────────            ┌──── admission control ────┐
-//!   submit(SubmitRequest) ───────►│ shed: queue full+deadline │
+//!   submit(SubmitRequest) ───────►│ shed: queue full+deadline │──► shed ctr
 //!        │                        │ shed: budget already gone │
 //!        │                        └──────────┬────────────────┘
-//!        │                            route by topology
+//!        │                 Trace ⊕ enqueue   │  route by topology
 //!        │                                   ▼
 //!        │                  shard "b4":   queue ► drain + linger
-//!        │                     │  expire stale deadlines (DeadlineExceeded)
+//!        │                     │  ⊕ drained stamp (queue-wait span ends)
+//!        │                     │  expire stale deadlines (→ expired ctr)
 //!        │                     │  group by failed-link signature
-//!        │                     ▼                       ▼
+//!        │                     ▼ ⊕ solve-start            ▼
 //!        │          plain sub-batch             failure sub-batches
 //!        │          try_allocate_batch_with     try_allocate_batch_on_with
 //!        │          (steady-state arena)        (failure arena, §5.3 topo)
+//!        │             │  ⊕ solve-end · SolveReport (iters, residuals,
+//!        │             │                frozen lanes) out of the arena
+//!        │             ▼
+//!        │          ShardStats.record_batch(e2e + stage histograms,
+//!        │             ADMM accumulators, slow-request exemplar ring)
 //!        │                  shard "swan":  ... a true parallel lane ...
 //!        ▼                                   ▼
 //!   Ticket::wait /                 per-request response slots
 //!   Ticket::wait_timeout ◄──────── (completion queue notifies the
-//!   conn writer ◄───────────────── wire writer; replies drain out of
-//!     REPLY frames, any order)     order by request id)
+//!   conn writer ◄───────────────── wire writer; REPLY and STATS_OK
+//!     REPLY frames, any order)     frames drain out of order by id)
+//!
+//!   observability taps (⊕ = Trace stamp):
+//!   ServeDaemon::stats() / TealClient::stats() ──► TelemetrySnapshot
+//!     per-topology e2e + queue-wait/solve/write p50/p99 · AdmmStats ·
+//!     teal_nn pool gauges · slow exemplars ──► to_prometheus() text
 //! ```
 //!
 //! Layered deliberately:
@@ -71,11 +82,19 @@
 //!   queue; and a blocking client with pipelined submits returning the
 //!   same [`Ticket`] handle in-process callers use.
 //! * **Topology/model registry with hot swap** ([`ModelRegistry`]) and
-//!   **serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]:
-//!   p50/p99 latency histograms, queue-depth gauges, batch-size
-//!   distribution, and the admission-control `shed`/`expired` counters) —
-//!   unchanged semantics from the in-process daemon, now observable
-//!   across the socket boundary too.
+//!   **serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]). Every
+//!   request carries a fixed-size [`telemetry::Trace`] stamped at enqueue,
+//!   coalesce, solve-start and solve-end, so shards record *per-stage*
+//!   latency histograms (queue-wait / solve / write, each with p50/p99)
+//!   alongside the end-to-end one — and each [`ServeReply`] carries its
+//!   own [`telemetry::StageTimings`] breakdown. Batches that reach the
+//!   ADMM fine-tuner feed a [`teal_core::SolveReport`] (iteration counts,
+//!   primal/dual residuals, lane-freeze fractions) into per-topology
+//!   [`telemetry::AdmmStats`]; `teal_nn::pool` occupancy gauges and a
+//!   bounded ring of slow-request exemplars round out the snapshot. Export
+//!   it three ways: [`ServeDaemon::stats`] in process,
+//!   [`TealClient::stats`] over TCP (the v2 `STATS` frame), or
+//!   [`TelemetrySnapshot::to_prometheus`] as Prometheus text.
 //!
 //! # Quickstart (in-process)
 //!
@@ -147,4 +166,7 @@ pub use daemon::{ServeConfig, ServeDaemon};
 pub use registry::ModelRegistry;
 pub use request::{ServeError, ServeReply, SubmitRequest, Ticket};
 pub use server::TealServer;
-pub use telemetry::{LatencyHistogram, Telemetry, TelemetrySnapshot, TopoSnapshot};
+pub use telemetry::{
+    AdmmStats, LatencyHistogram, LatencyStats, SlowExemplar, StageTimings, Telemetry,
+    TelemetrySnapshot, TopoSnapshot, Trace,
+};

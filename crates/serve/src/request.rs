@@ -136,6 +136,9 @@ pub struct ServeReply {
     pub allocation: Allocation,
     /// End-to-end latency: enqueue → response ready.
     pub latency: Duration,
+    /// Where `latency` went: queue-wait / solve / reply-write spans from
+    /// the request's [`crate::telemetry::Trace`].
+    pub stages: crate::telemetry::StageTimings,
     /// How many requests shared the coalesced forward pass.
     pub batch_size: usize,
 }
@@ -157,7 +160,10 @@ impl Completions {
         })
     }
 
-    fn push(&self, tag: u64) {
+    /// Announce `tag` as ready. Response slots call this on fulfillment;
+    /// the wire server also pushes tags directly for replies that never
+    /// ride a slot (e.g. STATS scrapes).
+    pub(crate) fn push(&self, tag: u64) {
         self.ready.lock().expect("completions lock").push_back(tag);
         self.cv.notify_all();
     }

@@ -36,6 +36,7 @@ use teal_core::PolicyModel;
 
 use crate::daemon::ServeDaemon;
 use crate::request::{Completions, ResponseSlot, Ticket};
+use crate::telemetry::TelemetrySnapshot;
 use crate::wire;
 
 /// Connection-level shared state between its reader and writer threads.
@@ -43,9 +44,22 @@ struct Conn {
     /// Request id → response slot ticket, inserted by the reader *before*
     /// submit, drained by the writer as completions arrive.
     pending: Mutex<HashMap<u64, Ticket>>,
+    /// Scrape id → telemetry snapshot, taken synchronously by the reader
+    /// when a STATS frame arrives and announced on the same completion
+    /// queue, so stats replies interleave with serve replies in completion
+    /// order (ids share one space with REQUEST frames).
+    stats: Mutex<HashMap<u64, TelemetrySnapshot>>,
     completions: Arc<Completions>,
     /// Reader hit EOF/error: no new ids will ever be inserted.
     done_reading: AtomicBool,
+}
+
+impl Conn {
+    /// No reply of either kind is still owed to this client.
+    fn settled(&self) -> bool {
+        self.pending.lock().expect("pending map lock").is_empty()
+            && self.stats.lock().expect("stats map lock").is_empty()
+    }
 }
 
 /// Server-wide state the accept loop and `shutdown` share.
@@ -213,6 +227,7 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
 
     let conn = Arc::new(Conn {
         pending: Mutex::new(HashMap::new()),
+        stats: Mutex::new(HashMap::new()),
         completions: Completions::new(),
         done_reading: AtomicBool::new(false),
     });
@@ -232,6 +247,32 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
     // A clean EOF, a broken socket, or a protocol violation all end it the
     // same way: no more requests from this peer.
     while let Ok(true) = wire::read_frame(&mut stream, &mut buf) {
+        match wire::peek_kind(&buf) {
+            Ok(wire::Kind::Request) => {}
+            Ok(wire::Kind::Stats) => {
+                // Telemetry scrape: snapshot synchronously (cheap — a copy
+                // under short locks) and announce it on the completion
+                // queue so the writer sends it in order with serve replies.
+                let Ok(id) = wire::decode_stats_request(&buf) else {
+                    break;
+                };
+                let in_flight = conn
+                    .pending
+                    .lock()
+                    .expect("pending map lock")
+                    .contains_key(&id);
+                {
+                    let mut stats = conn.stats.lock().expect("stats map lock");
+                    if in_flight || stats.contains_key(&id) {
+                        break; // duplicated id: hang up, same as requests
+                    }
+                    stats.insert(id, daemon.stats());
+                }
+                conn.completions.push(id);
+                continue;
+            }
+            _ => break, // protocol violation: hang up
+        }
         let (id, req) = match wire::decode_request(&buf) {
             Ok(decoded) => decoded,
             Err(_) => break, // protocol violation: hang up
@@ -244,7 +285,9 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
             // Checked *before* inserting: replacing the in-flight ticket
             // would leave the writer waiting forever on a slot that was
             // never submitted.
-            if pending.contains_key(&id) {
+            if pending.contains_key(&id)
+                || conn.stats.lock().expect("stats map lock").contains_key(&id)
+            {
                 break;
             }
             pending.insert(id, Ticket::new(Arc::clone(&slot)));
@@ -267,19 +310,20 @@ fn writer_loop(stream: TcpStream, conn: &Conn) {
     let mut stream = stream;
     let mut out = Vec::new();
     loop {
-        let done = || {
-            conn.done_reading.load(Ordering::Acquire)
-                && conn.pending.lock().expect("pending map lock").is_empty()
-        };
+        let done = || conn.done_reading.load(Ordering::Acquire) && conn.settled();
         let Some(id) = conn.completions.pop_wait(done) else {
             return;
         };
-        let Some(ticket) = conn.pending.lock().expect("pending map lock").remove(&id) else {
+        if let Some(ticket) = conn.pending.lock().expect("pending map lock").remove(&id) {
+            // The completion queue announced this id, so wait() is
+            // immediate.
+            let reply = ticket.wait();
+            wire::encode_reply(&mut out, id, &reply);
+        } else if let Some(snap) = conn.stats.lock().expect("stats map lock").remove(&id) {
+            wire::encode_stats_reply(&mut out, id, &snap);
+        } else {
             continue; // already drained (duplicate-id hangup path)
-        };
-        // The completion queue announced this id, so wait() is immediate.
-        let reply = ticket.wait();
-        wire::encode_reply(&mut out, id, &reply);
+        }
         if wire::write_frame(&mut stream, &out).is_err() {
             // Client went away: keep consuming completions so the shard's
             // fulfillments don't pile up a queue, but stop writing.
@@ -292,13 +336,11 @@ fn writer_loop(stream: TcpStream, conn: &Conn) {
 /// Consume remaining completions without writing (dead client socket).
 fn drain_silently(conn: &Conn) {
     loop {
-        let done = || {
-            conn.done_reading.load(Ordering::Acquire)
-                && conn.pending.lock().expect("pending map lock").is_empty()
-        };
+        let done = || conn.done_reading.load(Ordering::Acquire) && conn.settled();
         let Some(id) = conn.completions.pop_wait(done) else {
             return;
         };
         conn.pending.lock().expect("pending map lock").remove(&id);
+        conn.stats.lock().expect("stats map lock").remove(&id);
     }
 }

@@ -1,19 +1,31 @@
-//! Serving telemetry: per-topology latency histograms (p50/p99), queue
-//! depth, and the coalesced batch-size distribution.
+//! Serving telemetry: per-topology, per-stage latency histograms
+//! (p50/p99), ADMM solve introspection, queue depth, worker-pool gauges,
+//! slow-request exemplars, and the coalesced batch-size distribution.
 //!
 //! The recording side is deliberately cheap and contention-free in the
 //! places that matter: each dispatcher shard owns its topology's
-//! [`ShardStats`] outright (latency histogram, batch counters, batch-size
-//! distribution) and records into it without touching any shared map —
-//! shards never contend with each other on the hot path. Queue-depth
-//! gauges and the completed counter are plain atomics updated from any
-//! thread. Readers take a consistent [`TelemetrySnapshot`] copy, locking
-//! each shard's stats only long enough to copy them out.
+//! [`ShardStats`] outright (stage histograms, ADMM accumulators, batch
+//! counters, batch-size distribution, exemplar ring) and records into it
+//! without touching any shared map — shards never contend with each other
+//! on the hot path. Queue-depth gauges and the completed counter are plain
+//! atomics updated from any thread. Readers take a consistent
+//! [`TelemetrySnapshot`] copy, locking each shard's stats only long enough
+//! to copy them out.
+//!
+//! Requests carry a fixed-size [`Trace`] stamped at enqueue, coalesce
+//! (drain), solve-start, and solve-end; the reply-write stamp is taken
+//! once per chunk just before slots are fulfilled. [`Trace::stages`] folds
+//! the stamps into a [`StageTimings`] (queue-wait / solve / write) that is
+//! both recorded into the shard histograms and returned to callers inside
+//! `ServeReply`, so "why was this one slow" is answerable per request.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use teal_nn::pool::PoolStats;
 
 /// Log-spaced latency histogram: bucket `i` covers per-request latencies of
 /// roughly `2^(i/4)` nanoseconds (four sub-buckets per octave — quantile
@@ -69,6 +81,20 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Fold `other` into `self`. Because both histograms share the same
+    /// fixed bucket edges, merging is a bucket-wise sum and the merged
+    /// quantiles are *identical* to those of a histogram that had recorded
+    /// both streams directly (pinned by a unit test) — multi-shard and
+    /// cross-window aggregation never re-records.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -100,6 +126,248 @@ impl LatencyHistogram {
         }
         Duration::from_nanos(self.max_ns)
     }
+
+    /// The standard dashboard triple (mean, p50, p99).
+    pub fn summary(&self) -> LatencyStats {
+        LatencyStats {
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Mean/p50/p99 of one latency stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+/// Compact per-request stage trace. Fixed-size and `Copy`: stamping on the
+/// hot path is a couple of `Instant` stores, never an allocation. Stamped
+/// at enqueue ([`Trace::at`]), coalesce (drain), solve-start and solve-end;
+/// the reply-write stamp is passed to [`Trace::stages`] by the shard once
+/// per chunk.
+#[derive(Clone, Copy, Debug)]
+pub struct Trace {
+    enqueued: Instant,
+    drained: Option<Instant>,
+    solve_start: Option<Instant>,
+    solve_end: Option<Instant>,
+}
+
+impl Trace {
+    /// Fresh trace stamped at enqueue time `now`.
+    pub fn at(now: Instant) -> Self {
+        Trace {
+            enqueued: now,
+            drained: None,
+            solve_start: None,
+            solve_end: None,
+        }
+    }
+
+    /// Enqueue stamp (used for deadline checks and end-to-end latency).
+    pub fn enqueued(&self) -> Instant {
+        self.enqueued
+    }
+
+    /// Stamp the coalesce point: the shard drained this request.
+    pub(crate) fn stamp_drained(&mut self, now: Instant) {
+        self.drained = Some(now);
+    }
+
+    /// Stamp entry into the forward + ADMM solve.
+    pub(crate) fn stamp_solve_start(&mut self, now: Instant) {
+        self.solve_start = Some(now);
+    }
+
+    /// Stamp solve completion (before replies are written).
+    pub(crate) fn stamp_solve_end(&mut self, now: Instant) {
+        self.solve_end = Some(now);
+    }
+
+    /// Fold the stamps into per-stage durations, with `done` as the
+    /// reply-write stamp. Missing intermediate stamps (e.g. a request
+    /// answered with an error before reaching the solver) collapse that
+    /// stage to zero rather than misattributing time.
+    pub fn stages(&self, done: Instant) -> StageTimings {
+        let drained = self.drained.unwrap_or(done);
+        let solve_start = self.solve_start.unwrap_or(drained);
+        let solve_end = self.solve_end.unwrap_or(solve_start);
+        StageTimings {
+            queue_wait: drained.saturating_duration_since(self.enqueued),
+            solve: solve_end.saturating_duration_since(solve_start),
+            write: done.saturating_duration_since(solve_end),
+        }
+    }
+}
+
+/// Per-stage breakdown of one request's end-to-end latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Enqueue → drained by the shard (time spent in the queue).
+    pub queue_wait: Duration,
+    /// Forward pass + ADMM fine-tuning for the batch the request rode in.
+    pub solve: Duration,
+    /// Solve end → response slot fulfilled (allocation split + reply write).
+    pub write: Duration,
+}
+
+/// Per-shard ADMM solve accumulator (windows = coalesced batches that
+/// reached the solver).
+#[derive(Default)]
+struct AdmmAccum {
+    windows: u64,
+    lanes: u64,
+    iterations: u64,
+    min_lane_iterations: u64,
+    max_lane_iterations: u64,
+    frozen_lanes: u64,
+    last_primal_residual: f64,
+    max_primal_residual: f64,
+    last_dual_residual: f64,
+    max_dual_residual: f64,
+}
+
+impl AdmmAccum {
+    fn record(&mut self, r: &teal_core::SolveReport) {
+        if self.windows == 0 {
+            self.min_lane_iterations = r.min_iterations as u64;
+        } else {
+            self.min_lane_iterations = self.min_lane_iterations.min(r.min_iterations as u64);
+        }
+        self.windows += 1;
+        self.lanes += r.lanes as u64;
+        self.iterations += r.iterations;
+        self.max_lane_iterations = self.max_lane_iterations.max(r.max_iterations as u64);
+        self.frozen_lanes += r.frozen_lanes as u64;
+        self.last_primal_residual = r.max_primal_residual;
+        self.last_dual_residual = r.max_dual_residual;
+        self.max_primal_residual = self.max_primal_residual.max(r.max_primal_residual);
+        self.max_dual_residual = self.max_dual_residual.max(r.max_dual_residual);
+    }
+
+    fn snapshot(&self) -> Option<AdmmStats> {
+        if self.windows == 0 {
+            return None;
+        }
+        Some(AdmmStats {
+            windows: self.windows,
+            lanes: self.lanes,
+            iterations: self.iterations,
+            min_lane_iterations: self.min_lane_iterations,
+            max_lane_iterations: self.max_lane_iterations,
+            frozen_lanes: self.frozen_lanes,
+            last_primal_residual: self.last_primal_residual,
+            max_primal_residual: self.max_primal_residual,
+            last_dual_residual: self.last_dual_residual,
+            max_dual_residual: self.max_dual_residual,
+        })
+    }
+}
+
+/// Aggregate ADMM solve statistics for one topology (§3.4 quality/latency
+/// knob, made measurable). A *window* is one coalesced batch that reached
+/// the solver; a *lane* is one traffic matrix inside a window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmmStats {
+    /// Solver windows (coalesced batches) run.
+    pub windows: u64,
+    /// Total lanes (traffic matrices) across all windows.
+    pub lanes: u64,
+    /// Total ADMM iterations summed over lanes.
+    pub iterations: u64,
+    /// Fewest iterations any lane ran.
+    pub min_lane_iterations: u64,
+    /// Most iterations any lane ran.
+    pub max_lane_iterations: u64,
+    /// Lanes that converged (froze) before exhausting the iteration budget.
+    pub frozen_lanes: u64,
+    /// Worst primal residual of the most recent window.
+    pub last_primal_residual: f64,
+    /// Worst primal residual of any window.
+    pub max_primal_residual: f64,
+    /// Worst dual residual of the most recent window.
+    pub last_dual_residual: f64,
+    /// Worst dual residual of any window.
+    pub max_dual_residual: f64,
+}
+
+impl AdmmStats {
+    /// Mean iterations per lane.
+    pub fn mean_iterations(&self) -> f64 {
+        self.iterations as f64 / self.lanes.max(1) as f64
+    }
+}
+
+/// Slow-request exemplars retained per shard (top-k by end-to-end latency).
+const SLOW_EXEMPLARS: usize = 8;
+
+#[derive(Clone, Copy)]
+struct SlowEntry {
+    latency: Duration,
+    stages: StageTimings,
+    batch_size: usize,
+}
+
+/// Bounded top-k ring of the slowest requests seen by one shard. Capacity
+/// is reserved up front so offering is allocation-free.
+struct SlowRing {
+    entries: Vec<SlowEntry>,
+}
+
+impl Default for SlowRing {
+    fn default() -> Self {
+        SlowRing {
+            entries: Vec::with_capacity(SLOW_EXEMPLARS),
+        }
+    }
+}
+
+impl SlowRing {
+    fn offer(&mut self, latency: Duration, stages: StageTimings, batch_size: usize) {
+        if self.entries.len() < SLOW_EXEMPLARS {
+            self.entries.push(SlowEntry {
+                latency,
+                stages,
+                batch_size,
+            });
+            return;
+        }
+        // Replace the current fastest entry iff the newcomer is slower.
+        let (idx, fastest) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.latency)
+            .expect("ring is non-empty here");
+        if latency > fastest.latency {
+            self.entries[idx] = SlowEntry {
+                latency,
+                stages,
+                batch_size,
+            };
+        }
+    }
+}
+
+/// One slow-request exemplar with its stage breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowExemplar {
+    /// Topology the request was for.
+    pub topology: String,
+    /// End-to-end (enqueue → response) latency.
+    pub latency: Duration,
+    /// Where that time went.
+    pub stages: StageTimings,
+    /// Size of the coalesced batch the request rode in.
+    pub batch_size: usize,
 }
 
 /// One shard's serving counters, owned by that shard's dispatcher thread
@@ -108,20 +376,44 @@ impl LatencyHistogram {
 #[derive(Default)]
 pub(crate) struct ShardStats {
     latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    solve: LatencyHistogram,
+    write: LatencyHistogram,
     requests: u64,
     batches: u64,
     /// Coalesced-batch size → occurrence count (for this shard).
     batch_sizes: HashMap<usize, u64>,
+    admm: AdmmAccum,
+    slow: SlowRing,
 }
 
 impl ShardStats {
-    /// Record one coalesced batch of per-request latencies.
-    pub(crate) fn record_batch(&mut self, latencies: &[Duration]) {
+    /// Record one coalesced batch: per-request end-to-end latencies, their
+    /// stage breakdowns (parallel slices), and the batch's solver report
+    /// when it reached the ADMM fine-tuner.
+    pub(crate) fn record_batch(
+        &mut self,
+        latencies: &[Duration],
+        stages: &[StageTimings],
+        solve: Option<&teal_core::SolveReport>,
+    ) {
+        debug_assert_eq!(
+            latencies.len(),
+            stages.len(),
+            "latency/stage slice mismatch"
+        );
         *self.batch_sizes.entry(latencies.len()).or_insert(0) += 1;
         self.batches += 1;
         self.requests += latencies.len() as u64;
-        for &l in latencies {
+        for (&l, s) in latencies.iter().zip(stages) {
             self.latency.record(l);
+            self.queue_wait.record(s.queue_wait);
+            self.solve.record(s.solve);
+            self.write.record(s.write);
+            self.slow.offer(l, *s, latencies.len());
+        }
+        if let Some(r) = solve {
+            self.admm.record(r);
         }
     }
 }
@@ -160,9 +452,20 @@ impl Telemetry {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Gauge drop when a shard drains `n` requests.
+    /// Gauge drop when a shard drains `n` requests. Saturates at zero: a
+    /// double-drain bug must not wrap the gauge to `usize::MAX` and poison
+    /// every later snapshot (it is loudly caught in debug builds instead).
     pub(crate) fn on_drain(&self, n: usize) {
-        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+        let prev = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(n))
+            })
+            .expect("fetch_update closure always returns Some");
+        debug_assert!(
+            prev >= n,
+            "queue_depth underflow: drained {n} with depth {prev}"
+        );
     }
 
     /// Count `n` successfully answered requests.
@@ -174,10 +477,11 @@ impl Telemetry {
     /// convenience path; shards record through their retained handle).
     #[cfg(test)]
     pub(crate) fn on_batch(&self, topology: &str, latencies: &[Duration]) {
+        let stages = vec![StageTimings::default(); latencies.len()];
         self.shard_stats(topology)
             .lock()
             .expect("telemetry lock")
-            .record_batch(latencies);
+            .record_batch(latencies, &stages, None);
         self.on_complete(latencies.len() as u64);
     }
 
@@ -204,21 +508,38 @@ impl Telemetry {
         let shards = self.shards.lock().expect("telemetry lock");
         let mut per_topology = Vec::with_capacity(shards.len());
         let mut batch_sizes: HashMap<usize, u64> = HashMap::new();
+        let mut slow: Vec<SlowExemplar> = Vec::new();
         for (name, stats) in shards.iter() {
             let s = stats.lock().expect("telemetry lock");
+            let e2e = s.latency.summary();
             per_topology.push(TopoSnapshot {
                 topology: name.clone(),
                 requests: s.requests,
                 batches: s.batches,
-                mean: s.latency.mean(),
-                p50: s.latency.quantile(0.50),
-                p99: s.latency.quantile(0.99),
+                mean: e2e.mean,
+                p50: e2e.p50,
+                p99: e2e.p99,
+                queue_wait: s.queue_wait.summary(),
+                solve: s.solve.summary(),
+                write: s.write.summary(),
+                admm: s.admm.snapshot(),
             });
             for (&size, &n) in &s.batch_sizes {
                 *batch_sizes.entry(size).or_insert(0) += n;
             }
+            for e in &s.slow.entries {
+                slow.push(SlowExemplar {
+                    topology: name.clone(),
+                    latency: e.latency,
+                    stages: e.stages,
+                    batch_size: e.batch_size,
+                });
+            }
         }
         per_topology.sort_by(|a, b| a.topology.cmp(&b.topology));
+        // Global top-k across shards, slowest first.
+        slow.sort_by_key(|e| std::cmp::Reverse(e.latency));
+        slow.truncate(SLOW_EXEMPLARS);
         let mut batch_sizes: Vec<(usize, u64)> = batch_sizes.into_iter().collect();
         batch_sizes.sort_unstable();
         TelemetrySnapshot {
@@ -229,12 +550,14 @@ impl Telemetry {
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            pool: teal_nn::pool::stats(),
+            slow,
         }
     }
 }
 
 /// Point-in-time copy of the daemon's serving statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TelemetrySnapshot {
     /// Per-topology latency/request stats, sorted by topology id.
     pub per_topology: Vec<TopoSnapshot>,
@@ -252,6 +575,13 @@ pub struct TelemetrySnapshot {
     /// Requests whose deadline lapsed while queued (drain-time expiries;
     /// also counted in `completed`).
     pub expired: u64,
+    /// `teal_nn` worker-pool counters (process-global, sampled at snapshot
+    /// time): jobs submitted, chunks run by callers vs stolen by helper
+    /// workers, and capped-out queue skips.
+    pub pool: PoolStats,
+    /// Slowest requests observed (global top-k across shards, slowest
+    /// first), each with its stage breakdown.
+    pub slow: Vec<SlowExemplar>,
 }
 
 impl TelemetrySnapshot {
@@ -269,10 +599,205 @@ impl TelemetrySnapshot {
             total_reqs as f64 / total_batches as f64
         }
     }
+
+    /// Render the snapshot in Prometheus text exposition format (one
+    /// gauge/counter family per metric, `# HELP`/`# TYPE` headers, labels
+    /// for topology/stage/quantile). Suitable for a scrape endpoint or a
+    /// CI artifact.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let secs = |d: Duration| d.as_secs_f64();
+
+        out.push_str("# HELP teal_serve_requests_total Requests served per topology.\n");
+        out.push_str("# TYPE teal_serve_requests_total counter\n");
+        for t in &self.per_topology {
+            let _ = writeln!(
+                out,
+                "teal_serve_requests_total{{topology=\"{}\"}} {}",
+                t.topology, t.requests
+            );
+        }
+        out.push_str("# HELP teal_serve_batches_total Coalesced batches served per topology.\n");
+        out.push_str("# TYPE teal_serve_batches_total counter\n");
+        for t in &self.per_topology {
+            let _ = writeln!(
+                out,
+                "teal_serve_batches_total{{topology=\"{}\"}} {}",
+                t.topology, t.batches
+            );
+        }
+
+        out.push_str(
+            "# HELP teal_serve_stage_seconds Request latency by pipeline stage (quantile label; mean under quantile=\"mean\").\n",
+        );
+        out.push_str("# TYPE teal_serve_stage_seconds gauge\n");
+        for t in &self.per_topology {
+            let stages: [(&str, LatencyStats); 4] = [
+                (
+                    "e2e",
+                    LatencyStats {
+                        mean: t.mean,
+                        p50: t.p50,
+                        p99: t.p99,
+                    },
+                ),
+                ("queue_wait", t.queue_wait),
+                ("solve", t.solve),
+                ("write", t.write),
+            ];
+            for (stage, s) in stages {
+                for (q, v) in [("mean", s.mean), ("0.5", s.p50), ("0.99", s.p99)] {
+                    let _ = writeln!(
+                        out,
+                        "teal_serve_stage_seconds{{topology=\"{}\",stage=\"{}\",quantile=\"{}\"}} {:.9}",
+                        t.topology,
+                        stage,
+                        q,
+                        secs(v)
+                    );
+                }
+            }
+        }
+
+        out.push_str("# HELP teal_serve_admm_windows_total Solver windows (batches) run.\n");
+        out.push_str("# TYPE teal_serve_admm_windows_total counter\n");
+        out.push_str("# HELP teal_serve_admm_lanes_total Solver lanes (traffic matrices) run.\n");
+        out.push_str("# TYPE teal_serve_admm_lanes_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_admm_iterations_total ADMM iterations summed over lanes.\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_iterations_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_admm_frozen_lanes_total Lanes converged before the iteration budget.\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_frozen_lanes_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_admm_residual Final ADMM residuals (kind=primal|dual, stat=last|max).\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_residual gauge\n");
+        for t in &self.per_topology {
+            let Some(a) = t.admm else { continue };
+            let topo = &t.topology;
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_windows_total{{topology=\"{topo}\"}} {}",
+                a.windows
+            );
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_lanes_total{{topology=\"{topo}\"}} {}",
+                a.lanes
+            );
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_iterations_total{{topology=\"{topo}\"}} {}",
+                a.iterations
+            );
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_frozen_lanes_total{{topology=\"{topo}\"}} {}",
+                a.frozen_lanes
+            );
+            for (kind, stat, v) in [
+                ("primal", "last", a.last_primal_residual),
+                ("primal", "max", a.max_primal_residual),
+                ("dual", "last", a.last_dual_residual),
+                ("dual", "max", a.max_dual_residual),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "teal_serve_admm_residual{{topology=\"{topo}\",kind=\"{kind}\",stat=\"{stat}\"}} {v:e}"
+                );
+            }
+        }
+
+        out.push_str("# HELP teal_serve_queue_depth Requests currently enqueued.\n");
+        out.push_str("# TYPE teal_serve_queue_depth gauge\n");
+        let _ = writeln!(out, "teal_serve_queue_depth {}", self.queue_depth);
+        out.push_str("# HELP teal_serve_max_queue_depth Deepest aggregate queue observed.\n");
+        out.push_str("# TYPE teal_serve_max_queue_depth gauge\n");
+        let _ = writeln!(out, "teal_serve_max_queue_depth {}", self.max_queue_depth);
+        for (name, help, v) in [
+            (
+                "teal_serve_completed_total",
+                "Requests answered (success or error).",
+                self.completed,
+            ),
+            (
+                "teal_serve_shed_total",
+                "Requests shed by admission control.",
+                self.shed,
+            ),
+            (
+                "teal_serve_expired_total",
+                "Requests expired in the queue.",
+                self.expired,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+
+        out.push_str("# HELP teal_serve_batch_size_total Coalesced batches by size.\n");
+        out.push_str("# TYPE teal_serve_batch_size_total counter\n");
+        for &(size, n) in &self.batch_sizes {
+            let _ = writeln!(out, "teal_serve_batch_size_total{{size=\"{size}\"}} {n}");
+        }
+
+        for (name, help, v) in [
+            (
+                "teal_nn_pool_jobs_total",
+                "Parallel jobs submitted to the worker pool.",
+                self.pool.jobs,
+            ),
+            (
+                "teal_nn_pool_caller_chunks_total",
+                "Chunks executed by submitting threads.",
+                self.pool.caller_chunks,
+            ),
+            (
+                "teal_nn_pool_helper_chunks_total",
+                "Chunks stolen by helper workers.",
+                self.pool.helper_chunks,
+            ),
+            (
+                "teal_nn_pool_capped_skips_total",
+                "Queue scans that skipped a capped-out job.",
+                self.pool.capped_skips,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+
+        out.push_str(
+            "# HELP teal_serve_slow_seconds Slowest requests (rank 0 = slowest) by stage.\n",
+        );
+        out.push_str("# TYPE teal_serve_slow_seconds gauge\n");
+        for (rank, e) in self.slow.iter().enumerate() {
+            for (stage, v) in [
+                ("e2e", e.latency),
+                ("queue_wait", e.stages.queue_wait),
+                ("solve", e.stages.solve),
+                ("write", e.stages.write),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "teal_serve_slow_seconds{{topology=\"{}\",rank=\"{rank}\",stage=\"{stage}\",batch=\"{}\"}} {:.9}",
+                    e.topology,
+                    e.batch_size,
+                    secs(v)
+                );
+            }
+        }
+        out
+    }
 }
 
 /// One topology's latency profile.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TopoSnapshot {
     /// Registry id of the topology.
     pub topology: String,
@@ -286,6 +811,14 @@ pub struct TopoSnapshot {
     pub p50: Duration,
     /// 99th-percentile latency.
     pub p99: Duration,
+    /// Time spent waiting in the shard queue (enqueue → drain).
+    pub queue_wait: LatencyStats,
+    /// Time in the forward pass + ADMM fine-tuning.
+    pub solve: LatencyStats,
+    /// Time from solve end to response fulfillment.
+    pub write: LatencyStats,
+    /// ADMM solve statistics (`None` until a batch reaches the solver).
+    pub admm: Option<AdmmStats>,
 }
 
 #[cfg(test)]
@@ -337,6 +870,42 @@ mod tests {
     }
 
     #[test]
+    fn merged_quantiles_equal_combined_stream() {
+        // merge() must be indistinguishable from having recorded both
+        // streams into one histogram: same buckets, same count/sum/max,
+        // hence *identical* quantiles at every q.
+        let stream_a: Vec<u64> = (1..500).map(|i| i * 137 % 90_000 + 1).collect();
+        let stream_b: Vec<u64> = (1..300).map(|i| i * 7919 % 2_000_000 + 1).collect();
+        let (mut a, mut b, mut combined) = (
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+        );
+        for &us in &stream_a {
+            a.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        for &us in &stream_b {
+            b.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.mean(), combined.mean());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                a.quantile(q),
+                combined.quantile(q),
+                "quantile {q} diverged after merge"
+            );
+        }
+        // Merging an empty histogram is a no-op.
+        let before = a.quantile(0.5);
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a.quantile(0.5), before);
+    }
+
+    #[test]
     fn snapshot_aggregates_batches() {
         let t = Telemetry::default();
         t.on_enqueue();
@@ -356,5 +925,131 @@ mod tests {
         assert_eq!(snap.per_topology[0].batches, 2);
         assert_eq!(snap.batch_sizes, vec![(1, 1), (2, 1)]);
         assert!((snap.mean_batch_size() - 1.5).abs() < 1e-9);
+        // on_batch records zero stage timings and no solver report.
+        assert_eq!(snap.per_topology[0].admm, None);
+        assert_eq!(snap.slow.len(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "queue_depth underflow")]
+    fn over_drain_is_caught_in_debug() {
+        let t = Telemetry::default();
+        t.on_enqueue();
+        t.on_drain(2);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn over_drain_saturates_in_release() {
+        let t = Telemetry::default();
+        t.on_enqueue();
+        t.on_drain(2);
+        assert_eq!(t.snapshot().queue_depth, 0, "gauge must saturate, not wrap");
+    }
+
+    #[test]
+    fn stage_and_admm_stats_reach_snapshot() {
+        let t = Telemetry::default();
+        let stats = t.shard_stats("B4");
+        let stages = [
+            StageTimings {
+                queue_wait: Duration::from_micros(40),
+                solve: Duration::from_micros(700),
+                write: Duration::from_micros(10),
+            },
+            StageTimings {
+                queue_wait: Duration::from_micros(80),
+                solve: Duration::from_micros(700),
+                write: Duration::from_micros(10),
+            },
+        ];
+        let report = teal_core::SolveReport {
+            lanes: 2,
+            iterations: 4,
+            min_iterations: 2,
+            max_iterations: 2,
+            frozen_lanes: 0,
+            max_primal_residual: 0.25,
+            max_dual_residual: 0.125,
+        };
+        stats.lock().unwrap().record_batch(
+            &[Duration::from_micros(750), Duration::from_micros(790)],
+            &stages,
+            Some(&report),
+        );
+        let snap = t.snapshot();
+        let topo = &snap.per_topology[0];
+        assert!(topo.queue_wait.p50 >= Duration::from_micros(30));
+        assert!(topo.solve.p99 >= Duration::from_micros(600));
+        assert!(topo.write.p50 > Duration::ZERO);
+        let admm = topo.admm.expect("solver report recorded");
+        assert_eq!(admm.windows, 1);
+        assert_eq!(admm.lanes, 2);
+        assert_eq!(admm.iterations, 4);
+        assert_eq!(admm.min_lane_iterations, 2);
+        assert_eq!(admm.max_lane_iterations, 2);
+        assert_eq!(admm.frozen_lanes, 0);
+        assert!((admm.mean_iterations() - 2.0).abs() < 1e-12);
+        assert!((admm.last_primal_residual - 0.25).abs() < 1e-12);
+        assert!((admm.max_dual_residual - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_ring_keeps_top_k() {
+        let mut ring = SlowRing::default();
+        for us in 1..=100u64 {
+            ring.offer(Duration::from_micros(us), StageTimings::default(), 1);
+        }
+        assert_eq!(ring.entries.len(), SLOW_EXEMPLARS);
+        let mut lat: Vec<u64> = ring
+            .entries
+            .iter()
+            .map(|e| e.latency.as_micros() as u64)
+            .collect();
+        lat.sort_unstable();
+        assert_eq!(lat, (93..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_stages_partition_end_to_end() {
+        let t0 = Instant::now();
+        let mut tr = Trace::at(t0);
+        let t1 = t0 + Duration::from_micros(100);
+        let t2 = t1 + Duration::from_micros(20);
+        let t3 = t2 + Duration::from_micros(500);
+        let done = t3 + Duration::from_micros(30);
+        tr.stamp_drained(t1);
+        tr.stamp_solve_start(t2);
+        tr.stamp_solve_end(t3);
+        let s = tr.stages(done);
+        assert_eq!(s.queue_wait, Duration::from_micros(100));
+        assert_eq!(s.solve, Duration::from_micros(500));
+        assert_eq!(s.write, Duration::from_micros(30));
+        // Unstamped stages collapse to zero instead of misattributing.
+        let s = Trace::at(t0).stages(done);
+        assert_eq!(s.queue_wait, done - t0);
+        assert_eq!(s.solve, Duration::ZERO);
+        assert_eq!(s.write, Duration::ZERO);
+    }
+
+    #[test]
+    fn prometheus_rendering_smoke() {
+        let t = Telemetry::default();
+        t.on_enqueue();
+        t.on_drain(1);
+        t.on_batch("B4", &[Duration::from_micros(100)]);
+        let text = t.snapshot().to_prometheus();
+        for needle in [
+            "teal_serve_requests_total{topology=\"B4\"} 1",
+            "teal_serve_stage_seconds{topology=\"B4\",stage=\"solve\",quantile=\"0.99\"}",
+            "teal_serve_queue_depth 0",
+            "teal_serve_completed_total 1",
+            "teal_nn_pool_jobs_total",
+            "teal_serve_slow_seconds{topology=\"B4\",rank=\"0\",stage=\"e2e\"",
+            "# TYPE teal_serve_batch_size_total counter",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

@@ -26,22 +26,44 @@
 //!            · demands (u32 count, f64 each)
 //! REPLY      id u64 · tag u8
 //!            tag 0 (ok):  k u16 · num_demands u32 · splits f64 × (nd·k)
-//!                         · latency u64 ns · batch_size u32
+//!                         · latency u64 ns
+//!                         · stage ns u64 × 3 (queue_wait, solve, write)
+//!                         · batch_size u32
 //!            tag 1 (err): error code u8 · message str
+//! STATS      id u64                        (telemetry scrape request)
+//! STATS_OK   id u64
+//!            · topologies (u32 count, each: topology str
+//!              · requests u64 · batches u64
+//!              · 4 stages (e2e, queue_wait, solve, write), each
+//!                mean/p50/p99 u64 ns
+//!              · admm flag u8; if 1: windows/lanes/iterations/
+//!                min_lane_iters/max_lane_iters/frozen_lanes u64 × 6
+//!                · last_primal/max_primal/last_dual/max_dual f64 × 4)
+//!            · batch sizes (u32 count, each: size u32 · n u64)
+//!            · queue_depth u64 · max_queue_depth u64
+//!            · completed u64 · shed u64 · expired u64
+//!            · pool jobs/caller_chunks/helper_chunks/capped_skips u64 × 4
+//!            · slow exemplars (u32 count, each: topology str
+//!              · latency u64 ns · stage ns u64 × 3 · batch_size u32)
 //! str        u32 byte length · UTF-8 bytes
 //! ```
 
 use std::io::{self, Read, Write};
 use std::time::Duration;
 use teal_lp::Allocation;
+use teal_nn::pool::PoolStats;
 use teal_traffic::TrafficMatrix;
 
 use crate::request::{ServeError, ServeReply, SubmitRequest};
+use crate::telemetry::{
+    AdmmStats, LatencyStats, SlowExemplar, StageTimings, TelemetrySnapshot, TopoSnapshot,
+};
 
 /// Handshake magic: the first bytes any teal-serve peer sends.
 pub const MAGIC: &[u8; 4] = b"TEAL";
 /// Wire protocol version; bump on any layout change.
-pub const VERSION: u16 = 1;
+/// v2: REPLY gained per-stage spans; STATS/STATS_OK scrape frames added.
+pub const VERSION: u16 = 2;
 /// Upper bound on a single frame (guards the length prefix against a
 /// corrupt or hostile peer asking us to allocate gigabytes).
 pub const MAX_FRAME: u32 = 64 << 20;
@@ -54,6 +76,10 @@ pub enum Kind {
     HelloOk = 2,
     Request = 3,
     Reply = 4,
+    /// Telemetry scrape request (client → server).
+    Stats = 5,
+    /// Telemetry snapshot reply (server → client).
+    StatsOk = 6,
 }
 
 /// A malformed or incompatible frame.
@@ -130,6 +156,17 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// Durations travel as u64 nanoseconds (saturating, like deadlines).
+fn put_dur(buf: &mut Vec<u8>, d: Duration) {
+    buf.extend_from_slice(&(d.as_nanos().min(u128::from(u64::MAX)) as u64).to_le_bytes());
+}
+
+fn put_latency_stats(buf: &mut Vec<u8>, s: &LatencyStats) {
+    put_dur(buf, s.mean);
+    put_dur(buf, s.p50);
+    put_dur(buf, s.p99);
+}
+
 /// Encode the client half of the handshake.
 pub fn encode_hello(buf: &mut Vec<u8>) {
     buf.clear();
@@ -195,9 +232,10 @@ pub fn encode_reply(buf: &mut Vec<u8>, id: u64, reply: &Result<ServeReply, Serve
             for &v in r.allocation.splits() {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
-            buf.extend_from_slice(
-                &(r.latency.as_nanos().min(u128::from(u64::MAX)) as u64).to_le_bytes(),
-            );
+            put_dur(buf, r.latency);
+            put_dur(buf, r.stages.queue_wait);
+            put_dur(buf, r.stages.solve);
+            put_dur(buf, r.stages.write);
             buf.extend_from_slice(&(r.batch_size as u32).to_le_bytes());
         }
         Err(e) => {
@@ -213,6 +251,89 @@ pub fn encode_reply(buf: &mut Vec<u8>, id: u64, reply: &Result<ServeReply, Serve
             };
             put_str(buf, msg);
         }
+    }
+}
+
+/// Encode a telemetry scrape request under the caller-chosen pipelining id
+/// (STATS frames share the reply id space with REQUEST frames).
+pub fn encode_stats_request(buf: &mut Vec<u8>, id: u64) {
+    buf.clear();
+    buf.push(Kind::Stats as u8);
+    buf.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Encode a full telemetry snapshot as the reply to scrape `id`.
+pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) {
+    buf.clear();
+    buf.push(Kind::StatsOk as u8);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(snap.per_topology.len() as u32).to_le_bytes());
+    for t in &snap.per_topology {
+        put_str(buf, &t.topology);
+        buf.extend_from_slice(&t.requests.to_le_bytes());
+        buf.extend_from_slice(&t.batches.to_le_bytes());
+        put_latency_stats(
+            buf,
+            &LatencyStats {
+                mean: t.mean,
+                p50: t.p50,
+                p99: t.p99,
+            },
+        );
+        put_latency_stats(buf, &t.queue_wait);
+        put_latency_stats(buf, &t.solve);
+        put_latency_stats(buf, &t.write);
+        match &t.admm {
+            Some(a) => {
+                buf.push(1);
+                for v in [
+                    a.windows,
+                    a.lanes,
+                    a.iterations,
+                    a.min_lane_iterations,
+                    a.max_lane_iterations,
+                    a.frozen_lanes,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                for v in [
+                    a.last_primal_residual,
+                    a.max_primal_residual,
+                    a.last_dual_residual,
+                    a.max_dual_residual,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => buf.push(0),
+        }
+    }
+    buf.extend_from_slice(&(snap.batch_sizes.len() as u32).to_le_bytes());
+    for &(size, n) in &snap.batch_sizes {
+        buf.extend_from_slice(&(size as u32).to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+    }
+    for v in [
+        snap.queue_depth as u64,
+        snap.max_queue_depth as u64,
+        snap.completed,
+        snap.shed,
+        snap.expired,
+        snap.pool.jobs,
+        snap.pool.caller_chunks,
+        snap.pool.helper_chunks,
+        snap.pool.capped_skips,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&(snap.slow.len() as u32).to_le_bytes());
+    for e in &snap.slow {
+        put_str(buf, &e.topology);
+        put_dur(buf, e.latency);
+        put_dur(buf, e.stages.queue_wait);
+        put_dur(buf, e.stages.solve);
+        put_dur(buf, e.stages.write);
+        buf.extend_from_slice(&(e.batch_size as u32).to_le_bytes());
     }
 }
 
@@ -306,6 +427,8 @@ pub fn peek_kind(payload: &[u8]) -> Result<Kind, WireError> {
         Some(2) => Ok(Kind::HelloOk),
         Some(3) => Ok(Kind::Request),
         Some(4) => Ok(Kind::Reply),
+        Some(5) => Ok(Kind::Stats),
+        Some(6) => Ok(Kind::StatsOk),
         Some(k) => Err(WireError::Protocol(format!("unknown message kind {k}"))),
         None => Err(WireError::Protocol("empty frame".into())),
     }
@@ -411,10 +534,16 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Result<ServeReply, ServeErro
                 splits.push(r.f64()?);
             }
             let latency = Duration::from_nanos(r.u64()?);
+            let stages = StageTimings {
+                queue_wait: Duration::from_nanos(r.u64()?),
+                solve: Duration::from_nanos(r.u64()?),
+                write: Duration::from_nanos(r.u64()?),
+            };
             let batch_size = r.u32()? as usize;
             Ok(ServeReply {
                 allocation: Allocation::from_splits(k, splits),
                 latency,
+                stages,
                 batch_size,
             })
         }
@@ -438,4 +567,132 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Result<ServeReply, ServeErro
     };
     r.done()?;
     Ok((id, result))
+}
+
+/// Decode a STATS payload into the scrape id.
+pub fn decode_stats_request(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::Stats as u8 {
+        return Err(WireError::Protocol("expected STATS".into()));
+    }
+    let id = r.u64()?;
+    r.done()?;
+    Ok(id)
+}
+
+fn read_dur(r: &mut Reader<'_>) -> Result<Duration, WireError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+fn read_latency_stats(r: &mut Reader<'_>) -> Result<LatencyStats, WireError> {
+    Ok(LatencyStats {
+        mean: read_dur(r)?,
+        p50: read_dur(r)?,
+        p99: read_dur(r)?,
+    })
+}
+
+/// Decode a STATS_OK payload into `(id, snapshot)`.
+pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), WireError> {
+    let mut r = Reader::new(payload);
+    if r.u8()? != Kind::StatsOk as u8 {
+        return Err(WireError::Protocol("expected STATS_OK".into()));
+    }
+    let id = r.u64()?;
+    let ntopo = r.u32()? as usize;
+    // Minimum bytes per topology entry: empty name (4) + two counters (16)
+    // + 4 stages × 3 quantiles × 8 + the admm flag (1).
+    r.check_count(ntopo, 4 + 16 + 96 + 1, "topology")?;
+    let mut per_topology = Vec::with_capacity(ntopo);
+    for _ in 0..ntopo {
+        let topology = r.str()?;
+        let requests = r.u64()?;
+        let batches = r.u64()?;
+        let e2e = read_latency_stats(&mut r)?;
+        let queue_wait = read_latency_stats(&mut r)?;
+        let solve = read_latency_stats(&mut r)?;
+        let write = read_latency_stats(&mut r)?;
+        let admm = match r.u8()? {
+            0 => None,
+            1 => Some(AdmmStats {
+                windows: r.u64()?,
+                lanes: r.u64()?,
+                iterations: r.u64()?,
+                min_lane_iterations: r.u64()?,
+                max_lane_iterations: r.u64()?,
+                frozen_lanes: r.u64()?,
+                last_primal_residual: r.f64()?,
+                max_primal_residual: r.f64()?,
+                last_dual_residual: r.f64()?,
+                max_dual_residual: r.f64()?,
+            }),
+            f => return Err(WireError::Protocol(format!("bad admm flag {f}"))),
+        };
+        per_topology.push(TopoSnapshot {
+            topology,
+            requests,
+            batches,
+            mean: e2e.mean,
+            p50: e2e.p50,
+            p99: e2e.p99,
+            queue_wait,
+            solve,
+            write,
+            admm,
+        });
+    }
+    let nsizes = r.u32()? as usize;
+    r.check_count(nsizes, 12, "batch-size")?;
+    let mut batch_sizes = Vec::with_capacity(nsizes);
+    for _ in 0..nsizes {
+        let size = r.u32()? as usize;
+        let n = r.u64()?;
+        batch_sizes.push((size, n));
+    }
+    let queue_depth = r.u64()? as usize;
+    let max_queue_depth = r.u64()? as usize;
+    let completed = r.u64()?;
+    let shed = r.u64()?;
+    let expired = r.u64()?;
+    let pool = PoolStats {
+        jobs: r.u64()?,
+        caller_chunks: r.u64()?,
+        helper_chunks: r.u64()?,
+        capped_skips: r.u64()?,
+    };
+    let nslow = r.u32()? as usize;
+    // Empty name (4) + four spans (32) + batch size (4).
+    r.check_count(nslow, 40, "slow-exemplar")?;
+    let mut slow = Vec::with_capacity(nslow);
+    for _ in 0..nslow {
+        let topology = r.str()?;
+        let latency = read_dur(&mut r)?;
+        let stages = StageTimings {
+            queue_wait: read_dur(&mut r)?,
+            solve: read_dur(&mut r)?,
+            write: read_dur(&mut r)?,
+        };
+        let batch_size = r.u32()? as usize;
+        slow.push(SlowExemplar {
+            topology,
+            latency,
+            stages,
+            batch_size,
+        });
+    }
+    r.done()?;
+    Ok((
+        id,
+        TelemetrySnapshot {
+            per_topology,
+            batch_sizes,
+            queue_depth,
+            max_queue_depth,
+            completed,
+            shed,
+            expired,
+            pool,
+            slow,
+        },
+    ))
 }

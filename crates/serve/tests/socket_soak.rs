@@ -115,7 +115,23 @@ fn loopback_soak_zero_lost_tickets() {
     });
 
     assert_eq!(served, CLIENTS * PER_CLIENT, "lost tickets in the soak");
-    let stats = daemon.stats();
+    // Scrape the snapshot over TCP (the v2 STATS frame) and assert on the
+    // scraped copy — the wire path and the in-process path must agree on
+    // everything that is stable between two snapshot calls.
+    let stats = {
+        let scraper = TealClient::connect(addr).expect("stats scrape connect");
+        let scraped = scraper.stats().expect("stats scrape over TCP");
+        let local = daemon.stats();
+        assert_eq!(scraped.completed, local.completed);
+        assert_eq!(scraped.per_topology.len(), local.per_topology.len());
+        for (s, l) in scraped.per_topology.iter().zip(&local.per_topology) {
+            assert_eq!(s.topology, l.topology);
+            assert_eq!(s.requests, l.requests);
+            assert_eq!(s.batches, l.batches);
+            assert_eq!(s.admm, l.admm, "ADMM stats diverged across the wire");
+        }
+        scraped
+    };
     assert_eq!(
         stats.completed,
         (CLIENTS * PER_CLIENT) as u64,
@@ -130,10 +146,77 @@ fn loopback_soak_zero_lost_tickets() {
         stats.mean_batch_size(),
         stats.max_queue_depth
     );
-    for t in &stats.per_topology {
+    for (env, t) in [
+        (&env_b4, &stats.per_topology[0]),
+        (&env_swan, &stats.per_topology[1]),
+    ] {
         eprintln!(
             "  {}: {} requests / {} batches, p50 {:?} p99 {:?}",
             t.topology, t.requests, t.batches, t.p50, t.p99
         );
+        eprintln!(
+            "    stages: queue-wait p50 {:?} p99 {:?} · solve p50 {:?} p99 {:?} · write p50 {:?} p99 {:?}",
+            t.queue_wait.p50, t.queue_wait.p99, t.solve.p50, t.solve.p99, t.write.p50, t.write.p99
+        );
+        // Stage breakdown: every request did real solver work, so the
+        // solve-time histogram cannot be empty or degenerate.
+        assert!(
+            t.solve.p99 > Duration::ZERO,
+            "{}: solve p99 is zero — stage spans not recorded: {t:?}",
+            t.topology
+        );
+        // Solver introspection: both soak topologies are < 100 nodes, so
+        // `AdmmConfig::fine_tune` gives the paper's small-topology budget
+        // with tol = 0 — every lane must run *exactly* the configured
+        // iteration count, and none can freeze early.
+        let budget = EngineConfig::paper_default(env.topo().num_nodes())
+            .admm
+            .expect("paper default runs ADMM")
+            .max_iters as u64;
+        let admm = t
+            .admm
+            .unwrap_or_else(|| panic!("{}: no ADMM stats despite served batches", t.topology));
+        eprintln!(
+            "    admm: {} windows / {} lanes, {:.2} iters/lane (budget {budget}), {} frozen, residual p/d {:.3e}/{:.3e}",
+            admm.windows,
+            admm.lanes,
+            admm.mean_iterations(),
+            admm.frozen_lanes,
+            admm.last_primal_residual,
+            admm.last_dual_residual
+        );
+        assert_eq!(admm.lanes, t.requests, "every request rides one lane");
+        assert_eq!(
+            admm.min_lane_iterations, budget,
+            "{}: lane ran fewer iterations than the configured budget",
+            t.topology
+        );
+        assert_eq!(
+            admm.max_lane_iterations, budget,
+            "{}: lane ran more iterations than the configured budget",
+            t.topology
+        );
+        assert_eq!(
+            admm.iterations,
+            admm.lanes * budget,
+            "{}: iteration total does not match lanes × budget",
+            t.topology
+        );
+        assert_eq!(
+            admm.frozen_lanes, 0,
+            "{}: tol = 0 can never freeze a lane early",
+            t.topology
+        );
+    }
+    assert!(
+        !stats.slow.is_empty() && stats.slow[0].latency >= stats.slow[stats.slow.len() - 1].latency,
+        "slow-exemplar ring empty or unsorted: {:?}",
+        stats.slow
+    );
+    // CI artifact: render the scraped snapshot as Prometheus text when the
+    // workflow asks for it.
+    if let Ok(path) = std::env::var("TEAL_PROM_PATH") {
+        std::fs::write(&path, stats.to_prometheus()).expect("write Prometheus snapshot");
+        eprintln!("  wrote Prometheus snapshot to {path}");
     }
 }

@@ -8,8 +8,12 @@
 use proptest::prelude::*;
 use std::time::Duration;
 use teal_lp::Allocation;
+use teal_nn::pool::PoolStats;
 use teal_serve::wire;
-use teal_serve::{ServeError, ServeReply, SubmitRequest};
+use teal_serve::{
+    AdmmStats, LatencyStats, ServeError, ServeReply, SlowExemplar, StageTimings, SubmitRequest,
+    TelemetrySnapshot, TopoSnapshot,
+};
 use teal_traffic::TrafficMatrix;
 
 /// Encode then frame then unframe then decode, through a real byte stream.
@@ -60,6 +64,9 @@ proptest! {
         k in 1usize..6,
         nd in 0usize..30,
         latency_ns in 0u64..60_000_000_000,
+        queue_wait_ns in 0u64..60_000_000_000,
+        solve_ns in 0u64..60_000_000_000,
+        write_ns in 0u64..60_000_000_000,
         batch_size in 1usize..64,
         seed in 0u64..1000,
     ) {
@@ -69,6 +76,11 @@ proptest! {
         let reply = ServeReply {
             allocation: Allocation::from_splits(k, splits),
             latency: Duration::from_nanos(latency_ns),
+            stages: StageTimings {
+                queue_wait: Duration::from_nanos(queue_wait_ns),
+                solve: Duration::from_nanos(solve_ns),
+                write: Duration::from_nanos(write_ns),
+            },
             batch_size,
         };
         let mut buf = Vec::new();
@@ -105,6 +117,130 @@ proptest! {
         let (got_id, got) = wire::decode_reply(&payload).expect("decode reply");
         prop_assert_eq!(got_id, id);
         prop_assert_eq!(got, Err(err));
+    }
+}
+
+/// Deterministic synthetic snapshot: every field exercised, reproducible
+/// from one seed via an LCG so the proptest shrinks sensibly.
+fn synth_snapshot(seed: u64, ntopo: usize, nsizes: usize, nslow: usize) -> TelemetrySnapshot {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mut dur = {
+        let mut n = next;
+        move || Duration::from_nanos(n() % 60_000_000_000)
+    };
+    let mut lat = {
+        let d = &mut dur;
+        move || LatencyStats {
+            mean: d(),
+            p50: d(),
+            p99: d(),
+        }
+    };
+    let per_topology = (0..ntopo)
+        .map(|i| {
+            let e2e = lat();
+            TopoSnapshot {
+                topology: format!("topo-{i}"),
+                requests: next() % 1_000_000,
+                batches: next() % 100_000,
+                mean: e2e.mean,
+                p50: e2e.p50,
+                p99: e2e.p99,
+                queue_wait: lat(),
+                solve: lat(),
+                write: lat(),
+                admm: (next() % 2 == 0).then(|| AdmmStats {
+                    windows: next() % 10_000,
+                    lanes: next() % 100_000,
+                    iterations: next() % 1_000_000,
+                    min_lane_iterations: next() % 64,
+                    max_lane_iterations: next() % 64,
+                    frozen_lanes: next() % 100_000,
+                    last_primal_residual: (next() % 1000) as f64 / 1000.0,
+                    max_primal_residual: (next() % 1000) as f64 / 100.0,
+                    last_dual_residual: (next() % 1000) as f64 / 1000.0,
+                    max_dual_residual: (next() % 1000) as f64 / 100.0,
+                }),
+            }
+        })
+        .collect();
+    let slow = (0..nslow)
+        .map(|i| SlowExemplar {
+            topology: format!("topo-{}", i % ntopo.max(1)),
+            latency: dur(),
+            stages: StageTimings {
+                queue_wait: dur(),
+                solve: dur(),
+                write: dur(),
+            },
+            batch_size: (next() % 64) as usize,
+        })
+        .collect();
+    TelemetrySnapshot {
+        per_topology,
+        batch_sizes: (0..nsizes).map(|s| (s + 1, next() % 10_000)).collect(),
+        queue_depth: (next() % 4096) as usize,
+        max_queue_depth: (next() % 4096) as usize,
+        completed: next(),
+        shed: next() % 1_000_000,
+        expired: next() % 1_000_000,
+        pool: PoolStats {
+            jobs: next(),
+            caller_chunks: next(),
+            helper_chunks: next(),
+            capped_skips: next(),
+        },
+        slow,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stats_request_roundtrip_is_identity(id in 0u64..u64::MAX) {
+        let mut buf = Vec::new();
+        wire::encode_stats_request(&mut buf, id);
+        let payload = frame_roundtrip(&buf);
+        prop_assert_eq!(wire::decode_stats_request(&payload).expect("decode stats"), id);
+    }
+
+    #[test]
+    fn stats_reply_roundtrip_is_identity(
+        id in 0u64..u64::MAX,
+        seed in 0u64..1_000_000,
+        ntopo in 0usize..4,
+        nsizes in 0usize..6,
+        nslow in 0usize..9,
+    ) {
+        let snap = synth_snapshot(seed, ntopo, nsizes, nslow);
+        let mut buf = Vec::new();
+        wire::encode_stats_reply(&mut buf, id, &snap);
+        let payload = frame_roundtrip(&buf);
+        let (got_id, got) = wire::decode_stats_reply(&payload).expect("decode stats reply");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, snap);
+    }
+}
+
+#[test]
+fn truncated_stats_reply_is_an_error_never_a_panic() {
+    let snap = synth_snapshot(42, 3, 4, 5);
+    let mut buf = Vec::new();
+    wire::encode_stats_reply(&mut buf, 9, &snap);
+    for cut in 0..buf.len() {
+        assert!(
+            wire::decode_stats_reply(&buf[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
     }
 }
 

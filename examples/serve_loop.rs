@@ -91,7 +91,9 @@ fn main() {
         .expect("post-swap request");
     println!("post-swap allocation served in {:?}", reply.latency);
 
-    // --- 5. Telemetry: per-topology latency percentiles, batch sizes.
+    // --- 5. Telemetry: per-topology latency percentiles, the per-stage
+    // breakdown (queue-wait / solve / write), solver introspection, and
+    // the thread-pool occupancy gauges.
     let stats = daemon.stats();
     println!(
         "served {} requests, mean coalesced batch {:.2}, max queue depth {}",
@@ -104,5 +106,48 @@ fn main() {
             "  {:>6}: {:>3} requests / {:>2} batches  p50 {:?}  p99 {:?}",
             t.topology, t.requests, t.batches, t.p50, t.p99
         );
+        println!(
+            "          stages p99: queue-wait {:?} | solve {:?} | write {:?}",
+            t.queue_wait.p99, t.solve.p99, t.write.p99
+        );
+        if let Some(admm) = t.admm {
+            println!(
+                "          admm: {} windows / {} lanes, {:.2} iters/lane, {} frozen, residual p/d {:.3e}/{:.3e}",
+                admm.windows,
+                admm.lanes,
+                admm.mean_iterations(),
+                admm.frozen_lanes,
+                admm.last_primal_residual,
+                admm.last_dual_residual
+            );
+        }
+    }
+    if let Some(slow) = stats.slow.first() {
+        println!(
+            "slowest request: {:?} on {} (queue-wait {:?}, solve {:?}, batch of {})",
+            slow.latency, slow.topology, slow.stages.queue_wait, slow.stages.solve, slow.batch_size
+        );
+    }
+    println!(
+        "nn pool: {} jobs, {} caller / {} helper chunks, {} capped skips",
+        stats.pool.jobs,
+        stats.pool.caller_chunks,
+        stats.pool.helper_chunks,
+        stats.pool.capped_skips
+    );
+
+    // --- 6. The same snapshot renders as Prometheus exposition text for a
+    // scraper (`TelemetrySnapshot::to_prometheus`); print a taste.
+    let prom = stats.to_prometheus();
+    let taste: Vec<&str> = prom
+        .lines()
+        .filter(|l| l.starts_with("teal_serve_stage_seconds") && l.contains("0.99"))
+        .collect();
+    println!(
+        "prometheus ({} lines total), stage p99 series:",
+        prom.lines().count()
+    );
+    for line in taste {
+        println!("  {line}");
     }
 }

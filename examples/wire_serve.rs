@@ -68,9 +68,10 @@ fn main() {
         .wait();
     println!("zero-budget request: {:?}", shed.err());
 
-    // --- 5. Telemetry across the socket boundary: sheds/expiries are
-    // first-class serving counters.
-    let stats = daemon.stats();
+    // --- 5. Telemetry across the socket boundary: scrape the live
+    // snapshot over the *same* connection (a v2 STATS frame, pipelined
+    // like any request) — no side channel into the daemon needed.
+    let stats = client.stats().expect("stats scrape over TCP");
     println!(
         "completed {} | shed {} | expired {} | mean batch {:.1}",
         stats.completed,
@@ -80,5 +81,20 @@ fn main() {
     );
     for t in &stats.per_topology {
         println!("  {}: p50 {:?} p99 {:?}", t.topology, t.p50, t.p99);
+        println!(
+            "    stages p99: queue-wait {:?} | solve {:?} | write {:?}",
+            t.queue_wait.p99, t.solve.p99, t.write.p99
+        );
+        if let Some(admm) = t.admm {
+            println!(
+                "    admm: {} windows / {} lanes, {:.2} iters/lane, {} frozen",
+                admm.windows,
+                admm.lanes,
+                admm.mean_iterations(),
+                admm.frozen_lanes
+            );
+        }
     }
+    // Each reply also carried its own stage breakdown (`reply.stages`);
+    // the scraped snapshot aggregates the same spans into histograms.
 }
