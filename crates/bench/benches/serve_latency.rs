@@ -12,15 +12,23 @@
 //! serving-daemon PR: `daemon_coalesced` must not lose to `sequential` on
 //! the same request stream (`BENCH_serve.json`).
 //!
+//! The `deadline_pressure` arms serve one more burst shape — a linger
+//! window flooded with plain traffic ahead of a handful of deadline'd
+//! requests — under FIFO vs EDF drain order, and report the deadline'd
+//! requests' own latency percentiles (`deadlined_p99` records). EDF must
+//! strictly beat FIFO on that p99 in the same run; the bench asserts it.
+//!
 //! Run with `CRITERION_JSON_PATH=BENCH_serve.json` to persist the results
 //! the CI workflow publishes. Note the single-core CI caveat in ROADMAP.md:
 //! on 1 CPU the coalescing win is bounded by memory bandwidth; multicore
 //! hardware widens it via the parallel ADMM stage and the nn worker pool.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchRecord, BenchmarkId, Criterion};
 use std::sync::Arc;
 use teal_core::{EngineConfig, Env, ServingContext, TealConfig, TealModel};
-use teal_serve::{ModelRegistry, ServeConfig, ServeDaemon, SubmitRequest, TealClient, TealServer};
+use teal_serve::{
+    DrainOrder, ModelRegistry, ServeConfig, ServeDaemon, SubmitRequest, TealClient, TealServer,
+};
 use teal_topology::{b4, generate, TopoKind};
 use teal_traffic::{TrafficConfig, TrafficModel};
 
@@ -178,8 +186,124 @@ fn bench_serve_latency(c: &mut Criterion) {
             })
         })
     });
+    // Deadline pressure: the same burst shape served under FIFO vs EDF
+    // drain order, reporting the *deadline'd requests'* latency p99 per
+    // arm rather than burst wall time. Each iteration floods one linger
+    // window with plain traffic and then four deadline'd requests at the
+    // back of the queue: FIFO serves them in the burst's last `max_batch`
+    // chunk, EDF hoists them into the first, so their tail latency is the
+    // direct read on what the tentpole buys. Deadlines are a generous 60 s
+    // — nothing expires, nothing downgrades; only the order differs.
+    const PRESSURE_PLAIN: usize = 28;
+    const PRESSURE_DEADLINED: usize = 4;
+    let mut tails: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (order, tag) in [
+        (DrainOrder::Fifo, "fifo"),
+        (DrainOrder::EarliestDeadlineFirst, "edf"),
+    ] {
+        let registry = ModelRegistry::new();
+        registry.insert(
+            "b4",
+            ServingContext::new(
+                TealModel::new(
+                    Arc::clone(loads[0].ctx.env()),
+                    TealConfig {
+                        gnn_layers: 3,
+                        ..TealConfig::default()
+                    },
+                ),
+                EngineConfig::paper_default(loads[0].ctx.env().topo().num_nodes()),
+            ),
+        );
+        let daemon = ServeDaemon::start(
+            registry,
+            ServeConfig {
+                max_batch: 4,
+                linger: std::time::Duration::from_millis(25),
+                drain_order: order,
+                ..ServeConfig::default()
+            },
+        );
+        let latencies = std::cell::RefCell::new(Vec::<f64>::new());
+        group.bench_with_input(
+            BenchmarkId::new(format!("deadline_pressure_{tag}"), &label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let plain: Vec<_> = (0..PRESSURE_PLAIN)
+                        .map(|i| {
+                            daemon.submit(SubmitRequest::new(
+                                "b4",
+                                loads[0].tms[i % REQUESTS].clone(),
+                            ))
+                        })
+                        .collect();
+                    let deadlined: Vec<_> = (0..PRESSURE_DEADLINED)
+                        .map(|i| {
+                            daemon.submit(
+                                SubmitRequest::new(
+                                    "b4",
+                                    loads[0].tms[(PRESSURE_PLAIN + i) % REQUESTS].clone(),
+                                )
+                                .with_deadline(std::time::Duration::from_secs(60)),
+                            )
+                        })
+                        .collect();
+                    let mut l = latencies.borrow_mut();
+                    for t in deadlined {
+                        l.push(t.wait().expect("deadline'd served").latency.as_nanos() as f64);
+                    }
+                    let mut served = 0usize;
+                    for t in plain {
+                        t.wait().expect("plain served");
+                        served += 1;
+                    }
+                    served
+                })
+            },
+        );
+        let mut l = latencies.into_inner();
+        l.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        tails.push((tag, l));
+    }
     group.finish();
     drop(clients);
+
+    // Nearest-rank percentile, matching the shim's convention.
+    let pctl = |sorted: &[f64], q: f64| -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    };
+    let mut p99_by_tag = std::collections::HashMap::new();
+    for (tag, sorted) in &tails {
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let record = BenchRecord {
+            id: format!("serve_latency/deadline_pressure_{tag}/deadlined_p99"),
+            mean_ns: mean,
+            min_ns: sorted[0],
+            max_ns: sorted[n - 1],
+            p50_ns: pctl(sorted, 0.50),
+            p99_ns: pctl(sorted, 0.99),
+            samples: n,
+            iters: 1,
+        };
+        p99_by_tag.insert(*tag, record.p99_ns);
+        criterion::push_record(record);
+    }
+    // The PR's acceptance bar: EDF must strictly improve the deadline'd
+    // requests' p99 over FIFO in the same run.
+    let (fifo_p99, edf_p99) = (p99_by_tag["fifo"], p99_by_tag["edf"]);
+    eprintln!(
+        "deadline_pressure: deadline'd p99 fifo {:.3} ms vs edf {:.3} ms ({:.2}x)",
+        fifo_p99 / 1e6,
+        edf_p99 / 1e6,
+        fifo_p99 / edf_p99
+    );
+    assert!(
+        edf_p99 < fifo_p99,
+        "EDF did not improve the deadline'd p99: edf {edf_p99} ns vs fifo {fifo_p99} ns"
+    );
 
     let stats = daemon.stats();
     eprintln!(

@@ -148,6 +148,12 @@ pub struct BatchScratch {
     /// [`SolveReport`]); `None` before the first window or when ADMM is
     /// disabled.
     last_solve: Option<SolveReport>,
+    /// Per-window iteration-budget override: when set, the next window's
+    /// ADMM stage runs `min(budget, cfg.max_iters)` iterations instead of
+    /// the context's configured count — the §3.4 quality/latency knob as a
+    /// per-dispatch control. Sticky until changed; `None` means the
+    /// configured budget.
+    iteration_budget: Option<usize>,
 }
 
 /// Per-window solver introspection: what the ADMM fine-tuning stage
@@ -156,6 +162,10 @@ pub struct BatchScratch {
 /// [`teal_lp::AdmmReport`]s; `Copy`, so recording it is allocation-free.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveReport {
+    /// Iteration budget this window ran under — the context's configured
+    /// `max_iters`, or the [`BatchScratch::set_iteration_budget`] override
+    /// clamped to it. `iterations == lanes × budget` whenever `tol = 0`.
+    pub budget: usize,
     /// Matrices in the window (ADMM lanes).
     pub lanes: usize,
     /// Sum of iterations executed across lanes.
@@ -180,6 +190,7 @@ impl SolveReport {
             return None;
         }
         let mut agg = SolveReport {
+            budget,
             lanes: reports.len(),
             iterations: 0,
             min_iterations: usize::MAX,
@@ -220,7 +231,22 @@ impl BatchScratch {
             outs: Vec::new(),
             reports: Vec::new(),
             last_solve: None,
+            iteration_budget: None,
         }
+    }
+
+    /// Set (or clear) the per-window ADMM iteration budget for windows
+    /// served through this scratch. `Some(b)` caps the next window at
+    /// `min(b, configured max_iters)` iterations, floored at 1; `None`
+    /// restores the configured budget. The override is sticky — a
+    /// dispatcher sets it per window from its scheduling policy.
+    pub fn set_iteration_budget(&mut self, budget: Option<usize>) {
+        self.iteration_budget = budget;
+    }
+
+    /// The currently set per-window budget override, if any.
+    pub fn iteration_budget(&self) -> Option<usize> {
+        self.iteration_budget
     }
 
     /// Per-matrix ADMM reports of the last window served through this
@@ -514,6 +540,12 @@ impl<M: PolicyModel> ServingContext<M> {
         }
         let mut out = match (self.cfg.admm, &self.skeleton) {
             (Some(admm_cfg), Some(skel)) => {
+                // Per-window budget override (the adaptive §3.4 knob): never
+                // above the configured budget, never below one iteration.
+                let budget = scratch
+                    .iteration_budget
+                    .map_or(admm_cfg.max_iters, |b| b.clamp(1, admm_cfg.max_iters));
+                let admm_cfg = admm_cfg.with_max_iters(budget);
                 let override_skel;
                 let skel = match topo_override {
                     Some(topo) => {
@@ -540,8 +572,7 @@ impl<M: PolicyModel> ServingContext<M> {
                     solver.run_batch_into(&raw, admm_cfg, arena, outs, reports);
                 }));
                 run.map_err(|payload| AllocError::Poisoned(panic_text(payload)))?;
-                scratch.last_solve =
-                    SolveReport::from_reports(&scratch.reports, admm_cfg.max_iters);
+                scratch.last_solve = SolveReport::from_reports(&scratch.reports, budget);
                 std::mem::take(&mut scratch.outs)
             }
             _ => raw,

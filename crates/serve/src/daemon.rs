@@ -86,6 +86,7 @@ use teal_traffic::TrafficMatrix;
 use crate::registry::ModelRegistry;
 use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
 use crate::telemetry::{ShardStats, StageTimings, Telemetry, TelemetrySnapshot, Trace};
+use crate::wfq::WfqScheduler;
 
 /// One queued request (its topology is implied by the shard holding it).
 struct Request {
@@ -97,11 +98,29 @@ struct Request {
     expires: Option<Instant>,
     /// Canonical failed-link override set; empty = steady-state path.
     signature: Vec<(usize, usize)>,
+    /// Effective tenant id (`"default"` for untagged requests), shared so
+    /// per-chunk accounting clones a pointer, not a string.
+    tenant: Arc<str>,
     slot: Arc<ResponseSlot>,
 }
 
+/// In what order a shard serves the live requests of one drained window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DrainOrder {
+    /// Earliest-deadline-first: deadline'd requests run before deadline-less
+    /// ones, ordered by expiry; ties and deadline-less requests keep their
+    /// arrival order (the sort is stable). This is the default — it is what
+    /// makes a deadline under load *mean* something.
+    #[default]
+    EarliestDeadlineFirst,
+    /// Strict arrival order. Exists for apples-to-apples baselines (the
+    /// `deadline_pressure` bench arm); deadline'd requests stuck behind a
+    /// long plain backlog will expire exactly as naively as you'd expect.
+    Fifo,
+}
+
 /// Daemon tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Matrices per coalesced `allocate_batch` call. Larger batches
     /// amortize more per-pass overhead but add queueing delay for the
@@ -109,7 +128,9 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// After the first request of a drain arrives, linger this long for
     /// stragglers before dispatching (micro-batching window). Zero
-    /// dispatches immediately.
+    /// dispatches immediately. Deadline'd traffic caps the wait: a linger
+    /// never burns more than half of the tightest queued budget (see
+    /// `shard_loop`).
     pub linger: Duration,
     /// Per-shard queue bound. Deadline-less submitters block once this many
     /// requests are waiting for one topology (backpressure instead of
@@ -119,8 +140,23 @@ pub struct ServeConfig {
     /// use for its ADMM tiles and forward-pass kernels. `None` = share the
     /// whole `teal_nn::pool`. Set this when topology counts grow past core
     /// counts so shards degrade into roughly-even lanes instead of
-    /// thrashing the pool.
+    /// thrashing the pool. Setting a cap also arms the per-tenant
+    /// deficit-round-robin window arbiter (see [`crate::wfq`]): shards
+    /// sharing one budget take turns by [`ServeConfig::tenant_weights`].
     pub shard_threads: Option<usize>,
+    /// Order in which each drained window is served (default EDF).
+    pub drain_order: DrainOrder,
+    /// Weighted-fair-queuing weights by tenant id. Unlisted tenants
+    /// (including `"default"`) weigh 1. Only consulted when
+    /// [`ServeConfig::shard_threads`] is set — without a shared budget,
+    /// shards are independent lanes and there is nothing to arbitrate.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// ADMM iteration budget a window is downgraded to when its deadline
+    /// headroom is tighter than the shard's observed queue-wait p99 (the
+    /// paper's §3.4 knob: 2 iterations under pressure, the configured
+    /// maximum — typically 5 — otherwise). Downgrades are counted in
+    /// [`crate::AdmmStats::budget_downgrades`].
+    pub pressured_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +166,9 @@ impl Default for ServeConfig {
             linger: Duration::from_micros(200),
             queue_capacity: 1024,
             shard_threads: None,
+            drain_order: DrainOrder::EarliestDeadlineFirst,
+            tenant_weights: Vec::new(),
+            pressured_budget: 2,
         }
     }
 }
@@ -167,6 +206,10 @@ struct Inner<M: PolicyModel> {
     shards: Mutex<HashMap<String, ShardHandle>>,
     shutdown: AtomicBool,
     telemetry: Telemetry,
+    /// Per-tenant DRR window arbiter; armed iff `cfg.shard_threads` is set
+    /// (shards sharing one thread budget contend; independent shards
+    /// don't).
+    wfq: Option<WfqScheduler>,
 }
 
 /// The long-running TE serving core (see module docs). Transport front
@@ -180,6 +223,10 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
     /// be registered and swapped while serving). Shards spawn lazily: the
     /// first request for a registered topology brings up its dispatch lane.
     pub fn start(registry: ModelRegistry<M>, cfg: ServeConfig) -> Self {
+        let wfq = cfg
+            .shard_threads
+            .is_some()
+            .then(|| WfqScheduler::new(&cfg.tenant_weights));
         ServeDaemon {
             inner: Arc::new(Inner {
                 registry,
@@ -187,6 +234,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
                 shards: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 telemetry: Telemetry::default(),
+                wfq,
             }),
         }
     }
@@ -298,11 +346,13 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             slot.fulfill(Err(ServeError::DeadlineExceeded));
             return;
         }
+        let tenant: Arc<str> = Arc::from(req.tenant_id());
         let request = Request {
             tm: req.tm,
             trace: Trace::at(now),
             expires: req.deadline.map(|d| now + d),
             signature,
+            tenant,
             slot: Arc::clone(&slot),
         };
         {
@@ -405,10 +455,7 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
     // detects a registry swap to a different environment (cache cleared)
     // and makes pointer comparison ABA-safe; hot checkpoint swaps keep the
     // env, so the cache survives them.
-    let mut overrides = OverrideCache {
-        env: None,
-        topos: HashMap::new(),
-    };
+    let mut overrides = OverrideCache::new();
     loop {
         let drained = {
             let mut q = shard.queue.lock().expect("queue lock");
@@ -423,24 +470,46 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
             }
             // Micro-batching window: once work exists, linger briefly so
             // concurrent submitters can pile on and share the forward pass.
+            // Deadline'd traffic caps the wait: lingering past a queued
+            // request's expiry converts its whole budget into queueing
+            // delay and then expires it at drain — the linger bug this
+            // codepath used to have. Capping at the expiry itself is just
+            // as fatal (the condvar wakes at-or-after the timeout, i.e.
+            // exactly when the request is already dead), so the cap is each
+            // deadline'd request's *midpoint* — enqueue + budget/2 — which
+            // guarantees the drain leaves at least half the budget for
+            // solving. The midpoint is anchored at enqueue, so repeated
+            // wakeups never ratchet the cap toward the expiry.
             if !inner.cfg.linger.is_zero() {
                 let deadline = Instant::now() + inner.cfg.linger;
                 while q.len() < inner.cfg.max_batch && !inner.shutdown.load(Ordering::Acquire) {
+                    let cap = q
+                        .iter()
+                        .filter_map(|r| {
+                            let e = r.expires?;
+                            let enq = r.trace.enqueued();
+                            Some(enq + e.saturating_duration_since(enq) / 2)
+                        })
+                        .min();
+                    let effective = cap.map_or(deadline, |c| deadline.min(c));
                     let now = Instant::now();
-                    if now >= deadline {
+                    if now >= effective {
                         break;
                     }
-                    let (guard, timeout) = shard
+                    // No timed-out fast path: a wakeup re-derives the cap
+                    // because a tighter deadline may have arrived meanwhile.
+                    let (guard, _) = shard
                         .nonempty
-                        .wait_timeout(q, deadline - now)
+                        .wait_timeout(q, effective - now)
                         .expect("queue wait");
                     q = guard;
-                    if timeout.timed_out() {
-                        break;
-                    }
                 }
             }
             let drained: Vec<Request> = q.drain(..).collect();
+            // Gauge only: this decrements queue depth for everything taken
+            // off the queue, expired requests included. The *batch-size
+            // distribution* is recorded per served chunk (post-expiry,
+            // post-grouping) in `serve_chunk` → `record_batch`.
             inner.telemetry.on_drain(drained.len());
             drop(q);
             shard.space.notify_all();
@@ -476,18 +545,34 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
 struct OverrideCache {
     /// The environment the cached topologies were derived from.
     env: Option<Arc<teal_core::Env>>,
-    /// Canonical failure signature → prebuilt overridden topology.
-    topos: HashMap<Vec<(usize, usize)>, Topology>,
+    /// Canonical failure signature → (prebuilt overridden topology,
+    /// last-touched tick) for LRU eviction.
+    topos: HashMap<Vec<(usize, usize)>, (Topology, u64)>,
+    /// Monotonic access counter backing the LRU ordering.
+    tick: u64,
+    /// Topology rebuilds performed (cache misses). Test hook: the thrash
+    /// regression below pins that hot signatures survive cold churn.
+    builds: u64,
 }
 
 /// Most distinct failure scenarios a shard caches topologies for. Failure
 /// signatures are client-chosen (up to 2^links valid combinations), so an
 /// unbounded cache would let a hostile wire client grow server memory
-/// without limit; at the cap the cache is simply reset — a live burst
-/// re-caches its scenario on the next window at one rebuild's cost.
+/// without limit. At the cap, only the least-recently-used entry is
+/// evicted — the old clear-everything policy meant one cold scenario per
+/// window wiped the hot set and forced a rebuild storm on live bursts.
 const MAX_CACHED_OVERRIDES: usize = 32;
 
 impl OverrideCache {
+    fn new() -> Self {
+        OverrideCache {
+            env: None,
+            topos: HashMap::new(),
+            tick: 0,
+            builds: 0,
+        }
+    }
+
     /// The overridden topology for `sig`, built (and cached) on first use
     /// against `env`'s base topology.
     fn get(&mut self, env: &Arc<teal_core::Env>, sig: &[(usize, usize)]) -> &Topology {
@@ -495,16 +580,28 @@ impl OverrideCache {
             self.topos.clear();
             self.env = Some(Arc::clone(env));
         }
-        if !self.topos.contains_key(sig) && self.topos.len() >= MAX_CACHED_OVERRIDES {
-            self.topos.clear();
-        }
-        self.topos.entry(sig.to_vec()).or_insert_with(|| {
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.topos.contains_key(sig) {
+            if self.topos.len() >= MAX_CACHED_OVERRIDES {
+                let lru = self
+                    .topos
+                    .iter()
+                    .min_by_key(|&(_, &(_, touched))| touched)
+                    .map(|(k, _)| k.clone())
+                    .expect("cache at capacity is non-empty");
+                self.topos.remove(&lru);
+            }
+            self.builds += 1;
             let mut topo = env.topo().clone();
             for &(a, b) in sig {
                 topo = topo.with_failed_link(a, b);
             }
-            topo
-        })
+            self.topos.insert(sig.to_vec(), (topo, tick));
+        }
+        let entry = self.topos.get_mut(sig).expect("present or just inserted");
+        entry.1 = tick;
+        &entry.0
     }
 }
 
@@ -537,18 +634,26 @@ fn serve_drained<M: PolicyModel>(
     // already moved on.
     let now = Instant::now();
     let mut live = Vec::with_capacity(drained.len());
-    for mut req in drained {
+    for req in drained {
         if req.expires.is_some_and(|e| e <= now) {
             inner.telemetry.on_expired();
             req.slot.fulfill(Err(ServeError::DeadlineExceeded));
         } else {
-            // Coalesce stamp: queue-wait ends here for everything served
-            // out of this drain.
-            req.trace.stamp_drained(now);
+            // No drain stamp here: queue-wait ends at the *chunk's* solve
+            // start (stamped in `serve_chunk`), so multi-chunk drains still
+            // partition end-to-end latency exactly — stamping once per
+            // drain charged every later chunk's wait to the solve span.
             live.push(req);
         }
     }
-    // Group by override signature, preserving arrival order within each
+    // EDF drain order (default): deadline'd requests first, tightest expiry
+    // first; the sort is stable so ties and deadline-less requests keep
+    // arrival order. Sorting *before* grouping means the order also holds
+    // within every signature sub-batch.
+    if inner.cfg.drain_order == DrainOrder::EarliestDeadlineFirst {
+        live.sort_by_key(|r| drain_key(r.expires));
+    }
+    // Group by override signature, preserving drain order within each
     // group. The empty signature — the steady-state path — is always group
     // 0 and is served out of the shard's primary arena; each failure
     // scenario gets its own coalesced sub-batch on the failure arena.
@@ -560,20 +665,63 @@ fn serve_drained<M: PolicyModel>(
             None => groups.push((req.signature.clone(), vec![req])),
         }
     }
-    for (sig, mut requests) in groups {
-        if requests.is_empty() {
-            continue;
+    // EDF invariant telemetry: within each group's serving order, count
+    // adjacent deadline'd pairs that run tighter-after-looser. Always zero
+    // under EDF (the sort precedes grouping and grouping is order
+    // preserving); under FIFO it measures how often arrival order inverts
+    // urgency.
+    let mut inversions = 0u64;
+    for (_, g) in &groups {
+        let mut last: Option<Instant> = None;
+        for r in g {
+            if let Some(e) = r.expires {
+                if last.is_some_and(|prev| prev > e) {
+                    inversions += 1;
+                }
+                last = Some(e);
+            }
         }
+    }
+    inner.telemetry.on_deadline_inversions(inversions);
+    // Flatten the groups into the drain's serving order of `max_batch`-sized
+    // windows before touching the WFQ arbiter: fair queuing needs the *next*
+    // window's ticket enqueued while the current one still holds its grant
+    // (one-ahead reservation — see `crate::wfq`), so this shard stays
+    // backlogged at the arbiter for the whole drain instead of degenerating
+    // to strict alternation with whoever else shares the thread budget.
+    let mut windows: Vec<SignatureGroup> = Vec::new();
+    for (sig, mut requests) in groups {
+        while !requests.is_empty() {
+            let take = requests.len().min(inner.cfg.max_batch.max(1));
+            windows.push((sig.clone(), requests.drain(..take).collect()));
+        }
+    }
+    let mut iter = windows.into_iter().peekable();
+    let mut reservation = iter
+        .peek()
+        .and_then(|(_, c)| inner.wfq.as_ref().map(|w| w.enqueue(&dominant_tenant(c))));
+    while let Some((sig, chunk)) = iter.next() {
+        let window = reservation
+            .take()
+            .map(|r| inner.wfq.as_ref().expect("reservation implies wfq").wait(r));
+        // Holding this chunk's grant, reserve the next chunk's slot.
+        reservation = iter
+            .peek()
+            .and_then(|(_, c)| inner.wfq.as_ref().map(|w| w.enqueue(&dominant_tenant(c))));
         let (override_topo, group_scratch) = if sig.is_empty() {
             (None, &mut *scratch)
         } else {
             (Some(overrides.get(ctx.env(), &sig)), &mut *failure_scratch)
         };
-        while !requests.is_empty() {
-            let take = requests.len().min(inner.cfg.max_batch.max(1));
-            let chunk: Vec<Request> = requests.drain(..take).collect();
-            serve_chunk(inner, shard, group_scratch, &ctx, override_topo, chunk);
-        }
+        serve_chunk(
+            inner,
+            shard,
+            group_scratch,
+            &ctx,
+            override_topo,
+            chunk,
+            window,
+        );
     }
 }
 
@@ -593,20 +741,55 @@ fn serve_chunk<M: PolicyModel>(
     ctx: &Arc<ServingContext<M>>,
     override_topo: Option<&Topology>,
     mut chunk: Vec<Request>,
+    window: Option<crate::wfq::WindowGrant<'_>>,
 ) {
     let allocate = |tms: &[TrafficMatrix], scratch: &mut BatchScratch| match override_topo {
         Some(topo) => ctx.try_allocate_batch_on_with(topo, tms, scratch),
         None => ctx.try_allocate_batch_with(tms, scratch),
     };
+    // Per-tenant fair queuing: when shards share a thread budget, the
+    // caller already waited out the DRR schedule for this window, charged
+    // to the chunk's dominant tenant. The grant is RAII — held across the
+    // whole chunk and released on every return path, panics included.
+    let dominant = dominant_tenant(&chunk);
+    let _window = window;
+    // Adaptive ADMM budget, the paper's §3.4 iterations-as-latency-knob: a
+    // chunk carrying deadline'd requests whose tightest remaining headroom
+    // is smaller than this shard's observed queue-wait p99 is under
+    // pressure — it runs `pressured_budget` fine-tune iterations instead
+    // of the configured maximum, trading a sliver of allocation quality
+    // for making the deadline at all. Deadline-less chunks always run the
+    // full budget. The override is sticky on the arena for exactly this
+    // chunk (reset here on every call), so retries after evictions keep
+    // the decision and the next chunk re-derives it.
+    let full_budget = ctx.config().admm.map(|a| a.max_iters);
+    let downgraded = match full_budget {
+        Some(full) if full > inner.cfg.pressured_budget => {
+            match chunk.iter().filter_map(|r| r.expires).min() {
+                Some(earliest) => {
+                    let headroom = earliest.saturating_duration_since(Instant::now());
+                    let p99 = shard.stats.lock().expect("telemetry lock").queue_wait_p99();
+                    headroom < p99
+                }
+                None => false,
+            }
+        }
+        _ => false,
+    };
+    scratch.set_iteration_budget(downgraded.then_some(inner.cfg.pressured_budget));
     // Cloned once; evictions below remove the matching entry instead of
     // re-cloning the whole remainder each retry.
     let mut tms: Vec<TrafficMatrix> = chunk.iter().map(|r| r.tm.clone()).collect();
     while !chunk.is_empty() {
         // Solve span: forward pass + ADMM fine-tuning for this attempt. A
         // re-batch after a bad-request eviction restamps — the successful
-        // attempt is the one whose span is reported.
+        // attempt is the one whose span is reported. The drain stamp lands
+        // here too (queue-wait ends where the solve begins), so the three
+        // stages partition end-to-end latency exactly even when one drain
+        // serves many chunks back to back.
         let solve_start = Instant::now();
         for r in chunk.iter_mut() {
+            r.trace.stamp_drained(solve_start);
             r.trace.stamp_solve_start(solve_start);
         }
         let batched =
@@ -649,7 +832,9 @@ fn serve_chunk<M: PolicyModel>(
                     &latencies,
                     &stages,
                     solve.as_ref(),
+                    downgraded,
                 );
+                charge_tenants(&inner.telemetry, &chunk, &dominant);
                 inner.telemetry.on_complete(latencies.len() as u64);
                 for (((req, allocation), latency), stages) in
                     chunk.into_iter().zip(allocs).zip(latencies).zip(stages)
@@ -679,7 +864,12 @@ fn serve_chunk<M: PolicyModel>(
             }
             Err(_) => {
                 for mut req in chunk {
-                    req.trace.stamp_solve_start(Instant::now());
+                    let retry_start = Instant::now();
+                    // Re-stamp the drain too: this singleton's queue-wait
+                    // runs until *its* solve attempt, keeping the stage
+                    // partition exact for degraded serving as well.
+                    req.trace.stamp_drained(retry_start);
+                    req.trace.stamp_solve_start(retry_start);
                     let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         allocate(std::slice::from_ref(&req.tm), scratch)
                     }));
@@ -695,7 +885,9 @@ fn serve_chunk<M: PolicyModel>(
                                 &[latency],
                                 &[stages],
                                 solve.as_ref(),
+                                downgraded,
                             );
+                            inner.telemetry.on_tenant(&req.tenant, 1, 1);
                             inner.telemetry.on_complete(1);
                             req.slot.fulfill(Ok(ServeReply {
                                 allocation,
@@ -732,5 +924,155 @@ fn serve_chunk<M: PolicyModel>(
                 return;
             }
         }
+    }
+}
+
+/// EDF sort key: deadline'd requests before deadline-less ones, tightest
+/// expiry first. Pure so the ordering is property-testable without a
+/// daemon; used with a *stable* sort, ties (and all deadline-less
+/// requests) keep arrival order.
+fn drain_key(expires: Option<Instant>) -> (bool, Option<Instant>) {
+    (expires.is_none(), expires)
+}
+
+/// The tenant a chunk's window is charged to in the DRR schedule: the one
+/// tagging the most requests, ties broken toward the lexicographically
+/// smallest id (deterministic under concurrency).
+fn dominant_tenant(chunk: &[Request]) -> Arc<str> {
+    let mut counts: Vec<(Arc<str>, u64)> = Vec::new();
+    for r in chunk {
+        match counts.iter_mut().find(|(t, _)| **t == *r.tenant) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((Arc::clone(&r.tenant), 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(at, an), (bt, bn)| an.cmp(bn).then_with(|| bt.cmp(at)))
+        .map(|(t, _)| t)
+        .expect("chunk is non-empty")
+}
+
+/// Per-tenant accounting for one successfully served chunk: every request
+/// counts toward its own tenant; the window counts toward the dominant
+/// tenant the DRR schedule charged it to.
+fn charge_tenants(telemetry: &Telemetry, chunk: &[Request], dominant: &str) {
+    let mut counts: Vec<(&str, u64)> = Vec::new();
+    for r in chunk {
+        match counts.iter_mut().find(|(t, _)| *t == &*r.tenant) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((&r.tenant, 1)),
+        }
+    }
+    for (t, n) in counts {
+        telemetry.on_tenant(t, n, u64::from(t == dominant));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// EDF ordering property, on the pure sort key the drain path uses:
+    /// across randomized queues, after a stable sort (1) every deadline'd
+    /// request precedes every deadline-less one, (2) deadline'd requests
+    /// are non-decreasing in expiry, and (3) deadline-less requests keep
+    /// their relative arrival order.
+    #[test]
+    fn edf_drain_key_orders_randomized_queues() {
+        let base = Instant::now();
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        for _case in 0..200 {
+            let n = (next() % 24) as usize;
+            // (arrival index, expires)
+            let queue: Vec<(usize, Option<Instant>)> = (0..n)
+                .map(|i| {
+                    let e = if next() % 3 == 0 {
+                        // Coarse buckets force plenty of exact ties.
+                        Some(base + Duration::from_millis(u64::from(next() % 8) * 10))
+                    } else {
+                        None
+                    };
+                    (i, e)
+                })
+                .collect();
+            let mut sorted = queue.clone();
+            sorted.sort_by_key(|&(_, e)| drain_key(e));
+            let first_plain = sorted.iter().position(|(_, e)| e.is_none());
+            for (pos, (_, e)) in sorted.iter().enumerate() {
+                if let Some(cut) = first_plain {
+                    assert_eq!(
+                        e.is_none(),
+                        pos >= cut,
+                        "deadline'd request after a plain one at {pos}"
+                    );
+                }
+            }
+            let deadlines: Vec<Instant> = sorted.iter().filter_map(|&(_, e)| e).collect();
+            assert!(
+                deadlines.windows(2).all(|w| w[0] <= w[1]),
+                "expiries not non-decreasing"
+            );
+            let plain_order: Vec<usize> = sorted
+                .iter()
+                .filter(|(_, e)| e.is_none())
+                .map(|&(i, _)| i)
+                .collect();
+            assert!(
+                plain_order.windows(2).all(|w| w[0] < w[1]),
+                "stable sort broke FIFO order of deadline-less requests"
+            );
+            // Ties among deadline'd requests also keep arrival order.
+            for pair in sorted.windows(2) {
+                if let ((i, Some(a)), (j, Some(b))) = (pair[0], pair[1]) {
+                    if a == b {
+                        assert!(i < j, "stable sort broke FIFO order within an expiry tie");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression for the override-cache thrash bug: at capacity the old
+    /// code cleared the *whole* cache, so one cold scenario per window
+    /// forced the hot set to rebuild every time. LRU eviction must keep
+    /// recently-used signatures cached through cold churn.
+    #[test]
+    fn override_cache_evicts_lru_not_everything() {
+        let env = Arc::new(teal_core::Env::for_topology(teal_topology::b4()));
+        let mut cache = OverrideCache::new();
+        let hot_a: Vec<(usize, usize)> = vec![(0, 1)];
+        let hot_b: Vec<(usize, usize)> = vec![(1, 2)];
+        cache.get(&env, &hot_a);
+        cache.get(&env, &hot_b);
+        // Cold churn well past capacity, touching the hot pair every step
+        // so it stays most-recently-used.
+        for i in 0..2 * MAX_CACHED_OVERRIDES {
+            cache.get(&env, &[(i, i + 1000)]);
+            cache.get(&env, &hot_a);
+            cache.get(&env, &hot_b);
+        }
+        let builds = cache.builds;
+        assert_eq!(
+            builds as usize,
+            2 + 2 * MAX_CACHED_OVERRIDES,
+            "every distinct signature should have been built exactly once"
+        );
+        // Alternating the hot signatures must now be pure cache hits.
+        for _ in 0..64 {
+            cache.get(&env, &hot_a);
+            cache.get(&env, &hot_b);
+        }
+        assert_eq!(
+            cache.builds, builds,
+            "hot signatures were rebuilt — LRU eviction is thrashing"
+        );
+        assert!(cache.topos.len() <= MAX_CACHED_OVERRIDES);
     }
 }

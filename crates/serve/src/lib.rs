@@ -14,9 +14,10 @@
 //!   wire clients                     server front end        serving core
 //!   ────────────                     ────────────────        ────────────────────
 //!   TealClient ── REQUEST frames ──► TealServer
-//!     │  (pipelined, id-tagged)        conn reader ──┐
-//!     │ ── STATS frame ─► snapshot ──► completions   │ submit(SubmitRequest)
-//!   in-process clients     (scrape)                  ▼
+//!     │  (pipelined, id-tagged,        conn reader ──┐
+//!     │   tenant-tagged since v3)      completions   │ submit(SubmitRequest)
+//!     │ ── STATS frame ─► snapshot ──►   (scrape)    │
+//!   in-process clients                               ▼
 //!   ──────────────────            ┌──── admission control ────┐
 //!   submit(SubmitRequest) ───────►│ shed: queue full+deadline │──► shed ctr
 //!        │                        │ shed: budget already gone │
@@ -24,18 +25,31 @@
 //!        │                 Trace ⊕ enqueue   │  route by topology
 //!        │                                   ▼
 //!        │                  shard "b4":   queue ► drain + linger
-//!        │                     │  ⊕ drained stamp (queue-wait span ends)
+//!        │                     │    (linger capped at half the tightest
+//!        │                     │     queued deadline budget)
 //!        │                     │  expire stale deadlines (→ expired ctr)
+//!        │                     │  EDF sort: tightest expiry first, plain
+//!        │                     │    FIFO tail (DrainOrder; → inversion ctr)
 //!        │                     │  group by failed-link signature
-//!        │                     ▼ ⊕ solve-start            ▼
+//!        │                     ▼                           ▼
 //!        │          plain sub-batch             failure sub-batches
-//!        │          try_allocate_batch_with     try_allocate_batch_on_with
-//!        │          (steady-state arena)        (failure arena, §5.3 topo)
-//!        │             │  ⊕ solve-end · SolveReport (iters, residuals,
-//!        │             │                frozen lanes) out of the arena
+//!        │             │ chunks of max_batch       │
+//!        │             ▼                           ▼
+//!        │          ┌── per-chunk window ─────────────────────────────┐
+//!        │          │ WFQ gate: DRR across tenants when shards share  │
+//!        │          │   a shard_threads budget (tenant_weights)       │
+//!        │          │ adaptive §3.4 budget: headroom < queue-wait p99 │
+//!        │          │   ⇒ 2 ADMM iters, else full (→ downgrade ctr)   │
+//!        │          │ ⊕ drained + solve-start (queue-wait span ends)  │
+//!        │          │ try_allocate_batch_with      (steady arena)     │
+//!        │          │ try_allocate_batch_on_with   (failure arena)    │
+//!        │          │ ⊕ solve-end · SolveReport (iters, budget,       │
+//!        │          │   residuals, frozen lanes) out of the arena     │
+//!        │          └─────────────────────────────────────────────────┘
 //!        │             ▼
 //!        │          ShardStats.record_batch(e2e + stage histograms,
-//!        │             ADMM accumulators, slow-request exemplar ring)
+//!        │             ADMM accumulators ⊕ per-budget window counts,
+//!        │             slow-request exemplar ring) · per-tenant ctrs
 //!        │                  shard "swan":  ... a true parallel lane ...
 //!        ▼                                   ▼
 //!   Ticket::wait /                 per-request response slots
@@ -45,32 +59,46 @@
 //!
 //!   observability taps (⊕ = Trace stamp):
 //!   ServeDaemon::stats() / TealClient::stats() ──► TelemetrySnapshot
-//!     per-topology e2e + queue-wait/solve/write p50/p99 · AdmmStats ·
-//!     teal_nn pool gauges · slow exemplars ──► to_prometheus() text
+//!     per-topology e2e + queue-wait/solve/write p50/p99 · AdmmStats
+//!     (budgeted iters, downgrades, windows-by-budget) · per-tenant
+//!     request/window counts · deadline inversions · teal_nn pool gauges ·
+//!     slow exemplars ──► to_prometheus() text
 //! ```
 //!
 //! Layered deliberately:
 //!
 //! * **Request vocabulary** ([`SubmitRequest`], [`ServeReply`],
 //!   [`ServeError`], [`Ticket`]) — one set of types spoken by every
-//!   transport. A request carries two optional scenario axes: a
+//!   transport. A request carries three optional scenario axes: a
 //!   **deadline** (admission control: shed at enqueue, expire at drain,
-//!   bounded waits via [`Ticket::wait_timeout`]) and **failed-link
+//!   bounded waits via [`Ticket::wait_timeout`]), **failed-link
 //!   overrides** (the paper's §5.3 failure recovery, served without
-//!   retraining through [`teal_core::ServingContext::try_allocate_batch_on_with`]).
+//!   retraining through [`teal_core::ServingContext::try_allocate_batch_on_with`]),
+//!   and a **tenant tag** (fair-queuing identity; untagged requests are
+//!   the `"default"` tenant).
 //! * **Serving core** ([`ServeDaemon`]) — per-topology dispatch shards
 //!   behind the narrow `submit(SubmitRequest) -> Ticket` API. Submit
 //!   routes each request to its topology's shard — a dedicated dispatcher
 //!   thread with a private queue, condvars, two ADMM arenas
 //!   ([`teal_core::BatchScratch`]: steady-state + failure), and a
 //!   telemetry slot. Each shard drains its queue (lingering up to
-//!   [`ServeConfig::linger`] so bursts pile up), expires stale requests,
-//!   groups the rest by failure signature, and serves each sub-batch
-//!   through one batched forward pass + arena-reusing batched ADMM.
-//!   Backpressure is a bounded per-shard queue; [`ServeConfig::shard_threads`]
-//!   optionally caps one shard's `teal_nn::pool` fan-out so shards degrade
-//!   into even lanes when topologies outnumber cores. Built from
-//!   commutative operations across cores *and* connections (the
+//!   [`ServeConfig::linger`] so bursts pile up — but never past half of
+//!   the tightest queued deadline budget), expires stale requests, sorts
+//!   the window **earliest-deadline-first** ([`DrainOrder`]; deadline-less
+//!   requests keep FIFO order behind the deadline'd ones), groups by
+//!   failure signature, and serves each sub-batch through one batched
+//!   forward pass + arena-reusing batched ADMM. Each chunk's ADMM
+//!   iteration budget adapts to pressure (the paper's §3.4 knob:
+//!   [`ServeConfig::pressured_budget`] iterations when deadline headroom
+//!   is tighter than the shard's queue-wait p99, the full budget
+//!   otherwise — every downgrade lands in [`AdmmStats`]). Backpressure is
+//!   a bounded per-shard queue; [`ServeConfig::shard_threads`] optionally
+//!   caps one shard's `teal_nn::pool` fan-out so shards degrade into even
+//!   lanes when topologies outnumber cores, and setting it arms the
+//!   per-tenant **deficit-round-robin window arbiter**
+//!   ([`ServeConfig::tenant_weights`]): shards contending for one budget
+//!   take turns in weight ratio instead of racing. Built from commutative
+//!   operations across cores *and* connections (the
 //!   scalable-commutativity design rule): no lock is held across model
 //!   compute and no two shards share hot-path state, so a network front
 //!   end multiplying concurrent submitters scales the same way more
@@ -80,7 +108,18 @@
 //!   codec; a server whose per-connection reader feeds the core and whose
 //!   writer drains tickets **out of order by request id** off a completion
 //!   queue; and a blocking client with pipelined submits returning the
-//!   same [`Ticket`] handle in-process callers use.
+//!   same [`Ticket`] handle in-process callers use. Protocol version 3
+//!   (v3 adds the optional tenant tag to REQUEST and the budget/tenant
+//!   telemetry to STATS_OK; v2 peers are refused at HELLO):
+//!
+//!   | frame (kind)    | direction       | payload                            |
+//!   |-----------------|-----------------|------------------------------------|
+//!   | HELLO (1)       | client → server | protocol version (u16)             |
+//!   | HELLO_OK (2)    | server → client | accepted version (u16)             |
+//!   | REQUEST (3)     | client → server | id · topology · matrix · deadline? · tenant? · failed links |
+//!   | REPLY (4)       | server → client | id · allocation ⊕ stage timings, or a [`ServeError`] |
+//!   | STATS (5)       | client → server | id (scrape trigger, no body)       |
+//!   | STATS_OK (6)    | server → client | id · full [`TelemetrySnapshot`] (incl. per-budget window counts, per-tenant counters, deadline inversions) |
 //! * **Topology/model registry with hot swap** ([`ModelRegistry`]) and
 //!   **serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]). Every
 //!   request carries a fixed-size [`telemetry::Trace`] stamped at enqueue,
@@ -159,14 +198,15 @@ pub mod registry;
 mod request;
 pub mod server;
 pub mod telemetry;
+mod wfq;
 pub mod wire;
 
 pub use client::TealClient;
-pub use daemon::{ServeConfig, ServeDaemon};
+pub use daemon::{DrainOrder, ServeConfig, ServeDaemon};
 pub use registry::ModelRegistry;
-pub use request::{ServeError, ServeReply, SubmitRequest, Ticket};
+pub use request::{ServeError, ServeReply, SubmitRequest, Ticket, DEFAULT_TENANT};
 pub use server::TealServer;
 pub use telemetry::{
     AdmmStats, LatencyHistogram, LatencyStats, SlowExemplar, StageTimings, Telemetry,
-    TelemetrySnapshot, TopoSnapshot, Trace,
+    TelemetrySnapshot, TenantSnapshot, TopoSnapshot, Trace,
 };

@@ -17,6 +17,10 @@ use std::time::{Duration, Instant};
 use teal_lp::Allocation;
 use teal_traffic::TrafficMatrix;
 
+/// Tenant id assumed for requests without a tag (including every request
+/// arriving from a pre-v3 wire peer).
+pub const DEFAULT_TENANT: &str = "default";
+
 /// One serving request: which topology, what traffic, and the two optional
 /// scenario axes — a **deadline** (admission control: the request is shed
 /// or expired instead of served late) and **failed-link overrides** (the
@@ -38,6 +42,11 @@ pub struct SubmitRequest {
     /// the same override set coalesce into shared failure sub-batches;
     /// an empty set is the steady-state path.
     pub failed_links: Vec<(usize, usize)>,
+    /// Tenant tag for weighted fair queuing across topologies sharing a
+    /// `shard_threads` budget. `None` (and every wire-v2-era caller) maps
+    /// to the `"default"` tenant; weights come from
+    /// [`crate::ServeConfig::tenant_weights`].
+    pub tenant: Option<String>,
 }
 
 impl SubmitRequest {
@@ -48,7 +57,19 @@ impl SubmitRequest {
             tm,
             deadline: None,
             failed_links: Vec::new(),
+            tenant: None,
         }
+    }
+
+    /// Tag this request with a tenant id for fair-queuing accounting.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The effective tenant id (`"default"` when untagged).
+    pub(crate) fn tenant_id(&self) -> &str {
+        self.tenant.as_deref().unwrap_or(DEFAULT_TENANT)
     }
 
     /// Bound the time this request may spend queued before serving.

@@ -226,6 +226,10 @@ struct AdmmAccum {
     windows: u64,
     lanes: u64,
     iterations: u64,
+    budgeted_iterations: u64,
+    budget_downgrades: u64,
+    /// Per-window iteration budget → windows run under it.
+    windows_by_budget: HashMap<u64, u64>,
     min_lane_iterations: u64,
     max_lane_iterations: u64,
     frozen_lanes: u64,
@@ -236,7 +240,7 @@ struct AdmmAccum {
 }
 
 impl AdmmAccum {
-    fn record(&mut self, r: &teal_core::SolveReport) {
+    fn record(&mut self, r: &teal_core::SolveReport, downgraded: bool) {
         if self.windows == 0 {
             self.min_lane_iterations = r.min_iterations as u64;
         } else {
@@ -245,6 +249,9 @@ impl AdmmAccum {
         self.windows += 1;
         self.lanes += r.lanes as u64;
         self.iterations += r.iterations;
+        self.budgeted_iterations += (r.lanes * r.budget) as u64;
+        self.budget_downgrades += u64::from(downgraded);
+        *self.windows_by_budget.entry(r.budget as u64).or_insert(0) += 1;
         self.max_lane_iterations = self.max_lane_iterations.max(r.max_iterations as u64);
         self.frozen_lanes += r.frozen_lanes as u64;
         self.last_primal_residual = r.max_primal_residual;
@@ -257,10 +264,19 @@ impl AdmmAccum {
         if self.windows == 0 {
             return None;
         }
+        let mut windows_by_budget: Vec<(u64, u64)> = self
+            .windows_by_budget
+            .iter()
+            .map(|(&b, &n)| (b, n))
+            .collect();
+        windows_by_budget.sort_unstable();
         Some(AdmmStats {
             windows: self.windows,
             lanes: self.lanes,
             iterations: self.iterations,
+            budgeted_iterations: self.budgeted_iterations,
+            budget_downgrades: self.budget_downgrades,
+            windows_by_budget,
             min_lane_iterations: self.min_lane_iterations,
             max_lane_iterations: self.max_lane_iterations,
             frozen_lanes: self.frozen_lanes,
@@ -275,7 +291,7 @@ impl AdmmAccum {
 /// Aggregate ADMM solve statistics for one topology (§3.4 quality/latency
 /// knob, made measurable). A *window* is one coalesced batch that reached
 /// the solver; a *lane* is one traffic matrix inside a window.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdmmStats {
     /// Solver windows (coalesced batches) run.
     pub windows: u64,
@@ -283,6 +299,17 @@ pub struct AdmmStats {
     pub lanes: u64,
     /// Total ADMM iterations summed over lanes.
     pub iterations: u64,
+    /// Sum over windows of `lanes × that window's budget` — the iterations
+    /// the per-window budgets *allowed*. With `tol = 0` (no early freezing)
+    /// this equals `iterations` exactly, even when the adaptive policy
+    /// mixes budgets across windows.
+    pub budgeted_iterations: u64,
+    /// Windows the adaptive policy ran below the configured budget
+    /// (deadline pressure downgrades — every one is auditable here).
+    pub budget_downgrades: u64,
+    /// `(iteration budget, windows run under it)`, sorted by budget. Sums
+    /// to `windows`.
+    pub windows_by_budget: Vec<(u64, u64)>,
     /// Fewest iterations any lane ran.
     pub min_lane_iterations: u64,
     /// Most iterations any lane ran.
@@ -388,14 +415,24 @@ pub(crate) struct ShardStats {
 }
 
 impl ShardStats {
+    /// Live queue-wait p99 for this shard — the pressure signal the
+    /// adaptive ADMM budget policy compares against deadline headroom.
+    /// Zero until the first batch is recorded (an idle shard is never
+    /// "under pressure").
+    pub(crate) fn queue_wait_p99(&self) -> Duration {
+        self.queue_wait.quantile(0.99)
+    }
+
     /// Record one coalesced batch: per-request end-to-end latencies, their
     /// stage breakdowns (parallel slices), and the batch's solver report
-    /// when it reached the ADMM fine-tuner.
+    /// when it reached the ADMM fine-tuner (`downgraded` marks a window the
+    /// adaptive policy ran below the configured iteration budget).
     pub(crate) fn record_batch(
         &mut self,
         latencies: &[Duration],
         stages: &[StageTimings],
         solve: Option<&teal_core::SolveReport>,
+        downgraded: bool,
     ) {
         debug_assert_eq!(
             latencies.len(),
@@ -413,9 +450,16 @@ impl ShardStats {
             self.slow.offer(l, *s, latencies.len());
         }
         if let Some(r) = solve {
-            self.admm.record(r);
+            self.admm.record(r, downgraded);
         }
     }
+}
+
+/// One tenant's serving totals (weighted-fair-queuing accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct TenantAccum {
+    requests: u64,
+    windows: u64,
 }
 
 /// Aggregate daemon telemetry (see module docs for the locking story).
@@ -436,6 +480,13 @@ pub struct Telemetry {
     shed: AtomicU64,
     /// Requests whose deadline lapsed in the queue (expired at drain time).
     expired: AtomicU64,
+    /// Adjacent deadline'd-request pairs served out of deadline order
+    /// within one drain (the EDF invariant, as a counter: 0 under the
+    /// default EDF drain, > 0 only under `DrainOrder::Fifo` churn).
+    deadline_inversions: AtomicU64,
+    /// Tenant id → served totals. Touched once per chunk (not per
+    /// request), so the shared lock stays off the per-request path.
+    tenants: Mutex<HashMap<String, TenantAccum>>,
 }
 
 impl Telemetry {
@@ -481,7 +532,7 @@ impl Telemetry {
         self.shard_stats(topology)
             .lock()
             .expect("telemetry lock")
-            .record_batch(latencies, &stages, None);
+            .record_batch(latencies, &stages, None, false);
         self.on_complete(latencies.len() as u64);
     }
 
@@ -501,6 +552,24 @@ impl Telemetry {
     pub(crate) fn on_expired(&self) {
         self.expired.fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` deadline-order inversions observed in one drain's final
+    /// serving order (see [`TelemetrySnapshot::deadline_inversions`]).
+    pub(crate) fn on_deadline_inversions(&self, n: u64) {
+        if n > 0 {
+            self.deadline_inversions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Credit `requests` served requests and `windows` solver windows to
+    /// `tenant` (a chunk charges its window to the dominant tenant; request
+    /// counts go to each request's own tenant).
+    pub(crate) fn on_tenant(&self, tenant: &str, requests: u64, windows: u64) {
+        let mut map = self.tenants.lock().expect("telemetry lock");
+        let acc = map.entry(tenant.to_string()).or_default();
+        acc.requests += requests;
+        acc.windows += windows;
     }
 
     /// Take a consistent copy of all counters.
@@ -542,14 +611,28 @@ impl Telemetry {
         slow.truncate(SLOW_EXEMPLARS);
         let mut batch_sizes: Vec<(usize, u64)> = batch_sizes.into_iter().collect();
         batch_sizes.sort_unstable();
+        let mut tenants: Vec<TenantSnapshot> = self
+            .tenants
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(name, acc)| TenantSnapshot {
+                tenant: name.clone(),
+                requests: acc.requests,
+                windows: acc.windows,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         TelemetrySnapshot {
             per_topology,
             batch_sizes,
+            tenants,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            deadline_inversions: self.deadline_inversions.load(Ordering::Relaxed),
             pool: teal_nn::pool::stats(),
             slow,
         }
@@ -562,7 +645,14 @@ pub struct TelemetrySnapshot {
     /// Per-topology latency/request stats, sorted by topology id.
     pub per_topology: Vec<TopoSnapshot>,
     /// `(batch size, occurrences)` across all shards, sorted by size.
+    /// Sizes are *served window* sizes: counted after drain-time expiry
+    /// removes lapsed requests and after signature grouping/chunking, so
+    /// the distribution never overstates windows under deadline churn.
     pub batch_sizes: Vec<(usize, u64)>,
+    /// Per-tenant served totals, sorted by tenant id. Requests are credited
+    /// to their own tenant; each solver window is charged to the chunk's
+    /// dominant tenant (most requests, ties broken lexicographically).
+    pub tenants: Vec<TenantSnapshot>,
     /// Requests currently waiting in shard queues.
     pub queue_depth: usize,
     /// Deepest aggregate queue observed since startup.
@@ -575,6 +665,11 @@ pub struct TelemetrySnapshot {
     /// Requests whose deadline lapsed while queued (drain-time expiries;
     /// also counted in `completed`).
     pub expired: u64,
+    /// Deadline-order inversions: adjacent deadline'd requests served
+    /// later-deadline-first within one drain. The EDF invariant is
+    /// `deadline_inversions == 0`; a FIFO drain under deadline churn
+    /// accumulates them.
+    pub deadline_inversions: u64,
     /// `teal_nn` worker-pool counters (process-global, sampled at snapshot
     /// time): jobs submitted, chunks run by callers vs stolen by helper
     /// workers, and capped-out queue skips.
@@ -672,11 +767,23 @@ impl TelemetrySnapshot {
         );
         out.push_str("# TYPE teal_serve_admm_frozen_lanes_total counter\n");
         out.push_str(
+            "# HELP teal_serve_admm_budgeted_iterations_total Iterations allowed by the per-window budgets (lanes × budget summed over windows).\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_budgeted_iterations_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_admm_budget_downgrades_total Windows the adaptive policy ran below the configured iteration budget.\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_budget_downgrades_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_admm_windows_by_budget_total Solver windows by per-window iteration budget.\n",
+        );
+        out.push_str("# TYPE teal_serve_admm_windows_by_budget_total counter\n");
+        out.push_str(
             "# HELP teal_serve_admm_residual Final ADMM residuals (kind=primal|dual, stat=last|max).\n",
         );
         out.push_str("# TYPE teal_serve_admm_residual gauge\n");
         for t in &self.per_topology {
-            let Some(a) = t.admm else { continue };
+            let Some(a) = &t.admm else { continue };
             let topo = &t.topology;
             let _ = writeln!(
                 out,
@@ -698,6 +805,22 @@ impl TelemetrySnapshot {
                 "teal_serve_admm_frozen_lanes_total{{topology=\"{topo}\"}} {}",
                 a.frozen_lanes
             );
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_budgeted_iterations_total{{topology=\"{topo}\"}} {}",
+                a.budgeted_iterations
+            );
+            let _ = writeln!(
+                out,
+                "teal_serve_admm_budget_downgrades_total{{topology=\"{topo}\"}} {}",
+                a.budget_downgrades
+            );
+            for &(budget, n) in &a.windows_by_budget {
+                let _ = writeln!(
+                    out,
+                    "teal_serve_admm_windows_by_budget_total{{topology=\"{topo}\",budget=\"{budget}\"}} {n}"
+                );
+            }
             for (kind, stat, v) in [
                 ("primal", "last", a.last_primal_residual),
                 ("primal", "max", a.max_primal_residual),
@@ -733,6 +856,11 @@ impl TelemetrySnapshot {
                 "Requests expired in the queue.",
                 self.expired,
             ),
+            (
+                "teal_serve_deadline_inversions_total",
+                "Deadline'd requests served out of deadline order within a drain.",
+                self.deadline_inversions,
+            ),
         ] {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -743,6 +871,25 @@ impl TelemetrySnapshot {
         out.push_str("# TYPE teal_serve_batch_size_total counter\n");
         for &(size, n) in &self.batch_sizes {
             let _ = writeln!(out, "teal_serve_batch_size_total{{size=\"{size}\"}} {n}");
+        }
+
+        out.push_str("# HELP teal_serve_tenant_requests_total Requests served per tenant.\n");
+        out.push_str("# TYPE teal_serve_tenant_requests_total counter\n");
+        out.push_str(
+            "# HELP teal_serve_tenant_windows_total Solver windows charged per tenant (dominant-tenant accounting).\n",
+        );
+        out.push_str("# TYPE teal_serve_tenant_windows_total counter\n");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "teal_serve_tenant_requests_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.requests
+            );
+            let _ = writeln!(
+                out,
+                "teal_serve_tenant_windows_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.windows
+            );
         }
 
         for (name, help, v) in [
@@ -794,6 +941,17 @@ impl TelemetrySnapshot {
         }
         out
     }
+}
+
+/// One tenant's served totals under weighted fair queuing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant id (`"default"` for untagged requests).
+    pub tenant: String,
+    /// Requests served for this tenant (success replies only).
+    pub requests: u64,
+    /// Solver windows charged to this tenant (dominant-tenant accounting).
+    pub windows: u64,
 }
 
 /// One topology's latency profile.
@@ -965,6 +1123,7 @@ mod tests {
             },
         ];
         let report = teal_core::SolveReport {
+            budget: 2,
             lanes: 2,
             iterations: 4,
             min_iterations: 2,
@@ -977,22 +1136,61 @@ mod tests {
             &[Duration::from_micros(750), Duration::from_micros(790)],
             &stages,
             Some(&report),
+            true,
         );
         let snap = t.snapshot();
         let topo = &snap.per_topology[0];
         assert!(topo.queue_wait.p50 >= Duration::from_micros(30));
         assert!(topo.solve.p99 >= Duration::from_micros(600));
         assert!(topo.write.p50 > Duration::ZERO);
-        let admm = topo.admm.expect("solver report recorded");
+        let admm = topo.admm.as_ref().expect("solver report recorded");
         assert_eq!(admm.windows, 1);
         assert_eq!(admm.lanes, 2);
         assert_eq!(admm.iterations, 4);
+        assert_eq!(admm.budgeted_iterations, 4, "lanes × budget for one window");
+        assert_eq!(admm.budget_downgrades, 1);
+        assert_eq!(admm.windows_by_budget, vec![(2, 1)]);
         assert_eq!(admm.min_lane_iterations, 2);
         assert_eq!(admm.max_lane_iterations, 2);
         assert_eq!(admm.frozen_lanes, 0);
         assert!((admm.mean_iterations() - 2.0).abs() < 1e-12);
         assert!((admm.last_primal_residual - 0.25).abs() < 1e-12);
         assert!((admm.max_dual_residual - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_and_inversion_counters_reach_snapshot() {
+        let t = Telemetry::default();
+        t.on_tenant("gold", 3, 1);
+        t.on_tenant("bronze", 1, 1);
+        t.on_tenant("gold", 2, 1);
+        t.on_deadline_inversions(2);
+        t.on_deadline_inversions(0);
+        let snap = t.snapshot();
+        assert_eq!(snap.deadline_inversions, 2);
+        assert_eq!(
+            snap.tenants,
+            vec![
+                TenantSnapshot {
+                    tenant: "bronze".into(),
+                    requests: 1,
+                    windows: 1,
+                },
+                TenantSnapshot {
+                    tenant: "gold".into(),
+                    requests: 5,
+                    windows: 2,
+                },
+            ]
+        );
+        let text = snap.to_prometheus();
+        for needle in [
+            "teal_serve_tenant_requests_total{tenant=\"gold\"} 5",
+            "teal_serve_tenant_windows_total{tenant=\"gold\"} 2",
+            "teal_serve_deadline_inversions_total 2",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! HELLO      magic b"TEAL" · version u16
 //! HELLO_OK   version u16
 //! REQUEST    id u64 · topology str · deadline (u8 flag, u64 ns if 1)
+//!            · tenant (u8 flag, str if 1; absent = "default" tenant)
 //!            · failed links (u32 count, (u32, u32) node pairs)
 //!            · demands (u32 count, f64 each)
 //! REPLY      id u64 · tag u8
@@ -37,14 +38,19 @@
 //!              · 4 stages (e2e, queue_wait, solve, write), each
 //!                mean/p50/p99 u64 ns
 //!              · admm flag u8; if 1: windows/lanes/iterations/
-//!                min_lane_iters/max_lane_iters/frozen_lanes u64 × 6
+//!                budgeted_iterations/budget_downgrades/
+//!                min_lane_iters/max_lane_iters/frozen_lanes u64 × 8
+//!                · windows by budget (u32 count, (u64 budget, u64 n))
 //!                · last_primal/max_primal/last_dual/max_dual f64 × 4)
 //!            · batch sizes (u32 count, each: size u32 · n u64)
 //!            · queue_depth u64 · max_queue_depth u64
 //!            · completed u64 · shed u64 · expired u64
+//!            · deadline_inversions u64
 //!            · pool jobs/caller_chunks/helper_chunks/capped_skips u64 × 4
 //!            · slow exemplars (u32 count, each: topology str
 //!              · latency u64 ns · stage ns u64 × 3 · batch_size u32)
+//!            · tenants (u32 count, each: tenant str
+//!              · requests u64 · windows u64)
 //! str        u32 byte length · UTF-8 bytes
 //! ```
 
@@ -56,14 +62,18 @@ use teal_traffic::TrafficMatrix;
 
 use crate::request::{ServeError, ServeReply, SubmitRequest};
 use crate::telemetry::{
-    AdmmStats, LatencyStats, SlowExemplar, StageTimings, TelemetrySnapshot, TopoSnapshot,
+    AdmmStats, LatencyStats, SlowExemplar, StageTimings, TelemetrySnapshot, TenantSnapshot,
+    TopoSnapshot,
 };
 
 /// Handshake magic: the first bytes any teal-serve peer sends.
 pub const MAGIC: &[u8; 4] = b"TEAL";
 /// Wire protocol version; bump on any layout change.
 /// v2: REPLY gained per-stage spans; STATS/STATS_OK scrape frames added.
-pub const VERSION: u16 = 2;
+/// v3: REQUEST gained the flag-gated tenant tag; STATS_OK gained per-budget
+/// window counts / budget downgrades, the deadline-inversion counter, and
+/// the per-tenant section.
+pub const VERSION: u16 = 3;
 /// Upper bound on a single frame (guards the length prefix against a
 /// corrupt or hostile peer asking us to allocate gigabytes).
 pub const MAX_FRAME: u32 = 64 << 20;
@@ -195,6 +205,13 @@ pub fn encode_request(buf: &mut Vec<u8>, id: u64, req: &SubmitRequest) {
         }
         None => buf.push(0),
     }
+    match &req.tenant {
+        Some(t) => {
+            buf.push(1);
+            put_str(buf, t);
+        }
+        None => buf.push(0),
+    }
     buf.extend_from_slice(&(req.failed_links.len() as u32).to_le_bytes());
     for &(a, b) in &req.failed_links {
         buf.extend_from_slice(&(a as u32).to_le_bytes());
@@ -290,11 +307,18 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) 
                     a.windows,
                     a.lanes,
                     a.iterations,
+                    a.budgeted_iterations,
+                    a.budget_downgrades,
                     a.min_lane_iterations,
                     a.max_lane_iterations,
                     a.frozen_lanes,
                 ] {
                     buf.extend_from_slice(&v.to_le_bytes());
+                }
+                buf.extend_from_slice(&(a.windows_by_budget.len() as u32).to_le_bytes());
+                for &(budget, n) in &a.windows_by_budget {
+                    buf.extend_from_slice(&budget.to_le_bytes());
+                    buf.extend_from_slice(&n.to_le_bytes());
                 }
                 for v in [
                     a.last_primal_residual,
@@ -319,6 +343,7 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) 
         snap.completed,
         snap.shed,
         snap.expired,
+        snap.deadline_inversions,
         snap.pool.jobs,
         snap.pool.caller_chunks,
         snap.pool.helper_chunks,
@@ -334,6 +359,12 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) 
         put_dur(buf, e.stages.solve);
         put_dur(buf, e.stages.write);
         buf.extend_from_slice(&(e.batch_size as u32).to_le_bytes());
+    }
+    buf.extend_from_slice(&(snap.tenants.len() as u32).to_le_bytes());
+    for t in &snap.tenants {
+        put_str(buf, &t.tenant);
+        buf.extend_from_slice(&t.requests.to_le_bytes());
+        buf.extend_from_slice(&t.windows.to_le_bytes());
     }
 }
 
@@ -484,6 +515,11 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, SubmitRequest), WireError>
         1 => Some(Duration::from_nanos(r.u64()?)),
         f => return Err(WireError::Protocol(format!("bad deadline flag {f}"))),
     };
+    let tenant = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?),
+        f => return Err(WireError::Protocol(format!("bad tenant flag {f}"))),
+    };
     let nlinks = r.u32()? as usize;
     r.check_count(nlinks, 8, "failed-link")?;
     let mut failed_links = Vec::with_capacity(nlinks);
@@ -506,6 +542,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, SubmitRequest), WireError>
             tm: TrafficMatrix::new(demands),
             deadline,
             failed_links,
+            tenant,
         },
     ))
 }
@@ -614,18 +651,39 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), Wi
         let write = read_latency_stats(&mut r)?;
         let admm = match r.u8()? {
             0 => None,
-            1 => Some(AdmmStats {
-                windows: r.u64()?,
-                lanes: r.u64()?,
-                iterations: r.u64()?,
-                min_lane_iterations: r.u64()?,
-                max_lane_iterations: r.u64()?,
-                frozen_lanes: r.u64()?,
-                last_primal_residual: r.f64()?,
-                max_primal_residual: r.f64()?,
-                last_dual_residual: r.f64()?,
-                max_dual_residual: r.f64()?,
-            }),
+            1 => {
+                let windows = r.u64()?;
+                let lanes = r.u64()?;
+                let iterations = r.u64()?;
+                let budgeted_iterations = r.u64()?;
+                let budget_downgrades = r.u64()?;
+                let min_lane_iterations = r.u64()?;
+                let max_lane_iterations = r.u64()?;
+                let frozen_lanes = r.u64()?;
+                let nbudgets = r.u32()? as usize;
+                r.check_count(nbudgets, 16, "windows-by-budget")?;
+                let mut windows_by_budget = Vec::with_capacity(nbudgets);
+                for _ in 0..nbudgets {
+                    let budget = r.u64()?;
+                    let n = r.u64()?;
+                    windows_by_budget.push((budget, n));
+                }
+                Some(AdmmStats {
+                    windows,
+                    lanes,
+                    iterations,
+                    budgeted_iterations,
+                    budget_downgrades,
+                    windows_by_budget,
+                    min_lane_iterations,
+                    max_lane_iterations,
+                    frozen_lanes,
+                    last_primal_residual: r.f64()?,
+                    max_primal_residual: r.f64()?,
+                    last_dual_residual: r.f64()?,
+                    max_dual_residual: r.f64()?,
+                })
+            }
             f => return Err(WireError::Protocol(format!("bad admm flag {f}"))),
         };
         per_topology.push(TopoSnapshot {
@@ -654,6 +712,7 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), Wi
     let completed = r.u64()?;
     let shed = r.u64()?;
     let expired = r.u64()?;
+    let deadline_inversions = r.u64()?;
     let pool = PoolStats {
         jobs: r.u64()?,
         caller_chunks: r.u64()?,
@@ -680,17 +739,33 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), Wi
             batch_size,
         });
     }
+    let ntenants = r.u32()? as usize;
+    // Empty name (4) + two counters (16).
+    r.check_count(ntenants, 20, "tenant")?;
+    let mut tenants = Vec::with_capacity(ntenants);
+    for _ in 0..ntenants {
+        let tenant = r.str()?;
+        let requests = r.u64()?;
+        let windows = r.u64()?;
+        tenants.push(TenantSnapshot {
+            tenant,
+            requests,
+            windows,
+        });
+    }
     r.done()?;
     Ok((
         id,
         TelemetrySnapshot {
             per_topology,
             batch_sizes,
+            tenants,
             queue_depth,
             max_queue_depth,
             completed,
             shed,
             expired,
+            deadline_inversions,
             pool,
             slow,
         },

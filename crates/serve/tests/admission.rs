@@ -78,7 +78,7 @@ fn full_queue_sheds_deadlined_requests_but_backpressures_plain_ones() {
             linger: Duration::from_millis(400),
             max_batch: 64,
             queue_capacity: 2,
-            shard_threads: None,
+            ..ServeConfig::default()
         },
     );
     let tm = TrafficMatrix::new(vec![5.0; env.num_demands()]);

@@ -353,7 +353,7 @@ proptest! {
                 max_batch,
                 linger: std::time::Duration::from_micros(linger_us),
                 queue_capacity: 64,
-                shard_threads: None,
+                ..ServeConfig::default()
             },
         );
         let served: Vec<(usize, Allocation)> = std::thread::scope(|s| {

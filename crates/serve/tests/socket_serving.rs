@@ -195,9 +195,12 @@ fn pipelined_concurrent_clients_match_direct_to_tolerance() {
 
 #[test]
 fn drain_time_expiry_is_counted_and_typed() {
-    // A deadline shorter than the linger window expires in the queue: the
-    // shard must answer DeadlineExceeded at drain time (not serve a stale
-    // allocation) and count it in the `expired` telemetry gauge.
+    // A request whose budget is spent by drain time must be answered
+    // DeadlineExceeded (not served stale) and counted in the `expired`
+    // telemetry gauge. A merely-tight deadline is no longer enough to
+    // manufacture this: the deadline-capped linger fires the drain at the
+    // budget midpoint and rescues it. Only an unmeetably small budget —
+    // gone before the shard can even wake — still expires at drain.
     let env = Arc::new(Env::for_topology(teal_topology::b4()));
     let registry = ModelRegistry::new();
     registry.insert("b4", context(&env, 0));
@@ -213,10 +216,10 @@ fn drain_time_expiry_is_counted_and_typed() {
     let client = TealClient::connect(server.local_addr()).expect("connect");
     let tm = TrafficMatrix::new(vec![10.0; env.num_demands()]);
 
-    // Pipeline: one doomed request (5ms budget, 80ms linger) plus a plain
-    // one that keeps the window honest.
-    let doomed = client
-        .submit(&SubmitRequest::new("b4", tm.clone()).with_deadline(Duration::from_millis(5)));
+    // Pipeline: one doomed request (1ns budget) plus a plain one that
+    // keeps the window honest.
+    let doomed =
+        client.submit(&SubmitRequest::new("b4", tm.clone()).with_deadline(Duration::from_nanos(1)));
     let healthy = client.submit(&SubmitRequest::new("b4", tm.clone()));
     match doomed.wait() {
         Err(ServeError::DeadlineExceeded) => {}

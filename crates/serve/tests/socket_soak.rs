@@ -175,6 +175,7 @@ fn loopback_soak_zero_lost_tickets() {
             .max_iters as u64;
         let admm = t
             .admm
+            .as_ref()
             .unwrap_or_else(|| panic!("{}: no ADMM stats despite served batches", t.topology));
         eprintln!(
             "    admm: {} windows / {} lanes, {:.2} iters/lane (budget {budget}), {} frozen, residual p/d {:.3e}/{:.3e}",
@@ -196,10 +197,32 @@ fn loopback_soak_zero_lost_tickets() {
             "{}: lane ran more iterations than the configured budget",
             t.topology
         );
+        // Per-window ADMM accounting: with tol = 0 every lane of every
+        // window runs its window's budget exactly, so the iteration total
+        // must equal the sum of lanes × budget *per window* — which is
+        // what `budgeted_iterations` accumulates.
+        assert_eq!(
+            admm.iterations, admm.budgeted_iterations,
+            "{}: iteration total does not sum per-window budgets",
+            t.topology
+        );
         assert_eq!(
             admm.iterations,
             admm.lanes * budget,
             "{}: iteration total does not match lanes × budget",
+            t.topology
+        );
+        // Generous 60 s deadlines never trip the pressure policy: every
+        // window must have run the full budget and no downgrade recorded.
+        assert_eq!(
+            admm.budget_downgrades, 0,
+            "{}: healthy soak downgraded a window's budget",
+            t.topology
+        );
+        assert_eq!(
+            admm.windows_by_budget,
+            vec![(budget, admm.windows)],
+            "{}: per-budget window counts do not account for every window",
             t.topology
         );
         assert_eq!(
@@ -208,6 +231,33 @@ fn loopback_soak_zero_lost_tickets() {
             t.topology
         );
     }
+    // EDF drain order: with the default DrainOrder, no served window may
+    // ever run a tighter deadline after a looser one.
+    assert_eq!(
+        stats.deadline_inversions, 0,
+        "EDF drain produced deadline inversions: {stats:?}"
+    );
+    // Untagged soak traffic all lands on the default tenant, and every
+    // completed request must be accounted there.
+    assert_eq!(
+        stats.tenants.len(),
+        1,
+        "untagged traffic minted extra tenants: {:?}",
+        stats.tenants
+    );
+    assert_eq!(stats.tenants[0].tenant, teal_serve::DEFAULT_TENANT);
+    assert_eq!(
+        stats.tenants[0].requests,
+        (CLIENTS * PER_CLIENT) as u64,
+        "per-tenant request accounting does not balance: {:?}",
+        stats.tenants
+    );
+    let total_batches: u64 = stats.per_topology.iter().map(|t| t.batches).sum();
+    assert_eq!(
+        stats.tenants[0].windows, total_batches,
+        "per-tenant window accounting does not match served batches: {:?}",
+        stats.tenants
+    );
     assert!(
         !stats.slow.is_empty() && stats.slow[0].latency >= stats.slow[stats.slow.len() - 1].latency,
         "slow-exemplar ring empty or unsorted: {:?}",

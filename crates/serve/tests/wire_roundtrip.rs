@@ -12,7 +12,7 @@ use teal_nn::pool::PoolStats;
 use teal_serve::wire;
 use teal_serve::{
     AdmmStats, LatencyStats, ServeError, ServeReply, SlowExemplar, StageTimings, SubmitRequest,
-    TelemetrySnapshot, TopoSnapshot,
+    TelemetrySnapshot, TenantSnapshot, TopoSnapshot,
 };
 use teal_traffic::TrafficMatrix;
 
@@ -37,6 +37,8 @@ proptest! {
         deadline_ns in 0u64..10_000_000_000,
         has_deadline in 0u8..2,
         links in proptest::collection::vec(0u64..64, 0..12),
+        tenant_len in 0usize..12,
+        has_tenant in 0u8..2,
     ) {
         let topology: String = (0..topo_len).map(|i| char::from(b'a' + (i % 26) as u8)).collect();
         let failed_links: Vec<(usize, usize)> = links
@@ -44,11 +46,14 @@ proptest! {
             .filter(|c| c.len() == 2)
             .map(|c| (c[0] as usize, c[1] as usize))
             .collect();
+        let tenant: String =
+            (0..tenant_len).map(|i| char::from(b'a' + ((i * 7) % 26) as u8)).collect();
         let req = SubmitRequest {
             topology,
             tm: TrafficMatrix::new(demands),
             deadline: (has_deadline == 1).then(|| Duration::from_nanos(deadline_ns)),
             failed_links,
+            tenant: (has_tenant == 1).then_some(tenant),
         };
         let mut buf = Vec::new();
         wire::encode_request(&mut buf, id, &req);
@@ -161,6 +166,11 @@ fn synth_snapshot(seed: u64, ntopo: usize, nsizes: usize, nslow: usize) -> Telem
                     windows: next() % 10_000,
                     lanes: next() % 100_000,
                     iterations: next() % 1_000_000,
+                    budgeted_iterations: next() % 1_000_000,
+                    budget_downgrades: next() % 10_000,
+                    windows_by_budget: (0..(next() % 4))
+                        .map(|b| (b + 2, next() % 10_000))
+                        .collect(),
                     min_lane_iterations: next() % 64,
                     max_lane_iterations: next() % 64,
                     frozen_lanes: next() % 100_000,
@@ -192,6 +202,14 @@ fn synth_snapshot(seed: u64, ntopo: usize, nsizes: usize, nslow: usize) -> Telem
         completed: next(),
         shed: next() % 1_000_000,
         expired: next() % 1_000_000,
+        deadline_inversions: next() % 1_000_000,
+        tenants: (0..(next() % 4))
+            .map(|i| TenantSnapshot {
+                tenant: format!("tenant-{i}"),
+                requests: next() % 1_000_000,
+                windows: next() % 100_000,
+            })
+            .collect(),
         pool: PoolStats {
             jobs: next(),
             caller_chunks: next(),

@@ -85,7 +85,7 @@ fn main() {
             "    stages p99: queue-wait {:?} | solve {:?} | write {:?}",
             t.queue_wait.p99, t.solve.p99, t.write.p99
         );
-        if let Some(admm) = t.admm {
+        if let Some(admm) = &t.admm {
             println!(
                 "    admm: {} windows / {} lanes, {:.2} iters/lane, {} frozen",
                 admm.windows,

@@ -38,6 +38,26 @@ pub struct BenchRecord {
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
+/// Append a caller-computed record to the results table, so benches that
+/// measure something other than whole-iteration wall time (per-request
+/// latency percentiles, say) can land their numbers in the same JSON
+/// summary the CI workflow persists. Real Criterion covers this with
+/// `iter_custom`; the shim exposes the sink directly.
+pub fn push_record(record: BenchRecord) {
+    eprintln!(
+        "bench {:<48} mean {:>12}  (p50 {}, p99 {}, min {}, max {}, {} samples x {} iters)",
+        record.id,
+        fmt_ns(record.mean_ns),
+        fmt_ns(record.p50_ns),
+        fmt_ns(record.p99_ns),
+        fmt_ns(record.min_ns),
+        fmt_ns(record.max_ns),
+        record.samples,
+        record.iters
+    );
+    RESULTS.lock().expect("results poisoned").push(record);
+}
+
 /// Prevent the optimizer from eliding a benchmarked computation.
 #[inline]
 pub fn black_box<T>(x: T) -> T {
