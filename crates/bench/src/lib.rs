@@ -4,6 +4,10 @@
 //! Run `cargo run -p teal-bench --bin expts --release -- all` to reproduce
 //! everything; individual experiments run via their id (e.g. `fig6`).
 //! Results are printed and persisted under `results/`.
+// No raw-pointer or FFI work belongs in this crate; the workspace's
+// audited unsafe lives in `teal-nn`/`teal-lp` only (see the root crate's
+// unsafe inventory docs).
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod table;

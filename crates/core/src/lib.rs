@@ -56,6 +56,10 @@
 //!   (`ComaConfig::batch_size`) with one batched forward/backward pass and
 //!   one optimizer step per minibatch; validation scores allocations from
 //!   the batched path.
+// No raw-pointer or FFI work belongs in this crate; the workspace's
+// audited unsafe lives in `teal-nn`/`teal-lp` only (see the root crate's
+// unsafe inventory docs).
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod coma;

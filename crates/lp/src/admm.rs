@@ -901,23 +901,105 @@ fn lane_read(slots: &[std::sync::atomic::AtomicU64], out: &mut [f64]) {
 }
 
 /// Raw view of a mutable buffer whose disjoint regions are written by
-/// different pool tiles. SAFETY contract: every caller hands each region to
-/// exactly one tile, and the borrow that produced the view outlives the
-/// pool dispatch (which blocks until all tiles finish).
-struct TileBuf(*mut f64);
+/// different pool tiles. SAFETY contract: every region is handed to exactly
+/// one tile, regions handed out over one `TileBuf`'s lifetime are pairwise
+/// disjoint, and the borrow that produced the view outlives the pool
+/// dispatch (which blocks until all tiles finish). A buffer whose regions
+/// are legitimately reused across *sequential* dispatches (the fused
+/// slack/dual scratch) must be re-viewed with a fresh `TileBuf` per
+/// dispatch.
+///
+/// Checked-unsafe instrumentation: in debug/`teal_check` builds every
+/// `slice` call is recorded and checked against all earlier ones; an
+/// overlapping or out-of-bounds range panics at the hand-out site instead
+/// of corrupting a neighbor tile's lanes.
+struct TileBuf {
+    ptr: *mut f64,
+    #[cfg(any(debug_assertions, teal_check))]
+    len: usize,
+    /// Ranges handed out so far. A plain std mutex (not a pool
+    /// primitive): held only for the duration of the overlap scan, and
+    /// tiles call `slice` once per claim, off the lane-arithmetic hot
+    /// path.
+    #[cfg(any(debug_assertions, teal_check))]
+    handed: std::sync::Mutex<HandedRanges>,
+}
 
+/// Fixed-capacity log of the `(start, len)` ranges a [`TileBuf`] has
+/// handed out. Inline storage, not a `Vec`: the instrumentation is live
+/// in debug builds, where the steady-state zero-allocation test still
+/// counts every heap allocation — recording a hand-out must not be one.
+/// Capacity is tile count, which `even_bounds_into` clamps to the pool
+/// thread budget; 128 leaves an order of magnitude of headroom.
+#[cfg(any(debug_assertions, teal_check))]
+struct HandedRanges {
+    ranges: [(usize, usize); HANDED_CAP],
+    n: usize,
+}
+
+#[cfg(any(debug_assertions, teal_check))]
+const HANDED_CAP: usize = 128;
+
+// SAFETY: the pointer itself is plain data; dereferencing it is gated by
+// `slice`'s contract (disjoint ranges, borrow alive across the dispatch),
+// which is exactly what makes the views safe to create from any thread.
 unsafe impl Send for TileBuf {}
+// SAFETY: as above — concurrent `slice` calls hand out non-overlapping
+// `&mut`s by contract, and the instrumentation list is mutex-guarded.
 unsafe impl Sync for TileBuf {}
 
 impl TileBuf {
     fn new(data: &mut [f64]) -> Self {
-        TileBuf(data.as_mut_ptr())
+        TileBuf {
+            ptr: data.as_mut_ptr(),
+            #[cfg(any(debug_assertions, teal_check))]
+            len: data.len(),
+            #[cfg(any(debug_assertions, teal_check))]
+            handed: std::sync::Mutex::new(HandedRanges {
+                ranges: [(0, 0); HANDED_CAP],
+                n: 0,
+            }),
+        }
     }
 
-    /// SAFETY: `start..start + len` must be claimed by exactly one tile.
+    /// Record `start..start + len` and panic if it escapes the buffer or
+    /// overlaps any range already handed out by this view.
+    #[cfg(any(debug_assertions, teal_check))]
+    fn check_range(&self, start: usize, len: usize) {
+        assert!(
+            start + len <= self.len,
+            "TileBuf range [{start}; {len}) escapes a buffer of {}",
+            self.len
+        );
+        let mut handed = self
+            .handed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for &(s, l) in &handed.ranges[..handed.n] {
+            assert!(
+                start + len <= s || s + l <= start,
+                "TileBuf ranges overlap: [{start}; {len}) vs [{s}; {l}) — \
+                 two tiles would alias the same lanes"
+            );
+        }
+        assert!(
+            handed.n < HANDED_CAP,
+            "TileBuf handed out more than {HANDED_CAP} ranges; bump HANDED_CAP"
+        );
+        let n = handed.n;
+        handed.ranges[n] = (start, len);
+        handed.n = n + 1;
+    }
+
+    /// SAFETY: `start..start + len` must be claimed by exactly one tile and
+    /// be disjoint from every other range sliced from this `TileBuf`.
     #[allow(clippy::mut_from_ref)]
     unsafe fn slice(&self, start: usize, len: usize) -> &mut [f64] {
-        std::slice::from_raw_parts_mut(self.0.add(start), len)
+        #[cfg(any(debug_assertions, teal_check))]
+        self.check_range(start, len);
+        // SAFETY: in-bounds per the caller contract (and asserted above in
+        // checked builds); disjointness makes the `&mut` unique.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
 }
 
@@ -1424,10 +1506,13 @@ impl AdmmBatchSolver {
         let nb = self.batch;
         let k = self.k;
         lane_reset(lane_max);
-        let sbuf = TileBuf::new(scratch);
         let idx = &*self.index;
 
         {
+            // Fresh scratch view per dispatch: the edge pass below reuses
+            // the same `t * stride` ranges, which is fine sequentially but
+            // must not look like an overlap to one view's checker.
+            let sbuf = TileBuf::new(&mut *scratch);
             let s1buf = TileBuf::new(&mut st.s1);
             let l1buf = TileBuf::new(&mut st.l1);
             let f = &st.f;
@@ -1485,6 +1570,7 @@ impl AdmmBatchSolver {
         }
 
         {
+            let sbuf = TileBuf::new(&mut *scratch);
             let s3buf = TileBuf::new(&mut st.s3);
             let l3buf = TileBuf::new(&mut st.l3);
             let l4buf = TileBuf::new(&mut st.l4);

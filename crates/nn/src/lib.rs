@@ -18,6 +18,12 @@
 //!
 //! Everything is deterministic under a fixed seed, which the reproduction
 //! relies on for regression tests.
+//!
+//! This crate (with `teal-lp`) is where the workspace's `unsafe` lives —
+//! the lifetime-erased pool jobs and disjoint-chunk reconstruction in
+//! [`pool`]/[`par`]. Every block carries a `// SAFETY:` comment (enforced
+//! by `cargo xtask lint`) and `unsafe_op_in_unsafe_fn` is denied
+//! workspace-wide; see the root crate's "Unsafe inventory" docs.
 
 pub mod checkpoint;
 pub mod graph;
@@ -27,6 +33,7 @@ pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod sparse;
+pub(crate) mod sync;
 pub mod tensor;
 
 pub use graph::{Graph, Var};

@@ -52,8 +52,38 @@ fn thread_count(work: usize) -> usize {
 /// nothing.
 struct RawChunks<T>(Vec<(usize, *mut T, usize)>);
 
+// SAFETY: the table is read-only once built; each `(ptr, len)` range is
+// disjoint (asserted at construction in debug builds) and claimed by
+// exactly one pool chunk, so sending the table across threads cannot
+// create aliasing `&mut`s.
 unsafe impl<T: Send> Send for RawChunks<T> {}
+// SAFETY: as above — shared access only reads the pointer table; the
+// exclusive reconstructions it enables are pairwise disjoint.
 unsafe impl<T: Send> Sync for RawChunks<T> {}
+
+impl<T> RawChunks<T> {
+    /// Checked-unsafe instrumentation: in debug/`teal_check` builds, verify
+    /// the invariant the `Send`/`Sync` impls and `run_chunked`'s pointer
+    /// reconstruction lean on — no two recorded ranges overlap. (The ranges
+    /// come from `chunks_mut`, so this should be impossible; the assert
+    /// keeps a future refactor from silently breaking it.)
+    #[cfg(any(debug_assertions, teal_check))]
+    fn assert_disjoint(&self) {
+        // Pairwise O(n²) rather than sort-based: n is the pool chunk
+        // count (a handful), and this must not heap-allocate — debug
+        // builds run under the steady-state zero-allocation test.
+        for (i, &(_, ptr, len)) in self.0.iter().enumerate() {
+            let (lo, bytes) = (ptr as usize, len * std::mem::size_of::<T>());
+            for &(_, q, m) in &self.0[i + 1..] {
+                let (qlo, qbytes) = (q as usize, m * std::mem::size_of::<T>());
+                assert!(
+                    lo + bytes <= qlo || qlo + qbytes <= lo,
+                    "RawChunks ranges overlap: [{lo:#x}; {bytes}) vs [{qlo:#x}; {qbytes})"
+                );
+            }
+        }
+    }
+}
 
 /// Run `f(start, chunk)` over the given disjoint mutable chunks on the pool.
 fn run_chunked<T, F>(chunks: Vec<(usize, &mut [T])>, f: F)
@@ -67,6 +97,8 @@ where
             .map(|(start, c)| (start, c.as_mut_ptr(), c.len()))
             .collect(),
     );
+    #[cfg(any(debug_assertions, teal_check))]
+    table.assert_disjoint();
     // Capture the Sync wrapper, not its inner Vec (precise closure capture
     // would otherwise grab the non-Sync field directly).
     let table = &table;

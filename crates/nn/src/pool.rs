@@ -43,10 +43,12 @@
 //! capped-out jobs instead of piling on — the mechanism behind
 //! `teal-serve`'s per-shard thread caps when topologies outnumber cores.
 
+// teal-lint: checked-sync
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Jobs ever submitted through [`run`] (including ones served entirely on
 /// the submitting thread).
@@ -117,6 +119,9 @@ struct Job {
 // thread is parked inside `run`, which keeps the closure alive; all other
 // fields are Sync primitives.
 unsafe impl Send for Job {}
+// SAFETY: as above — shared access to `task` is a read of an immutable fat
+// pointer whose referent outlives every dereference, and the remaining
+// fields synchronize themselves.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -163,7 +168,7 @@ impl Job {
             // the closure is alive.
             let task = unsafe { &*self.task };
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| task(i))) {
-                let mut slot = self.payload.lock().expect("pool payload lock");
+                let mut slot = self.payload.lock();
                 if slot.is_none() {
                     *slot = Some(p);
                 }
@@ -176,7 +181,7 @@ impl Job {
 
     /// Count one claimed chunk as settled, waking the submitter on the last.
     fn finish_chunk(&self) {
-        let mut done = self.done.lock().expect("pool job lock");
+        let mut done = self.done.lock();
         *done += 1;
         if *done == self.n {
             self.finished.notify_all();
@@ -185,9 +190,9 @@ impl Job {
 
     /// Block until every chunk (including ones claimed by workers) is done.
     fn wait(&self) {
-        let mut done = self.done.lock().expect("pool job lock");
+        let mut done = self.done.lock();
         while *done < self.n {
-            done = self.finished.wait(done).expect("pool job wait");
+            done = self.finished.wait(done);
         }
     }
 }
@@ -228,7 +233,7 @@ impl WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("pool queue lock");
+            let mut q = shared.queue.lock();
             loop {
                 // Retire exhausted jobs the submitter has not removed yet.
                 while q
@@ -261,7 +266,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(j) = claimable {
                     break j;
                 }
-                q = shared.available.wait(q).expect("pool queue wait");
+                q = shared.available.wait(q);
             }
         };
         let stolen = job.help();
@@ -356,8 +361,8 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
                 *m.helpers.get_mut() = 0;
                 *m.next.get_mut() = 0;
                 *m.poisoned.get_mut() = false;
-                *m.payload.get_mut().expect("pool payload lock") = None;
-                *m.done.get_mut().expect("pool job lock") = 0;
+                *m.payload.get_mut() = None;
+                *m.done.get_mut() = 0;
                 cached
             } else {
                 fresh_job(task, n, helper_cap)
@@ -366,7 +371,7 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
         None => fresh_job(task, n, helper_cap),
     };
     {
-        let mut q = pool.shared.queue.lock().expect("pool queue lock");
+        let mut q = pool.shared.queue.lock();
         q.push_back(Arc::clone(&job));
     }
     pool.shared.available.notify_all();
@@ -377,14 +382,14 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
     job.wait();
     // Drop our queue entry eagerly (workers also skip exhausted fronts).
     {
-        let mut q = pool.shared.queue.lock().expect("pool queue lock");
+        let mut q = pool.shared.queue.lock();
         q.retain(|j| !Arc::ptr_eq(j, &job));
     }
     if job.poisoned.load(Ordering::Acquire) {
         // Re-throw the original payload so the caller's panic handling
         // (e.g. the serving engine's catch_unwind → AllocError::Poisoned)
         // reports the real cause.
-        if let Some(p) = job.payload.lock().expect("pool payload lock").take() {
+        if let Some(p) = job.payload.lock().take() {
             std::panic::resume_unwind(p);
         }
         panic!("teal-nn pool worker panicked");
@@ -496,7 +501,7 @@ mod tests {
             );
         }
         assert!(job.poisoned.load(Ordering::Acquire));
-        assert!(job.payload.lock().expect("payload").is_some());
+        assert!(job.payload.lock().is_some());
     }
 
     #[test]

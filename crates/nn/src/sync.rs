@@ -1,0 +1,84 @@
+//! Checked-sync facade for this crate's concurrency-bearing module
+//! ([`crate::pool`]): the same primitives compile against `std::sync` in a
+//! normal build and against the vendored `loom` model checker under
+//! `--cfg teal_loom` (set via `RUSTFLAGS`), so the pool's job-completion
+//! protocol (claim → execute → `done`/condvar handoff) is exhaustively
+//! checkable without forking the code. The serving crate carries the same
+//! pattern in `teal-serve/src/sync.rs`; see its docs for the conventions
+//! (the `// teal-lint: checked-sync` marker, why `lock()` recovers from
+//! poisoning, what the loom shims intentionally do not model).
+
+#[cfg(not(teal_loom))]
+mod imp {
+    use std::ops::{Deref, DerefMut};
+    use std::sync::PoisonError;
+
+    pub use std::sync::atomic;
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` minus poisoning: a panicking pool chunk is caught
+    /// and re-thrown by the submitter, and the protected state (`done`
+    /// counter, panic payload slot) is valid at every panic point, so
+    /// recovery is sound — and keeps `expect` out of the hot claim loop.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// `std::sync::Condvar` over the facade's guards.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard(self.0.wait(guard.0).unwrap_or_else(PoisonError::into_inner))
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all()
+        }
+    }
+}
+
+#[cfg(teal_loom)]
+mod imp {
+    #[allow(unused_imports)] // parity with the std facade's full surface
+    pub use loom::sync::atomic;
+    #[allow(unused_imports)]
+    pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+}
+
+pub(crate) use imp::*;

@@ -14,12 +14,13 @@
 //! path. A dropped or failed connection fulfills every outstanding ticket
 //! with [`ServeError::Internal`] rather than hanging its waiters.
 
+// teal-lint: checked-sync
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
+use crate::telemetry::now;
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use teal_traffic::TrafficMatrix;
 
 use crate::request::{ResponseSlot, ServeError, ServeReply, SubmitRequest, Ticket};
@@ -42,36 +43,33 @@ impl StatsSlot {
     }
 
     fn fulfill(&self, r: Result<TelemetrySnapshot, ServeError>) {
-        let mut slot = self.slot.lock().expect("stats slot lock");
+        let mut slot = self.slot.lock();
         *slot = Some(r);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<TelemetrySnapshot, ServeError> {
-        let mut slot = self.slot.lock().expect("stats slot lock");
+        let mut slot = self.slot.lock();
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.ready.wait(slot).expect("stats slot wait");
+            slot = self.ready.wait(slot);
         }
     }
 
     fn wait_timeout(&self, timeout: Duration) -> Result<TelemetrySnapshot, ServeError> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = self.slot.lock().expect("stats slot lock");
+        let deadline = now() + timeout;
+        let mut slot = self.slot.lock();
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            let current = now();
+            if current >= deadline {
                 return Err(ServeError::DeadlineExceeded);
             }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(slot, deadline - now)
-                .expect("stats slot wait");
+            let (guard, _) = self.ready.wait_timeout(slot, deadline - current);
             slot = guard;
         }
     }
@@ -94,14 +92,14 @@ impl ClientShared {
     /// dropped).
     fn fail_all(&self, why: &str) {
         let drained: Vec<Arc<ResponseSlot>> = {
-            let mut pending = self.pending.lock().expect("client pending lock");
+            let mut pending = self.pending.lock();
             pending.drain().map(|(_, s)| s).collect()
         };
         for slot in drained {
             slot.fulfill(Err(ServeError::Internal(why.to_string())));
         }
         let drained: Vec<Arc<StatsSlot>> = {
-            let mut stats = self.stats_pending.lock().expect("client stats lock");
+            let mut stats = self.stats_pending.lock();
             stats.drain().map(|(_, s)| s).collect()
         };
         for slot in drained {
@@ -119,7 +117,7 @@ pub struct TealClient {
     stream: TcpStream,
     shared: Arc<ClientShared>,
     next_id: AtomicU64,
-    reader: Option<JoinHandle<()>>,
+    reader: Option<thread::JoinHandle<()>>,
 }
 
 impl TealClient {
@@ -156,10 +154,7 @@ impl TealClient {
         let reader = {
             let shared = Arc::clone(&shared);
             let stream = stream.try_clone()?;
-            std::thread::Builder::new()
-                .name("teal-client-reader".into())
-                .spawn(move || reader_loop(stream, &shared))
-                .expect("spawn client reader")
+            thread::spawn_named("teal-client-reader", move || reader_loop(stream, &shared))
         };
         Ok(TealClient {
             writer: Mutex::new((stream.try_clone()?, Vec::new())),
@@ -184,16 +179,12 @@ impl TealClient {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Register before sending: the reply can race back before this
         // thread regains the CPU.
-        self.shared
-            .pending
-            .lock()
-            .expect("client pending lock")
-            .insert(id, Arc::clone(&slot));
+        self.shared.pending.lock().insert(id, Arc::clone(&slot));
         let sent = {
             // Encode into the writer-owned buffer under the same short
             // lock that serializes the send: steady-state submitters reuse
             // one buffer instead of allocating per pipelined request.
-            let mut w = self.writer.lock().expect("client writer lock");
+            let mut w = self.writer.lock();
             let (stream, buf) = &mut *w;
             wire::encode_request(buf, id, req);
             wire::write_frame(stream, buf)
@@ -204,13 +195,7 @@ impl TealClient {
         // send may even "succeed" into a half-closed socket. Re-checking
         // `closed` after registering makes the overlap visible here.
         if sent.is_err() || self.shared.closed.load(Ordering::Acquire) {
-            if let Some(slot) = self
-                .shared
-                .pending
-                .lock()
-                .expect("client pending lock")
-                .remove(&id)
-            {
+            if let Some(slot) = self.shared.pending.lock().remove(&id) {
                 slot.fulfill(Err(ServeError::Internal(if sent.is_err() {
                     "connection write failed".into()
                 } else {
@@ -265,22 +250,15 @@ impl TealClient {
         self.shared
             .stats_pending
             .lock()
-            .expect("client stats lock")
             .insert(id, Arc::clone(&slot));
         let sent = {
-            let mut w = self.writer.lock().expect("client writer lock");
+            let mut w = self.writer.lock();
             let (stream, buf) = &mut *w;
             wire::encode_stats_request(buf, id);
             wire::write_frame(stream, buf)
         };
         if sent.is_err() || self.shared.closed.load(Ordering::Acquire) {
-            if let Some(slot) = self
-                .shared
-                .stats_pending
-                .lock()
-                .expect("client stats lock")
-                .remove(&id)
-            {
+            if let Some(slot) = self.shared.stats_pending.lock().remove(&id) {
                 slot.fulfill(Err(ServeError::Internal(if sent.is_err() {
                     "connection write failed".into()
                 } else {
@@ -297,7 +275,9 @@ impl Drop for TealClient {
         self.shared.closed.store(true, Ordering::Release);
         let _ = self.stream.shutdown(Shutdown::Both);
         if let Some(h) = self.reader.take() {
-            h.join().expect("client reader panicked");
+            // A panicked reader already ran its fail_all via unwind or is
+            // about to be covered by ours below; don't panic in drop.
+            let _ = h.join();
         }
         self.shared
             .fail_all("client dropped with requests in flight");
@@ -314,11 +294,7 @@ fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
                 let Ok((id, result)) = wire::decode_reply(&buf) else {
                     break;
                 };
-                let slot = shared
-                    .pending
-                    .lock()
-                    .expect("client pending lock")
-                    .remove(&id);
+                let slot = shared.pending.lock().remove(&id);
                 if let Some(slot) = slot {
                     slot.fulfill(result);
                 }
@@ -327,11 +303,7 @@ fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
                 let Ok((id, snap)) = wire::decode_stats_reply(&buf) else {
                     break;
                 };
-                let slot = shared
-                    .stats_pending
-                    .lock()
-                    .expect("client stats lock")
-                    .remove(&id);
+                let slot = shared.stats_pending.lock().remove(&id);
                 if let Some(slot) = slot {
                     slot.fulfill(Ok(snap));
                 }

@@ -75,9 +75,11 @@
 //! flag and gets [`ServeError::ShuttingDown`]. A post-join sweep fails any
 //! conceivable straggler rather than stranding its ticket.
 
+// teal-lint: checked-sync
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
+use crate::telemetry::now;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use teal_core::{AllocError, BatchScratch, PolicyModel, ServingContext};
 use teal_topology::Topology;
@@ -193,7 +195,7 @@ struct Shard {
 /// joining at shutdown).
 struct ShardHandle {
     shard: Arc<Shard>,
-    thread: std::thread::JoinHandle<()>,
+    thread: thread::JoinHandle<()>,
 }
 
 /// Shared state between submitters and the shard dispatchers.
@@ -259,7 +261,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
     /// the shard-map lock, so no shard can appear after [`Self::shutdown`]
     /// has collected the map.
     fn shard(&self, topology: &str) -> Option<Arc<Shard>> {
-        let mut map = self.inner.shards.lock().expect("shard map lock");
+        let mut map = self.inner.shards.lock();
         if self.inner.shutdown.load(Ordering::Acquire) {
             return None;
         }
@@ -276,10 +278,9 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
         let thread = {
             let inner = Arc::clone(&self.inner);
             let shard = Arc::clone(&shard);
-            std::thread::Builder::new()
-                .name(format!("teal-serve-{topology}"))
-                .spawn(move || shard_loop(&inner, &shard))
-                .expect("spawn shard dispatcher")
+            thread::spawn_named(&format!("teal-serve-{topology}"), move || {
+                shard_loop(&inner, &shard)
+            })
         };
         map.insert(
             topology.to_string(),
@@ -338,7 +339,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             slot.fulfill(Err(ServeError::ShuttingDown));
             return;
         };
-        let now = Instant::now();
+        let now = now();
         // Shed a request whose budget is already gone: enqueueing it could
         // only produce a stale allocation nobody will apply.
         if req.deadline.is_some_and(|d| d.is_zero()) {
@@ -356,7 +357,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             slot: Arc::clone(&slot),
         };
         {
-            let mut q = shard.queue.lock().expect("queue lock");
+            let mut q = shard.queue.lock();
             if request.expires.is_some() && q.len() >= self.inner.cfg.queue_capacity {
                 // Admission control: a deadline'd request meeting a full
                 // queue is refused *now* — blocking would silently convert
@@ -372,7 +373,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
             while q.len() >= self.inner.cfg.queue_capacity
                 && !self.inner.shutdown.load(Ordering::Acquire)
             {
-                q = shard.space.wait(q).expect("queue wait");
+                q = shard.space.wait(q);
             }
             // Checked under the queue lock: the shard's final
             // drain-or-exit decision holds this same lock, so either this
@@ -408,19 +409,34 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
         // Collect the shard map first: creation re-checks the flag under
         // this lock, so no new shard can appear afterwards.
         let handles: Vec<ShardHandle> = {
-            let mut map = self.inner.shards.lock().expect("shard map lock");
+            let mut map = self.inner.shards.lock();
             map.drain().map(|(_, h)| h).collect()
         };
         for h in &handles {
+            // The wakeup must hold the queue lock: the shutdown flag is an
+            // atomic the dispatcher checks *under* that lock, so a bare
+            // notify could land in the window between a dispatcher's flag
+            // check and its wait registration — the store+notify would
+            // both be missed and the shard would sleep through shutdown
+            // forever, hanging the join below. Taking the lock first means
+            // any dispatcher that saw the flag clear has already parked
+            // (and gets this notify), and any later one sees the flag set.
+            // `model::shutdown_straggler_sweep` checks exactly this
+            // ordering (`SweepMutation::NotifyOutsideLock`).
+            let q = h.shard.queue.lock();
             h.shard.nonempty.notify_all();
             h.shard.space.notify_all();
+            drop(q);
         }
         for h in handles {
-            h.thread.join().expect("shard dispatcher panicked");
+            // A dispatcher that panicked mid-drain must not abort shutdown
+            // (this also runs on drop): its queued requests are swept below
+            // so no client hangs on a stranded ticket.
+            let _ = h.thread.join();
             // Safety net: the queue-lock protocol above means the shard
             // exits only with an empty queue, but a stranded ticket would
             // hang its client forever — sweep and refuse rather than trust.
-            let mut q = h.shard.queue.lock().expect("queue lock");
+            let mut q = h.shard.queue.lock();
             let leftover: Vec<Request> = q.drain(..).collect();
             drop(q);
             if !leftover.is_empty() {
@@ -458,9 +474,9 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
     let mut overrides = OverrideCache::new();
     loop {
         let drained = {
-            let mut q = shard.queue.lock().expect("queue lock");
+            let mut q = shard.queue.lock();
             while q.is_empty() && !inner.shutdown.load(Ordering::Acquire) {
-                q = shard.nonempty.wait(q).expect("queue wait");
+                q = shard.nonempty.wait(q);
             }
             if q.is_empty() {
                 // Shutdown with an empty queue: done. This decision is made
@@ -481,7 +497,7 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
             // solving. The midpoint is anchored at enqueue, so repeated
             // wakeups never ratchet the cap toward the expiry.
             if !inner.cfg.linger.is_zero() {
-                let deadline = Instant::now() + inner.cfg.linger;
+                let deadline = now() + inner.cfg.linger;
                 while q.len() < inner.cfg.max_batch && !inner.shutdown.load(Ordering::Acquire) {
                     let cap = q
                         .iter()
@@ -492,16 +508,13 @@ fn shard_loop<M: PolicyModel>(inner: &Inner<M>, shard: &Shard) {
                         })
                         .min();
                     let effective = cap.map_or(deadline, |c| deadline.min(c));
-                    let now = Instant::now();
+                    let now = now();
                     if now >= effective {
                         break;
                     }
                     // No timed-out fast path: a wakeup re-derives the cap
                     // because a tighter deadline may have arrived meanwhile.
-                    let (guard, _) = shard
-                        .nonempty
-                        .wait_timeout(q, effective - now)
-                        .expect("queue wait");
+                    let (guard, _) = shard.nonempty.wait_timeout(q, effective - now);
                     q = guard;
                 }
             }
@@ -584,13 +597,14 @@ impl OverrideCache {
         let tick = self.tick;
         if !self.topos.contains_key(sig) {
             if self.topos.len() >= MAX_CACHED_OVERRIDES {
-                let lru = self
+                if let Some(lru) = self
                     .topos
                     .iter()
                     .min_by_key(|&(_, &(_, touched))| touched)
                     .map(|(k, _)| k.clone())
-                    .expect("cache at capacity is non-empty");
-                self.topos.remove(&lru);
+                {
+                    self.topos.remove(&lru);
+                }
             }
             self.builds += 1;
             let mut topo = env.topo().clone();
@@ -599,7 +613,9 @@ impl OverrideCache {
             }
             self.topos.insert(sig.to_vec(), (topo, tick));
         }
-        let entry = self.topos.get_mut(sig).expect("present or just inserted");
+        let Some(entry) = self.topos.get_mut(sig) else {
+            unreachable!("signature was present or just inserted")
+        };
         entry.1 = tick;
         &entry.0
     }
@@ -632,7 +648,7 @@ fn serve_drained<M: PolicyModel>(
     // Admission control, drain side: a request whose deadline lapsed while
     // queued must not occupy a lane in the forward pass — its caller has
     // already moved on.
-    let now = Instant::now();
+    let now = now();
     let mut live = Vec::with_capacity(drained.len());
     for req in drained {
         if req.expires.is_some_and(|e| e <= now) {
@@ -701,9 +717,13 @@ fn serve_drained<M: PolicyModel>(
         .peek()
         .and_then(|(_, c)| inner.wfq.as_ref().map(|w| w.enqueue(&dominant_tenant(c))));
     while let Some((sig, chunk)) = iter.next() {
-        let window = reservation
-            .take()
-            .map(|r| inner.wfq.as_ref().expect("reservation implies wfq").wait(r));
+        // A reservation exists only if `inner.wfq` does (it was minted from
+        // it), so the `(Some, None)` arm is unreachable and maps to no
+        // grant.
+        let window = match (reservation.take(), inner.wfq.as_ref()) {
+            (Some(r), Some(w)) => Some(w.wait(r)),
+            _ => None,
+        };
         // Holding this chunk's grant, reserve the next chunk's slot.
         reservation = iter
             .peek()
@@ -767,8 +787,8 @@ fn serve_chunk<M: PolicyModel>(
         Some(full) if full > inner.cfg.pressured_budget => {
             match chunk.iter().filter_map(|r| r.expires).min() {
                 Some(earliest) => {
-                    let headroom = earliest.saturating_duration_since(Instant::now());
-                    let p99 = shard.stats.lock().expect("telemetry lock").queue_wait_p99();
+                    let headroom = earliest.saturating_duration_since(now());
+                    let p99 = shard.stats.lock().queue_wait_p99();
                     headroom < p99
                 }
                 None => false,
@@ -787,14 +807,14 @@ fn serve_chunk<M: PolicyModel>(
         // here too (queue-wait ends where the solve begins), so the three
         // stages partition end-to-end latency exactly even when one drain
         // serves many chunks back to back.
-        let solve_start = Instant::now();
+        let solve_start = now();
         for r in chunk.iter_mut() {
             r.trace.stamp_drained(solve_start);
             r.trace.stamp_solve_start(solve_start);
         }
         let batched =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| allocate(&tms, scratch)));
-        let solve_end = Instant::now();
+        let solve_end = now();
         for r in chunk.iter_mut() {
             r.trace.stamp_solve_end(solve_end);
         }
@@ -819,7 +839,7 @@ fn serve_chunk<M: PolicyModel>(
                 // spans and the end-to-end latency are derived from the
                 // same instant so the stages always sum to the total.
                 let solve = scratch.solve_report();
-                let done = Instant::now();
+                let done = now();
                 let latencies: Vec<Duration> = chunk
                     .iter()
                     .map(|r| done.saturating_duration_since(r.trace.enqueued()))
@@ -828,12 +848,10 @@ fn serve_chunk<M: PolicyModel>(
                     chunk.iter().map(|r| r.trace.stages(done)).collect();
                 // Count the batch before unblocking any client, so a caller
                 // that has its reply always sees itself in `stats()`.
-                shard.stats.lock().expect("telemetry lock").record_batch(
-                    &latencies,
-                    &stages,
-                    solve.as_ref(),
-                    downgraded,
-                );
+                shard
+                    .stats
+                    .lock()
+                    .record_batch(&latencies, &stages, solve.as_ref(), downgraded);
                 charge_tenants(&inner.telemetry, &chunk, &dominant);
                 inner.telemetry.on_complete(latencies.len() as u64);
                 for (((req, allocation), latency), stages) in
@@ -864,7 +882,7 @@ fn serve_chunk<M: PolicyModel>(
             }
             Err(_) => {
                 for mut req in chunk {
-                    let retry_start = Instant::now();
+                    let retry_start = now();
                     // Re-stamp the drain too: this singleton's queue-wait
                     // runs until *its* solve attempt, keeping the stage
                     // partition exact for degraded serving as well.
@@ -873,15 +891,17 @@ fn serve_chunk<M: PolicyModel>(
                     let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         allocate(std::slice::from_ref(&req.tm), scratch)
                     }));
-                    req.trace.stamp_solve_end(Instant::now());
+                    req.trace.stamp_solve_end(now());
                     match one {
                         Ok(Ok((mut allocs, _))) if allocs.len() == 1 => {
-                            let allocation = allocs.pop().expect("len checked");
+                            let Some(allocation) = allocs.pop() else {
+                                unreachable!("len checked == 1")
+                            };
                             let solve = scratch.solve_report();
-                            let done = Instant::now();
+                            let done = now();
                             let latency = done.saturating_duration_since(req.trace.enqueued());
                             let stages = req.trace.stages(done);
-                            shard.stats.lock().expect("telemetry lock").record_batch(
+                            shard.stats.lock().record_batch(
                                 &[latency],
                                 &[stages],
                                 solve.as_ref(),
@@ -950,7 +970,7 @@ fn dominant_tenant(chunk: &[Request]) -> Arc<str> {
         .into_iter()
         .max_by(|(at, an), (bt, bn)| an.cmp(bn).then_with(|| bt.cmp(at)))
         .map(|(t, _)| t)
-        .expect("chunk is non-empty")
+        .unwrap_or_else(|| Arc::from("default"))
 }
 
 /// Per-tenant accounting for one successfully served chunk: every request
@@ -980,7 +1000,7 @@ mod tests {
     /// their relative arrival order.
     #[test]
     fn edf_drain_key_orders_randomized_queues() {
-        let base = Instant::now();
+        let base = now();
         let mut lcg = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
             lcg = lcg

@@ -192,14 +192,37 @@
 //! swap loop, and the `serve_latency` bench in `teal-bench` for the
 //! daemon-vs-sequential-vs-socket comparison (`BENCH_serve.json`).
 
+// This crate performs no raw-pointer or FFI work; everything unsafe in the
+// workspace lives behind the audited kernels in `teal-nn`/`teal-lp` (see
+// the unsafe inventory in the root crate's docs).
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod daemon;
 pub mod registry;
-mod request;
 pub mod server;
 pub mod telemetry;
-mod wfq;
 pub mod wire;
+
+// The concurrency-bearing internals are private in a normal build, but the
+// model-check harness (`tests/model_check.rs`, compiled with
+// `RUSTFLAGS="--cfg teal_loom"`) drives the real WFQ arbiter, response-slot
+// protocol and distilled daemon/client protocols directly, so the loom
+// build exports them.
+#[cfg(teal_loom)]
+pub mod model;
+#[cfg(not(teal_loom))]
+mod request;
+#[cfg(teal_loom)]
+pub mod request;
+#[cfg(not(teal_loom))]
+pub(crate) mod sync;
+#[cfg(teal_loom)]
+pub mod sync;
+#[cfg(not(teal_loom))]
+mod wfq;
+#[cfg(teal_loom)]
+pub mod wfq;
 
 pub use client::TealClient;
 pub use daemon::{DrainOrder, ServeConfig, ServeDaemon};

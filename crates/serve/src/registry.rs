@@ -11,8 +11,9 @@
 //! finishes on the old weights; one that snapshots after gets the new —
 //! never a mix.
 
+// teal-lint: checked-sync
+use crate::sync::{Arc, RwLock};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
 use teal_core::{PolicyModel, ServingContext};
 
 use crate::ServeError;
@@ -44,7 +45,7 @@ impl<M: PolicyModel> ModelRegistry<M> {
         id: impl Into<String>,
         ctx: ServingContext<M>,
     ) -> Option<Arc<ServingContext<M>>> {
-        let mut map = self.inner.write().expect("registry lock");
+        let mut map = self.inner.write();
         map.insert(id.into(), Arc::new(ctx))
     }
 
@@ -52,7 +53,7 @@ impl<M: PolicyModel> ModelRegistry<M> {
     /// before the caller computes anything, so concurrent `get`s and swaps
     /// commute.
     pub fn get(&self, id: &str) -> Option<Arc<ServingContext<M>>> {
-        let map = self.inner.read().expect("registry lock");
+        let map = self.inner.read();
         map.get(id).cloned()
     }
 
@@ -64,7 +65,7 @@ impl<M: PolicyModel> ModelRegistry<M> {
         id: &str,
         ctx: ServingContext<M>,
     ) -> Result<Arc<ServingContext<M>>, ServeError> {
-        let mut map = self.inner.write().expect("registry lock");
+        let mut map = self.inner.write();
         match map.get_mut(id) {
             Some(slot) => Ok(std::mem::replace(slot, Arc::new(ctx))),
             None => Err(ServeError::UnknownTopology(id.to_string())),
@@ -92,7 +93,7 @@ impl<M: PolicyModel> ModelRegistry<M> {
 
     /// Registered topology ids, sorted.
     pub fn ids(&self) -> Vec<String> {
-        let map = self.inner.read().expect("registry lock");
+        let map = self.inner.read();
         let mut ids: Vec<String> = map.keys().cloned().collect();
         ids.sort();
         ids
@@ -100,7 +101,7 @@ impl<M: PolicyModel> ModelRegistry<M> {
 
     /// Number of registered topologies.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("registry lock").len()
+        self.inner.read().len()
     }
 
     /// True when nothing is registered.

@@ -11,9 +11,10 @@
 //! fulfilling a slot pushes its request id onto the connection's
 //! completion queue.
 
+// teal-lint: checked-sync
+use crate::sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use teal_lp::Allocation;
 use teal_traffic::TrafficMatrix;
 
@@ -168,13 +169,13 @@ pub struct ServeReply {
 /// [`ResponseSlot::with_notify`] push their tag here when fulfilled, so a
 /// wire writer can block on *any* reply becoming ready instead of polling
 /// tickets in submission order.
-pub(crate) struct Completions {
+pub struct Completions {
     ready: Mutex<VecDeque<u64>>,
     cv: Condvar,
 }
 
 impl Completions {
-    pub(crate) fn new() -> Arc<Self> {
+    pub fn new() -> Arc<Self> {
         Arc::new(Completions {
             ready: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
@@ -184,20 +185,20 @@ impl Completions {
     /// Announce `tag` as ready. Response slots call this on fulfillment;
     /// the wire server also pushes tags directly for replies that never
     /// ride a slot (e.g. STATS scrapes).
-    pub(crate) fn push(&self, tag: u64) {
-        self.ready.lock().expect("completions lock").push_back(tag);
+    pub fn push(&self, tag: u64) {
+        self.ready.lock().push_back(tag);
         self.cv.notify_all();
     }
 
     /// Wake all waiters so they can re-check their exit condition.
-    pub(crate) fn kick(&self) {
+    pub fn kick(&self) {
         self.cv.notify_all();
     }
 
     /// Next ready tag; blocks until one arrives or `done()` says no more
     /// ever will (returns `None` then).
-    pub(crate) fn pop_wait(&self, done: impl Fn() -> bool) -> Option<u64> {
-        let mut q = self.ready.lock().expect("completions lock");
+    pub fn pop_wait(&self, done: impl Fn() -> bool) -> Option<u64> {
+        let mut q = self.ready.lock();
         loop {
             if let Some(tag) = q.pop_front() {
                 return Some(tag);
@@ -205,13 +206,13 @@ impl Completions {
             if done() {
                 return None;
             }
-            q = self.cv.wait(q).expect("completions wait");
+            q = self.cv.wait(q);
         }
     }
 }
 
 /// One-shot response slot a [`Ticket`] waits on.
-pub(crate) struct ResponseSlot {
+pub struct ResponseSlot {
     slot: Mutex<Option<Result<ServeReply, ServeError>>>,
     ready: Condvar,
     /// `(queue, tag)` notified on fulfillment — the wire server's
@@ -220,7 +221,7 @@ pub(crate) struct ResponseSlot {
 }
 
 impl ResponseSlot {
-    pub(crate) fn new() -> Arc<Self> {
+    pub fn new() -> Arc<Self> {
         Arc::new(ResponseSlot {
             slot: Mutex::new(None),
             ready: Condvar::new(),
@@ -230,7 +231,7 @@ impl ResponseSlot {
 
     /// A slot that additionally announces its fulfillment on `completions`
     /// under `tag` (the wire request id).
-    pub(crate) fn with_notify(completions: Arc<Completions>, tag: u64) -> Arc<Self> {
+    pub fn with_notify(completions: Arc<Completions>, tag: u64) -> Arc<Self> {
         Arc::new(ResponseSlot {
             slot: Mutex::new(None),
             ready: Condvar::new(),
@@ -238,9 +239,9 @@ impl ResponseSlot {
         })
     }
 
-    pub(crate) fn fulfill(&self, r: Result<ServeReply, ServeError>) {
+    pub fn fulfill(&self, r: Result<ServeReply, ServeError>) {
         {
-            let mut slot = self.slot.lock().expect("response lock");
+            let mut slot = self.slot.lock();
             *slot = Some(r);
             self.ready.notify_all();
         }
@@ -257,18 +258,18 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+    pub fn new(slot: Arc<ResponseSlot>) -> Self {
         Ticket { slot }
     }
 
     /// Block until the response is ready.
     pub fn wait(self) -> Result<ServeReply, ServeError> {
-        let mut slot = self.slot.slot.lock().expect("response lock");
+        let mut slot = self.slot.slot.lock();
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.slot.ready.wait(slot).expect("response wait");
+            slot = self.slot.ready.wait(slot);
         }
     }
 
@@ -279,21 +280,17 @@ impl Ticket {
     /// expires) it and the daemon's telemetry still accounts for it, so an
     /// abandoned ticket never leaks queue-depth gauges.
     pub fn wait_timeout(self, timeout: Duration) -> Result<ServeReply, ServeError> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = self.slot.slot.lock().expect("response lock");
+        let deadline = crate::telemetry::now() + timeout;
+        let mut slot = self.slot.slot.lock();
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            let now = Instant::now();
+            let now = crate::telemetry::now();
             if now >= deadline {
                 return Err(ServeError::DeadlineExceeded);
             }
-            let (guard, _) = self
-                .slot
-                .ready
-                .wait_timeout(slot, deadline - now)
-                .expect("response wait");
+            let (guard, _) = self.slot.ready.wait_timeout(slot, deadline - now);
             slot = guard;
         }
     }
@@ -301,6 +298,6 @@ impl Ticket {
     /// Non-blocking poll: true once [`Ticket::wait`] would return
     /// immediately.
     pub fn is_ready(&self) -> bool {
-        self.slot.slot.lock().expect("response lock").is_some()
+        self.slot.slot.lock().is_some()
     }
 }

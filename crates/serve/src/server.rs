@@ -30,11 +30,30 @@
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use teal_core::PolicyModel;
 
 use crate::daemon::ServeDaemon;
+
+/// Poison-recovering lock for this module's std mutexes. This file stays on
+/// `std::sync` deliberately (see `crate::sync` — blocking-I/O plumbing is
+/// out of the model checker's scope), so it needs its own recovery shim:
+/// the reply/stats maps are valid at every panic point, and the writer must
+/// keep draining completions even if a sibling thread panicked.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Named spawn that treats thread-creation failure (resource exhaustion)
+/// as fatal — there is no graceful fallback for a front end that cannot
+/// start its connection threads.
+fn spawn_named<F: FnOnce() + Send + 'static>(name: &str, f: F) -> JoinHandle<()> {
+    match std::thread::Builder::new().name(name.to_string()).spawn(f) {
+        Ok(h) => h,
+        Err(e) => panic!("spawn thread {name:?}: {e}"),
+    }
+}
 use crate::request::{Completions, ResponseSlot, Ticket};
 use crate::telemetry::TelemetrySnapshot;
 use crate::wire;
@@ -57,8 +76,7 @@ struct Conn {
 impl Conn {
     /// No reply of either kind is still owed to this client.
     fn settled(&self) -> bool {
-        self.pending.lock().expect("pending map lock").is_empty()
-            && self.stats.lock().expect("stats map lock").is_empty()
+        locked(&self.pending).is_empty() && locked(&self.stats).is_empty()
     }
 }
 
@@ -94,10 +112,9 @@ impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
         let accept = {
             let daemon = Arc::clone(&daemon);
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("teal-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &daemon, &shared))
-                .expect("spawn accept loop")
+            spawn_named("teal-serve-accept", move || {
+                accept_loop(&listener, &daemon, &shared)
+            })
         };
         Ok(TealServer {
             daemon,
@@ -129,16 +146,13 @@ impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
         // cancellation in std, so poke it with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop panicked");
+            // Shutdown also runs on drop; a panicked accept loop must not
+            // abort it (connections below still get joined and unblocked).
+            let _ = h.join();
         }
         // Unblock connection readers parked in read_exact, then join.
-        let conns: Vec<(JoinHandle<()>, TcpStream)> = self
-            .shared
-            .conns
-            .lock()
-            .expect("conn list lock")
-            .drain(..)
-            .collect();
+        let conns: Vec<(JoinHandle<()>, TcpStream)> =
+            locked(&self.shared.conns).drain(..).collect();
         // Read half only: the parked readers wake with EOF and stop
         // accepting frames, but each connection's writer still flushes the
         // replies for requests already in the daemon's shard queues (the
@@ -148,7 +162,7 @@ impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
             let _ = stream.shutdown(Shutdown::Read);
         }
         for (handle, _) in conns {
-            handle.join().expect("connection thread panicked");
+            let _ = handle.join();
         }
         self.daemon.shutdown();
     }
@@ -179,18 +193,15 @@ fn accept_loop<M: PolicyModel + Send + Sync + 'static>(
             continue;
         };
         let daemon = Arc::clone(daemon);
-        let handle = std::thread::Builder::new()
-            .name("teal-serve-conn".into())
-            .spawn(move || serve_connection(stream, &daemon))
-            .expect("spawn connection thread");
-        let mut conns = shared.conns.lock().expect("conn list lock");
+        let handle = spawn_named("teal-serve-conn", move || serve_connection(stream, &daemon));
+        let mut conns = locked(&shared.conns);
         // Prune finished connections: join their threads and release the
         // fd clones before tracking the new one — a long-lived server must
         // not accumulate one fd per connection it ever served.
         let mut live = Vec::with_capacity(conns.len() + 1);
         for (h, s) in conns.drain(..) {
             if h.is_finished() {
-                h.join().expect("connection thread panicked");
+                let _ = h.join();
             } else {
                 live.push((h, s));
             }
@@ -237,10 +248,7 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
             Ok(s) => s,
             Err(_) => return,
         };
-        std::thread::Builder::new()
-            .name("teal-serve-conn-writer".into())
-            .spawn(move || writer_loop(stream, &conn))
-            .expect("spawn connection writer")
+        spawn_named("teal-serve-conn-writer", move || writer_loop(stream, &conn))
     };
 
     // Reader loop: decode pipelined requests, register the slot, submit.
@@ -256,13 +264,9 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
                 let Ok(id) = wire::decode_stats_request(&buf) else {
                     break;
                 };
-                let in_flight = conn
-                    .pending
-                    .lock()
-                    .expect("pending map lock")
-                    .contains_key(&id);
+                let in_flight = locked(&conn.pending).contains_key(&id);
                 {
-                    let mut stats = conn.stats.lock().expect("stats map lock");
+                    let mut stats = locked(&conn.stats);
                     if in_flight || stats.contains_key(&id) {
                         break; // duplicated id: hang up, same as requests
                     }
@@ -279,15 +283,13 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
         };
         let slot = ResponseSlot::with_notify(Arc::clone(&conn.completions), id);
         {
-            let mut pending = conn.pending.lock().expect("pending map lock");
+            let mut pending = locked(&conn.pending);
             // A duplicated id would orphan the first ticket; refuse the
             // connection rather than guess which reply the client meant.
             // Checked *before* inserting: replacing the in-flight ticket
             // would leave the writer waiting forever on a slot that was
             // never submitted.
-            if pending.contains_key(&id)
-                || conn.stats.lock().expect("stats map lock").contains_key(&id)
-            {
+            if pending.contains_key(&id) || locked(&conn.stats).contains_key(&id) {
                 break;
             }
             pending.insert(id, Ticket::new(Arc::clone(&slot)));
@@ -300,7 +302,7 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
     conn.completions.kick();
     // The writer drains every pending ticket before exiting; join it so
     // the server's shutdown join sees a fully-settled connection.
-    writer.join().expect("connection writer panicked");
+    let _ = writer.join();
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -314,12 +316,12 @@ fn writer_loop(stream: TcpStream, conn: &Conn) {
         let Some(id) = conn.completions.pop_wait(done) else {
             return;
         };
-        if let Some(ticket) = conn.pending.lock().expect("pending map lock").remove(&id) {
+        if let Some(ticket) = locked(&conn.pending).remove(&id) {
             // The completion queue announced this id, so wait() is
             // immediate.
             let reply = ticket.wait();
             wire::encode_reply(&mut out, id, &reply);
-        } else if let Some(snap) = conn.stats.lock().expect("stats map lock").remove(&id) {
+        } else if let Some(snap) = locked(&conn.stats).remove(&id) {
             wire::encode_stats_reply(&mut out, id, &snap);
         } else {
             continue; // already drained (duplicate-id hangup path)
@@ -340,7 +342,7 @@ fn drain_silently(conn: &Conn) {
         let Some(id) = conn.completions.pop_wait(done) else {
             return;
         };
-        conn.pending.lock().expect("pending map lock").remove(&id);
-        conn.stats.lock().expect("stats map lock").remove(&id);
+        locked(&conn.pending).remove(&id);
+        locked(&conn.stats).remove(&id);
     }
 }

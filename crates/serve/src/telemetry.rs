@@ -19,13 +19,22 @@
 //! both recorded into the shard histograms and returned to callers inside
 //! `ServeReply`, so "why was this one slow" is answerable per request.
 
+// teal-lint: checked-sync
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use teal_nn::pool::PoolStats;
+
+/// The crate's single clock read. Every other module stamps time through
+/// this wrapper (`cargo xtask lint` rejects direct `Instant::now()` calls
+/// outside this file), so wall-clock reads stay auditable and a future
+/// virtual clock for the model checker has one seam to patch.
+pub(crate) fn now() -> Instant {
+    Instant::now()
+}
 
 /// Log-spaced latency histogram: bucket `i` covers per-request latencies of
 /// roughly `2^(i/4)` nanoseconds (four sub-buckets per octave — quantile
@@ -373,7 +382,7 @@ impl SlowRing {
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.latency)
-            .expect("ring is non-empty here");
+            .unwrap_or_else(|| unreachable!("ring has SLOW_EXEMPLARS entries here"));
         if latency > fastest.latency {
             self.entries[idx] = SlowEntry {
                 latency,
@@ -493,7 +502,7 @@ impl Telemetry {
     /// The stats slot for `topology`, creating it on first use. Shards call
     /// this once at startup and then record lock-free of the map.
     pub(crate) fn shard_stats(&self, topology: &str) -> Arc<Mutex<ShardStats>> {
-        let mut map = self.shards.lock().expect("telemetry lock");
+        let mut map = self.shards.lock();
         Arc::clone(map.entry(topology.to_string()).or_default())
     }
 
@@ -507,12 +516,20 @@ impl Telemetry {
     /// double-drain bug must not wrap the gauge to `usize::MAX` and poison
     /// every later snapshot (it is loudly caught in debug builds instead).
     pub(crate) fn on_drain(&self, n: usize) {
-        let prev = self
-            .queue_depth
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-                Some(d.saturating_sub(n))
-            })
-            .expect("fetch_update closure always returns Some");
+        // (`fetch_update` is absent from the loom facade; a CAS loop over
+        // `compare_exchange` is equivalent and compiles under both.)
+        let mut prev = self.queue_depth.load(Ordering::Relaxed);
+        loop {
+            match self.queue_depth.compare_exchange(
+                prev,
+                prev.saturating_sub(n),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => prev = cur,
+            }
+        }
         debug_assert!(
             prev >= n,
             "queue_depth underflow: drained {n} with depth {prev}"
@@ -531,7 +548,6 @@ impl Telemetry {
         let stages = vec![StageTimings::default(); latencies.len()];
         self.shard_stats(topology)
             .lock()
-            .expect("telemetry lock")
             .record_batch(latencies, &stages, None, false);
         self.on_complete(latencies.len() as u64);
     }
@@ -566,7 +582,7 @@ impl Telemetry {
     /// `tenant` (a chunk charges its window to the dominant tenant; request
     /// counts go to each request's own tenant).
     pub(crate) fn on_tenant(&self, tenant: &str, requests: u64, windows: u64) {
-        let mut map = self.tenants.lock().expect("telemetry lock");
+        let mut map = self.tenants.lock();
         let acc = map.entry(tenant.to_string()).or_default();
         acc.requests += requests;
         acc.windows += windows;
@@ -574,12 +590,12 @@ impl Telemetry {
 
     /// Take a consistent copy of all counters.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let shards = self.shards.lock().expect("telemetry lock");
+        let shards = self.shards.lock();
         let mut per_topology = Vec::with_capacity(shards.len());
         let mut batch_sizes: HashMap<usize, u64> = HashMap::new();
         let mut slow: Vec<SlowExemplar> = Vec::new();
         for (name, stats) in shards.iter() {
-            let s = stats.lock().expect("telemetry lock");
+            let s = stats.lock();
             let e2e = s.latency.summary();
             per_topology.push(TopoSnapshot {
                 topology: name.clone(),
@@ -614,7 +630,6 @@ impl Telemetry {
         let mut tenants: Vec<TenantSnapshot> = self
             .tenants
             .lock()
-            .expect("telemetry lock")
             .iter()
             .map(|(name, acc)| TenantSnapshot {
                 tenant: name.clone(),
@@ -1132,7 +1147,7 @@ mod tests {
             max_primal_residual: 0.25,
             max_dual_residual: 0.125,
         };
-        stats.lock().unwrap().record_batch(
+        stats.lock().record_batch(
             &[Duration::from_micros(750), Duration::from_micros(790)],
             &stages,
             Some(&report),
@@ -1211,7 +1226,7 @@ mod tests {
 
     #[test]
     fn trace_stages_partition_end_to_end() {
-        let t0 = Instant::now();
+        let t0 = now();
         let mut tr = Trace::at(t0);
         let t1 = t0 + Duration::from_micros(100);
         let t2 = t1 + Duration::from_micros(20);

@@ -32,8 +32,9 @@
 //! waiters nor credit, so hostile wire clients minting fresh tenant names
 //! cannot grow the flow table without bound.
 
+// teal-lint: checked-sync
+use crate::sync::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
 
 /// Per-tenant flow state: remaining credit this round plus the FIFO of
 /// tickets (waiting windows) charged to this tenant.
@@ -54,7 +55,7 @@ struct WfqState {
 /// The window arbiter. One per daemon, built at start when
 /// `shard_threads` is set; shards reserve a ticket per chunk and redeem it
 /// before serving.
-pub(crate) struct WfqScheduler {
+pub struct WfqScheduler {
     /// Configured weights; tenants not listed (including `"default"`)
     /// weigh 1. Zero weights are clamped to 1 — weight 0 would starve the
     /// tenant forever, which is a misconfiguration, not a policy.
@@ -67,13 +68,13 @@ pub(crate) struct WfqScheduler {
 /// redeemed with [`WfqScheduler::wait`] (or explicitly cancelled): an
 /// abandoned ticket sits at the head of its flow's FIFO and stalls the
 /// schedule for everyone behind it.
-pub(crate) struct Reservation {
+pub struct Reservation {
     tenant: String,
     ticket: u64,
 }
 
 impl WfqScheduler {
-    pub(crate) fn new(weights: &[(String, u32)]) -> Self {
+    pub fn new(weights: &[(String, u32)]) -> Self {
         WfqScheduler {
             weights: weights
                 .iter()
@@ -95,8 +96,8 @@ impl WfqScheduler {
     /// Join `tenant`'s flow FIFO without blocking. Safe to call while
     /// holding a [`WindowGrant`] — that is the point: the next window's
     /// ticket is in the schedule before the current one releases.
-    pub(crate) fn enqueue(&self, tenant: &str) -> Reservation {
-        let mut s = self.state.lock().expect("wfq lock");
+    pub fn enqueue(&self, tenant: &str) -> Reservation {
+        let mut s = self.state.lock();
         let ticket = s.next_ticket;
         s.next_ticket += 1;
         s.flows
@@ -113,8 +114,8 @@ impl WfqScheduler {
     /// Block until the DRR schedule reaches the reserved ticket, then hold
     /// the slot until the returned guard drops (panic-safe: a poisoned
     /// window still frees the slot on unwind).
-    pub(crate) fn wait(&self, r: Reservation) -> WindowGrant<'_> {
-        let mut s = self.state.lock().expect("wfq lock");
+    pub fn wait(&self, r: Reservation) -> WindowGrant<'_> {
+        let mut s = self.state.lock();
         loop {
             if !s.busy {
                 if let Some(flow) = self.pick(&mut s) {
@@ -122,7 +123,9 @@ impl WfqScheduler {
                     // alone would do; checking the tenant first keeps the
                     // common miss cheap.
                     if flow == r.tenant && s.flows[&flow].waiting.front() == Some(&r.ticket) {
-                        let f = s.flows.get_mut(&flow).expect("picked flow exists");
+                        let Some(f) = s.flows.get_mut(&flow) else {
+                            unreachable!("pick() returned a flow it just saw")
+                        };
                         f.waiting.pop_front();
                         f.credit -= 1;
                         if f.waiting.is_empty() && f.credit == 0 {
@@ -138,14 +141,14 @@ impl WfqScheduler {
                     self.turn.notify_all();
                 }
             }
-            s = self.turn.wait(s).expect("wfq wait");
+            s = self.turn.wait(s);
         }
     }
 
     /// Withdraw an unredeemed reservation so it cannot stall the schedule.
     #[cfg(test)]
-    pub(crate) fn cancel(&self, r: Reservation) {
-        let mut s = self.state.lock().expect("wfq lock");
+    pub fn cancel(&self, r: Reservation) {
+        let mut s = self.state.lock();
         if let Some(f) = s.flows.get_mut(&r.tenant) {
             f.waiting.retain(|&t| t != r.ticket);
             if f.waiting.is_empty() && f.credit == 0 {
@@ -179,7 +182,9 @@ impl WfqScheduler {
                 .collect();
             for n in names {
                 let w = self.weight(&n);
-                s.flows.get_mut(&n).expect("named flow exists").credit = w;
+                if let Some(f) = s.flows.get_mut(&n) {
+                    f.credit = w;
+                }
             }
         }
         s.flows
@@ -192,13 +197,13 @@ impl WfqScheduler {
 
 /// RAII grant for one serving window; dropping it frees the slot and wakes
 /// the arbiter so the next scheduled window can start.
-pub(crate) struct WindowGrant<'a> {
+pub struct WindowGrant<'a> {
     sched: &'a WfqScheduler,
 }
 
 impl Drop for WindowGrant<'_> {
     fn drop(&mut self) {
-        let mut s = self.sched.state.lock().expect("wfq lock");
+        let mut s = self.sched.state.lock();
         s.busy = false;
         drop(s);
         self.sched.turn.notify_all();
@@ -233,11 +238,7 @@ mod tests {
                     let mut res = sched.enqueue(tenant);
                     loop {
                         let grant = sched.wait(res);
-                        *counts
-                            .lock()
-                            .expect("counts")
-                            .entry(tenant.to_string())
-                            .or_insert(0) += 1;
+                        *counts.lock().entry(tenant.to_string()).or_insert(0) += 1;
                         // One-ahead reservation, then hold the window
                         // briefly so release decisions see both flows.
                         res = sched.enqueue(tenant);
@@ -253,7 +254,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(200));
             stop.store(true, Ordering::Release);
         });
-        let counts = counts.lock().expect("counts");
+        let counts = counts.lock();
         let gold = counts["gold"] as f64;
         let bronze = counts["bronze"] as f64;
         let ratio = gold / bronze;

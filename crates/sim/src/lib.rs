@@ -1,6 +1,10 @@
 //! `teal-sim`: the evaluation harness — a uniform scheme interface, the
 //! online TE control loop with staleness accounting (§5.1), the offline
 //! setting (§5.6), failure replay (§5.3), and figure statistics.
+// No raw-pointer or FFI work belongs in this crate; the workspace's
+// audited unsafe lives in `teal-nn`/`teal-lp` only (see the root crate's
+// unsafe inventory docs).
+#![forbid(unsafe_code)]
 
 pub mod metrics;
 pub mod online;

@@ -5,6 +5,10 @@
 //! structural profiles, and implements the path machinery of the TE path
 //! formulation: Dijkstra, Yen's k-shortest simple paths, and the path-edge
 //! incidence structure FlowGNN message-passes over.
+// No raw-pointer or FFI work belongs in this crate; the workspace's
+// audited unsafe lives in `teal-nn`/`teal-lp` only (see the root crate's
+// unsafe inventory docs).
+#![forbid(unsafe_code)]
 
 pub mod gen;
 pub mod graph;

@@ -3,6 +3,10 @@
 //! Generates heavy-tailed, temporally correlated demand series calibrated to
 //! the statistics the paper reports (top 10% of demands ≈ 88.4% of volume),
 //! plus the perturbation operators used by the robustness experiments.
+// No raw-pointer or FFI work belongs in this crate; the workspace's
+// audited unsafe lives in `teal-nn`/`teal-lp` only (see the root crate's
+// unsafe inventory docs).
+#![forbid(unsafe_code)]
 
 pub mod gen;
 pub mod matrix;

@@ -43,6 +43,57 @@
 //! let (allocation, elapsed) = engine.allocate(&tm);
 //! println!("allocated {} demands in {:?}", allocation.num_demands(), elapsed);
 //! ```
+//!
+//! ## Unsafe inventory & correctness tooling
+//!
+//! The workspace's `unsafe` is confined to two hot-path idioms, both in the
+//! compute crates and both instrumented:
+//!
+//! * **Lifetime-erased pool jobs** (`teal_nn::pool`): kernels hand the
+//!   worker pool a borrowed `&dyn Fn(usize)` whose lifetime is erased to
+//!   cross the thread boundary. Soundness rests on the submit path not
+//!   returning until every claimed chunk settled (the `done`-count/condvar
+//!   protocol), which is exactly what the loom model checker exercises.
+//! * **Disjoint-chunk `&mut` reconstruction** (`teal_nn::par::RawChunks`,
+//!   `teal_lp`'s ADMM `TileBuf`): a mutable buffer is split into
+//!   non-overlapping `(start, len)` regions, each rebuilt as a `&mut [f64]`
+//!   by exactly one tile. In debug builds (and under `--cfg teal_check`)
+//!   every handed-out range is recorded and checked — an overlapping or
+//!   out-of-bounds region panics at the hand-out site instead of silently
+//!   aliasing a neighbor tile.
+//!
+//! Everything else forbids `unsafe` outright (`#![forbid(unsafe_code)]` in
+//! `teal-topology`, `teal-traffic`, `teal-core`, `teal-baselines`,
+//! `teal-sim`, `teal-bench`, `teal-serve`, and this crate), and
+//! `unsafe_op_in_unsafe_fn` is denied workspace-wide.
+//!
+//! Three layers of tooling keep this inventory honest:
+//!
+//! 1. **`cargo xtask lint`** — an offline source pass over the workspace
+//!    (no network, no nightly): every `unsafe` block/impl must carry a
+//!    `// SAFETY:` comment; non-test `teal-serve` code may not call
+//!    `unwrap()`/`expect()` (the `crate::sync` facade returns guards
+//!    directly) or read the clock outside `telemetry::now()`; modules
+//!    marked `// teal-lint: checked-sync` may not import `std::sync`
+//!    directly; and zero-unsafe crates must keep their `forbid` attribute.
+//!    The allowlist (`xtask-lint-allow.txt`) ships empty and is expected
+//!    to stay that way.
+//! 2. **Model checking** (`vendor/loom` + `RUSTFLAGS="--cfg teal_loom"
+//!    cargo test -p teal-serve --test model_check`) — a miniature
+//!    loom-style checker (token-passing scheduler, exhaustive DFS over
+//!    interleavings, bounded preemptions, seed-replayable failing
+//!    schedules) that exhaustively explores the serving stack's real race
+//!    protocols: WFQ one-ahead reservation, submit-vs-shutdown, and the
+//!    client's register-before-send slot protocol. Each model test also
+//!    runs a seeded mutant of its protocol and asserts the checker kills
+//!    it.
+//! 3. **Checked-unsafe instrumentation** (`debug_assertions`/`teal_check`)
+//!    — the range trackers described above, plus construction-time
+//!    disjointness asserts on `RawChunks`.
+
+// This umbrella crate only re-exports; the audited unsafe lives in
+// `teal-nn`/`teal-lp` per the inventory above.
+#![forbid(unsafe_code)]
 
 pub use teal_baselines as baselines;
 pub use teal_core as core;

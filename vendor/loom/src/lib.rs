@@ -1,0 +1,59 @@
+//! Vendored mini-loom: a deterministic, exhaustive model checker for the
+//! workspace's synchronization protocols, in the loom/DPOR lineage (crates
+//! are unreachable in this environment, so the tool is built in-repo like
+//! the other `vendor/` shims).
+//!
+//! [`model`] runs a closure many times, once per distinct thread
+//! interleaving. The closure uses the drop-in shims in [`sync`] and
+//! [`thread`] instead of `std`; every visible operation (lock, unlock,
+//! condvar wait/notify, atomic access, spawn, join) is a *scheduling
+//! point* where exactly one runnable thread is chosen to proceed. The
+//! scheduler explores the choice tree depth-first, so over the whole run
+//! every interleaving (up to the optional preemption bound) is executed
+//! exactly once. Assertion failures and deadlocks in **any** explored
+//! schedule fail the model with a replayable schedule string.
+//!
+//! Model of concurrency: sequential consistency. Memory `Ordering`
+//! arguments are accepted and ignored — every shim operation is executed
+//! under one global token, which is stronger than any real ordering, so a
+//! property that fails here fails on real hardware, while relaxed-memory
+//! bugs are out of scope (the workspace's protocols are all lock/condvar
+//! shaped plus SeqCst-tolerant flags). Condvars never wake spuriously, and
+//! `wait_timeout` "times out" immediately after one scheduling point (no
+//! model of time) — both explored behaviors are subsets of what std
+//! permits, so positive verdicts are about the schedules actually run.
+//!
+//! Replaying a failure: a failed model prints `schedule: 0.0.1.2...` — the
+//! dotted decision indices of the failing interleaving. Re-run the same
+//! test with `TEAL_LOOM_REPLAY=<that string>` to execute only that
+//! schedule (e.g. under a debugger or with extra logging).
+//!
+//! ```
+//! use loom::sync::{Arc, Mutex};
+//!
+//! let report = loom::model(|| {
+//!     let a = Arc::new(Mutex::new(0u32));
+//!     let b = Arc::clone(&a);
+//!     let t = loom::thread::spawn(move || *b.lock() += 1);
+//!     *a.lock() += 1;
+//!     t.join().unwrap_or_else(|_| panic!("child panicked"));
+//!     assert_eq!(*a.lock(), 2);
+//! });
+//! assert!(report.executions >= 2);
+//! ```
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{Builder, Report};
+
+/// Exhaustively model-check `f` with the default [`Builder`]. Panics with a
+/// replayable schedule if any interleaving fails; returns the exploration
+/// [`Report`] otherwise.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,580 @@
+//! The exploration runtime: real OS threads coordinated by a single token,
+//! a DFS over per-scheduling-point choices, and failure capture.
+//!
+//! One model thread runs at a time. Every shim operation calls
+//! [`yield_point`] first; the runtime consults the current decision path
+//! (replaying the explored prefix, extending it at the frontier) to pick
+//! which runnable thread holds the token next. After each execution the
+//! last decision with an unexplored alternative is advanced and the suffix
+//! is discarded — classic depth-first enumeration of the schedule tree.
+//! Blocking (mutex contention, condvar waits, joins) never holds an OS
+//! lock across a token hand-off: blocked threads are parked on the
+//! runtime's own condvar and woken by the state transition that re-enables
+//! them, so the schedule stays fully under the runtime's control.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Once};
+
+/// Stack size for model threads: protocols under test are tiny, and small
+/// stacks keep per-execution spawn cost low across thousands of runs.
+const MODEL_STACK: usize = 128 * 1024;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure already recorded elsewhere). Filtered from panic output.
+struct LoomAbort;
+
+/// Allocator of globally unique resource ids (mutexes, condvars) so
+/// blocked-on bookkeeping can name what a thread waits for.
+static RESOURCE_IDS: AtomicUsize = AtomicUsize::new(1);
+
+pub(crate) fn next_resource_id() -> usize {
+    RESOURCE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Join waits are keyed from the top of the id space so they can never
+/// collide with resource ids in any realistic execution.
+fn join_key(tid: usize) -> usize {
+    usize::MAX - tid
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// One recorded scheduling decision: which of the then-runnable threads
+/// (already ordered current-first for a cheap no-preemption default) was
+/// given the token.
+struct Decision {
+    choice: usize,
+    enabled: Vec<usize>,
+    /// Thread that held the token when the decision was made; choosing a
+    /// different thread while this one stayed runnable is a preemption.
+    current: usize,
+}
+
+enum TState {
+    Runnable,
+    /// Parked until the named resource wakes it (mutex release, condvar
+    /// notify, or a joined thread finishing).
+    Blocked(usize),
+    Finished,
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    active: usize,
+    /// Live (not yet finished) thread count; 0 means the execution is done.
+    running: usize,
+    path: Vec<Decision>,
+    depth: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    /// Replay mode: forced choice per depth (clamped to the enabled set).
+    forced: Option<Vec<usize>>,
+    /// FIFO waiter lists per condvar id.
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    failure: Option<String>,
+    aborting: bool,
+    done: bool,
+}
+
+pub(crate) struct Rt {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// What one `check` run explored.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct interleavings executed.
+    pub executions: usize,
+    /// True when the schedule tree was exhausted (false: the
+    /// `max_executions` cap stopped exploration early).
+    pub complete: bool,
+}
+
+/// Exploration configuration. `preemption_bound` caps *involuntary*
+/// context switches per schedule (`None` = unbounded, fully exhaustive);
+/// bounding is the classic state-space lever — most real bugs need ≤ 2
+/// preemptions. `max_executions` is a hard safety cap on explored
+/// schedules.
+pub struct Builder {
+    pub preemption_bound: Option<usize>,
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_executions: 250_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` once per distinct interleaving. Panics (with the failing
+    /// schedule string) on the first assertion failure or deadlock;
+    /// honors `TEAL_LOOM_REPLAY` by running only the given schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_abort_hook();
+        let f = Arc::new(f);
+        if let Ok(replay) = std::env::var("TEAL_LOOM_REPLAY") {
+            let forced: Vec<usize> = replay
+                .split('.')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap_or(0))
+                .collect();
+            let (path, failure) = run_one(&f, Vec::new(), self.preemption_bound, Some(forced));
+            if let Some(msg) = failure {
+                panic!(
+                    "loom replay failed\nschedule: {}\n{msg}",
+                    schedule_string(&path)
+                );
+            }
+            return Report {
+                executions: 1,
+                complete: false,
+            };
+        }
+
+        let mut path = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            let (explored, failure) = run_one(&f, path, self.preemption_bound, None);
+            path = explored;
+            if let Some(msg) = failure {
+                let sched = schedule_string(&path);
+                panic!(
+                    "loom model failed on execution {executions}\nschedule: {sched}\n{msg}\n\
+                     replay with TEAL_LOOM_REPLAY={sched}"
+                );
+            }
+            if !advance(&mut path) {
+                return Report {
+                    executions,
+                    complete: true,
+                };
+            }
+            if executions >= self.max_executions {
+                return Report {
+                    executions,
+                    complete: false,
+                };
+            }
+        }
+    }
+}
+
+fn schedule_string(path: &[Decision]) -> String {
+    path.iter()
+        .map(|d| d.choice.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Depth-first successor: bump the deepest decision with an unexplored
+/// alternative, discard everything after it. False when the tree is spent.
+fn advance(path: &mut Vec<Decision>) -> bool {
+    while let Some(d) = path.last_mut() {
+        if d.choice + 1 < d.enabled.len() {
+            d.choice += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Execute one schedule: spawn thread 0 with the model body, replay the
+/// decision prefix, extend at the frontier, wait for every model thread to
+/// finish. Returns the (possibly extended) path and the failure, if any.
+fn run_one<F>(
+    f: &Arc<F>,
+    path: Vec<Decision>,
+    bound: Option<usize>,
+    forced: Option<Vec<usize>>,
+) -> (Vec<Decision>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let rt = Arc::new(Rt {
+        sched: StdMutex::new(Sched {
+            threads: Vec::new(),
+            active: 0,
+            running: 0,
+            path,
+            depth: 0,
+            preemptions: 0,
+            bound,
+            forced,
+            cv_waiters: HashMap::new(),
+            failure: None,
+            aborting: false,
+            done: false,
+        }),
+        cv: StdCondvar::new(),
+        os_handles: StdMutex::new(Vec::new()),
+    });
+
+    let body = Arc::clone(f);
+    let rt0 = Arc::clone(&rt);
+    spawn_model_thread(&rt, move || (body)(), rt0);
+
+    // Wait for the execution to settle, then reap every OS thread (they
+    // have all passed their Finished transition; joins are immediate).
+    let mut s = rt
+        .sched
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    while !s.done {
+        s = rt
+            .cv
+            .wait(s)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let path = std::mem::take(&mut s.path);
+    let failure = s.failure.take();
+    drop(s);
+    let handles = std::mem::take(
+        &mut *rt
+            .os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    (path, failure)
+}
+
+/// Register a new model thread and start its OS thread. The new thread is
+/// runnable immediately but waits for the token before running `body`.
+/// Shared by `run_one` (thread 0) and `thread::spawn`.
+pub(crate) fn spawn_model_thread<F>(rt: &Arc<Rt>, body: F, rt_for_thread: Arc<Rt>) -> usize
+where
+    F: FnOnce() + Send + 'static,
+{
+    let tid = {
+        let mut s = lock_sched(rt);
+        s.threads.push(TState::Runnable);
+        s.running += 1;
+        s.threads.len() - 1
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .stack_size(MODEL_STACK)
+        .spawn(move || {
+            let rt = rt_for_thread;
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), tid)));
+            {
+                let s = lock_sched(&rt);
+                // Thread 0 holds the token from birth; others wait for it.
+                if wait_for_token_inner(&rt, s, tid).is_err() {
+                    finish_thread(&rt, tid);
+                    return;
+                }
+            }
+            let result = catch_unwind(AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                if !payload.is::<LoomAbort>() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "model thread panicked".to_string());
+                    record_failure(&rt, format!("thread {tid} panicked: {msg}"));
+                }
+            }
+            finish_thread(&rt, tid);
+        })
+        .expect("spawn loom model thread");
+    rt.os_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(handle);
+    tid
+}
+
+fn lock_sched(rt: &Rt) -> std::sync::MutexGuard<'_, Sched> {
+    rt.sched
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The runtime handle + thread id of the calling model thread, if any.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn record_failure(rt: &Rt, msg: String) {
+    let mut s = lock_sched(rt);
+    if s.failure.is_none() {
+        s.failure = Some(msg);
+    }
+    s.aborting = true;
+    rt.cv.notify_all();
+}
+
+fn finish_thread(rt: &Rt, tid: usize) {
+    let mut s = lock_sched(rt);
+    s.threads[tid] = TState::Finished;
+    s.running -= 1;
+    // Joiners parked on this thread become runnable.
+    let key = join_key(tid);
+    wake_blocked_locked(&mut s, key);
+    if s.running == 0 {
+        s.done = true;
+        rt.cv.notify_all();
+        return;
+    }
+    if s.aborting {
+        rt.cv.notify_all();
+        return;
+    }
+    schedule_locked(rt, &mut s, tid);
+}
+
+fn wake_blocked_locked(s: &mut Sched, resource: usize) {
+    for t in s.threads.iter_mut() {
+        if matches!(t, TState::Blocked(r) if *r == resource) {
+            *t = TState::Runnable;
+        }
+    }
+}
+
+/// Pick the next token holder at a scheduling point. `me` is the thread
+/// making the transition (it may be blocked or finished by now). Call with
+/// the sched lock held.
+fn schedule_locked(rt: &Rt, s: &mut Sched, me: usize) {
+    if s.aborting {
+        rt.cv.notify_all();
+        return;
+    }
+    // Runnable threads, ascending, with the current token holder rotated
+    // to the front so choice 0 is always "no context switch".
+    let mut enabled: Vec<usize> = s
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t, TState::Runnable))
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(pos) = enabled.iter().position(|&t| t == me) {
+        enabled.remove(pos);
+        enabled.insert(0, me);
+    }
+    if enabled.is_empty() {
+        debug_assert!(
+            s.running > 0,
+            "no runnable threads yet running > 0 unreached"
+        );
+        let blocked: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Blocked(_)))
+            .map(|(i, _)| i)
+            .collect();
+        s.failure.get_or_insert_with(|| {
+            format!("deadlock: every live thread is blocked (threads {blocked:?})")
+        });
+        s.aborting = true;
+        rt.cv.notify_all();
+        return;
+    }
+    if s.depth == s.path.len() {
+        // Frontier: a fresh decision. The preemption bound restricts the
+        // alternatives to "stay on the current thread" once spent.
+        let budget_spent = s.bound.is_some_and(|b| s.preemptions >= b);
+        let recorded = if budget_spent && enabled.first() == Some(&me) {
+            vec![me]
+        } else {
+            enabled.clone()
+        };
+        let choice = match &s.forced {
+            Some(fc) => fc
+                .get(s.depth)
+                .copied()
+                .unwrap_or(0)
+                .min(recorded.len() - 1),
+            None => 0,
+        };
+        s.path.push(Decision {
+            choice,
+            enabled: recorded,
+            current: me,
+        });
+    }
+    let d = &s.path[s.depth];
+    let next = d.enabled[d.choice.min(d.enabled.len() - 1)];
+    if next != me && d.enabled.contains(&me) && d.current == me {
+        s.preemptions += 1;
+    }
+    s.depth += 1;
+    s.active = next;
+    rt.cv.notify_all();
+}
+
+/// Park until this thread holds the token and is runnable. Err when the
+/// execution aborted (caller unwinds via `LoomAbort` or exits quietly).
+fn wait_for_token_inner<'a>(
+    rt: &'a Rt,
+    mut s: std::sync::MutexGuard<'a, Sched>,
+    me: usize,
+) -> Result<std::sync::MutexGuard<'a, Sched>, ()> {
+    loop {
+        if s.aborting {
+            return Err(());
+        }
+        if s.active == me && matches!(s.threads[me], TState::Runnable) {
+            return Ok(s);
+        }
+        s = rt
+            .cv
+            .wait(s)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// A scheduling point: let the scheduler hand the token to any runnable
+/// thread (possibly this one). No-op outside a model run.
+pub(crate) fn yield_point() {
+    let Some((rt, me)) = current() else { return };
+    let aborted = {
+        let s = lock_sched(&rt);
+        match wait_for_token_inner(&rt, s, me) {
+            Ok(mut s) => {
+                schedule_locked(&rt, &mut s, me);
+                wait_for_token_inner(&rt, s, me).is_err()
+            }
+            Err(()) => true,
+        }
+    };
+    if aborted {
+        abort_unwind();
+    }
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(LoomAbort)
+}
+
+/// Block the calling thread on `resource` and give up the token. Returns
+/// when some transition re-enabled the thread and the scheduler handed the
+/// token back.
+pub(crate) fn block_on(rt: &Arc<Rt>, me: usize, resource: usize) {
+    let mut s = lock_sched(rt);
+    s.threads[me] = TState::Blocked(resource);
+    schedule_locked(rt, &mut s, me);
+    match wait_for_token_inner(rt, s, me) {
+        Ok(_) => {}
+        Err(()) => abort_unwind(),
+    }
+}
+
+/// Wake every thread blocked on `resource` (they re-contend when
+/// scheduled).
+pub(crate) fn unblock_all(rt: &Rt, resource: usize) {
+    let mut s = lock_sched(rt);
+    wake_blocked_locked(&mut s, resource);
+}
+
+/// Condvar bookkeeping: register, then atomically release + park happens
+/// in the sync shim under one sched-lock critical section via these
+/// helpers.
+pub(crate) fn with_sched<R>(rt: &Rt, f: impl FnOnce(&mut SchedView<'_>) -> R) -> R {
+    let mut s = lock_sched(rt);
+    let mut view = SchedView { rt, s: &mut s };
+    f(&mut view)
+}
+
+/// Narrow mutable view over the scheduler for the sync shims: state
+/// transitions that must be atomic with respect to the token (condvar
+/// register+release+park, mutex release+wake) compose these under one
+/// lock hold.
+pub(crate) struct SchedView<'a> {
+    rt: &'a Rt,
+    s: &'a mut Sched,
+}
+
+impl SchedView<'_> {
+    pub(crate) fn register_cv_waiter(&mut self, cv: usize, tid: usize) {
+        self.s.cv_waiters.entry(cv).or_default().push(tid);
+    }
+
+    /// Wake the longest-waiting condvar waiter (FIFO — documented
+    /// approximation of std's unspecified notify_one choice).
+    pub(crate) fn notify_one(&mut self, cv: usize) {
+        if let Some(q) = self.s.cv_waiters.get_mut(&cv) {
+            if !q.is_empty() {
+                let tid = q.remove(0);
+                self.s.threads[tid] = TState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn notify_all(&mut self, cv: usize) {
+        if let Some(q) = self.s.cv_waiters.remove(&cv) {
+            for tid in q {
+                self.s.threads[tid] = TState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn wake_resource(&mut self, resource: usize) {
+        wake_blocked_locked(self.s, resource);
+    }
+
+    pub(crate) fn block_current(&mut self, tid: usize, resource: usize) {
+        self.s.threads[tid] = TState::Blocked(resource);
+        schedule_locked(self.rt, self.s, tid);
+    }
+}
+
+/// After a `block_current` inside `with_sched`, the caller must park with
+/// this (re-acquiring the sched lock) before touching shared state again.
+pub(crate) fn park_after_block(rt: &Arc<Rt>, me: usize) {
+    let s = lock_sched(rt);
+    match wait_for_token_inner(rt, s, me) {
+        Ok(_) => {}
+        Err(()) => abort_unwind(),
+    }
+}
+
+/// True when `tid` has finished (for join).
+pub(crate) fn is_finished(rt: &Rt, tid: usize) -> bool {
+    matches!(lock_sched(rt).threads[tid], TState::Finished)
+}
+
+pub(crate) fn join_resource(tid: usize) -> usize {
+    join_key(tid)
+}
+
+/// Suppress the default "thread panicked" spew for the internal abort
+/// unwinds (and only those); real model failures still print through the
+/// previous hook. Installed once per process.
+fn install_quiet_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<LoomAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -1,0 +1,377 @@
+//! Drop-in `std::sync` lookalikes whose every operation is a scheduling
+//! point, so the runtime can interleave threads around them.
+//!
+//! Two rules keep the token-passing scheduler sound:
+//!
+//! 1. No shim ever holds a *real* OS lock across a token hand-off. A
+//!    contended [`Mutex`] parks the thread in the runtime (state
+//!    transition under the runtime's own lock) instead of blocking on an
+//!    OS mutex, so the scheduler always stays in charge of who runs.
+//! 2. A shim's state mutations happen only while the calling thread holds
+//!    the token, which serializes them globally — the `locked` flags are
+//!    plain state, not synchronization.
+//!
+//! Outside a model run the shims degrade to single-threaded behavior:
+//! locks assert they are uncontended and condvars refuse to wait. That
+//! keeps accidental use at real runtime loud instead of subtly wrong.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomic shims: sequentially consistent, one scheduling point per
+    //! operation. `Ordering` arguments are accepted for source
+    //! compatibility and ignored (the token is stronger than SeqCst).
+
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    use crate::rt;
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+                pub fn load(&self, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.load(SeqCst)
+                }
+                pub fn store(&self, v: $prim, _o: Ordering) {
+                    rt::yield_point();
+                    self.0.store(v, SeqCst)
+                }
+                pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.swap(v, SeqCst)
+                }
+                pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_add(v, SeqCst)
+                }
+                pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_sub(v, SeqCst)
+                }
+                pub fn fetch_max(&self, v: $prim, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_max(v, SeqCst)
+                }
+                pub fn fetch_min(&self, v: $prim, _o: Ordering) -> $prim {
+                    rt::yield_point();
+                    self.0.fetch_min(v, SeqCst)
+                }
+                #[allow(clippy::result_unit_err)]
+                pub fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::yield_point();
+                    self.0.compare_exchange(cur, new, SeqCst, SeqCst)
+                }
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::yield_point();
+                    self.0.compare_exchange(cur, new, SeqCst, SeqCst)
+                }
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.0.get_mut()
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+        pub fn load(&self, _o: Ordering) -> bool {
+            rt::yield_point();
+            self.0.load(SeqCst)
+        }
+        pub fn store(&self, v: bool, _o: Ordering) {
+            rt::yield_point();
+            self.0.store(v, SeqCst)
+        }
+        pub fn swap(&self, v: bool, _o: Ordering) -> bool {
+            rt::yield_point();
+            self.0.swap(v, SeqCst)
+        }
+        pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_or(v, SeqCst)
+        }
+        pub fn fetch_and(&self, v: bool, _o: Ordering) -> bool {
+            rt::yield_point();
+            self.0.fetch_and(v, SeqCst)
+        }
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.0.get_mut()
+        }
+    }
+}
+
+/// Mutual exclusion whose contention is modeled, not real: the lock state
+/// is a plain flag flipped while holding the token, and contenders park in
+/// the runtime rather than on an OS futex.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    locked: std::sync::atomic::AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the token serializes all access to `data`; the guard hands out
+// references only while its thread holds both the token and the lock flag,
+// which is exactly the exclusion a std Mutex provides.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — `lock` is the only access path and it is exclusive.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: rt::next_resource_id(),
+            locked: std::sync::atomic::AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Exclusive-borrow access — no locking needed, no scheduling point.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::yield_point();
+        self.acquire();
+        MutexGuard { lock: self }
+    }
+
+    /// Acquire without the leading scheduling point (condvar reacquire
+    /// path — the wakeup itself was the scheduling point).
+    fn acquire(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
+        if let Some((rt, me)) = rt::current() {
+            loop {
+                if !self.locked.load(SeqCst) {
+                    self.locked.store(true, SeqCst);
+                    return;
+                }
+                // Park until the holder releases; re-contend on wakeup
+                // (another thread may win the race — that is a schedule).
+                rt::block_on(&rt, me, self.id);
+            }
+        } else {
+            assert!(
+                !self.locked.swap(true, SeqCst),
+                "loom Mutex contended outside a model run"
+            );
+        }
+    }
+
+    fn release(&self) {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.locked.store(false, SeqCst);
+        if let Some((rt, _)) = rt::current() {
+            rt::unblock_all(&rt, self.id);
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this guard holds the (modeled) exclusive lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: this guard holds the (modeled) exclusive lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release();
+    }
+}
+
+/// Condition variable over [`Mutex`]. No spurious wakeups; `notify_one`
+/// wakes the longest waiter (FIFO) — both are documented refinements of
+/// std's contract, so explored schedules are a subset of real ones.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: rt::next_resource_id(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        rt::yield_point();
+        let Some((handle, me)) = rt::current() else {
+            panic!("loom Condvar::wait outside a model run")
+        };
+        let lock = guard.lock;
+        // Manual release: registering as a waiter, releasing the mutex and
+        // parking must be one atomic transition (token held throughout, the
+        // park hands it off last), or a notify could slip between them.
+        std::mem::forget(guard);
+        lock.locked
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        rt::with_sched(&handle, |v| {
+            v.register_cv_waiter(self.id, me);
+            v.wake_resource(lock.id);
+            v.block_current(me, self.id);
+        });
+        rt::park_after_block(&handle, me);
+        lock.acquire();
+        MutexGuard { lock }
+    }
+
+    /// Timeout model: the wait "times out" after a single scheduling point
+    /// with the mutex released (other threads get a chance to run), and
+    /// never consumes a notification. There is no model of time; code that
+    /// needs a real timed wait should not be model-checked through this
+    /// path.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        if rt::current().is_none() {
+            return (guard, true);
+        }
+        let lock = guard.lock;
+        drop(guard); // releases + wakes contenders
+        rt::yield_point();
+        lock.acquire();
+        (MutexGuard { lock }, true)
+    }
+
+    pub fn notify_one(&self) {
+        rt::yield_point();
+        if let Some((handle, _)) = rt::current() {
+            rt::with_sched(&handle, |v| v.notify_one(self.id));
+        }
+    }
+
+    pub fn notify_all(&self) {
+        rt::yield_point();
+        if let Some((handle, _)) = rt::current() {
+            rt::with_sched(&handle, |v| v.notify_all(self.id));
+        }
+    }
+}
+
+/// Reader-writer lock modeled as an exclusive lock: readers serialize.
+/// Conservative — every schedule explored is a real one, but concurrent-
+/// reader schedules are not distinguished. Good enough for code that uses
+/// `RwLock` for snapshot reads.
+pub struct RwLock<T: ?Sized> {
+    inner: Mutex<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: Mutex::new(value),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.inner.lock())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.inner.lock())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

@@ -1,0 +1,77 @@
+//! Model-thread spawning and joining. Spawned closures run on real OS
+//! threads, but only ever one at a time — the runtime's token decides who.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Handle to a model thread; join parks the caller until the thread
+/// finishes (a modeled blocking edge, explored like any other).
+pub struct JoinHandle<T> {
+    rt: Arc<rt::Rt>,
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawn a model thread. Must be called from inside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::yield_point();
+    let Some((handle, _)) = rt::current() else {
+        panic!("loom thread::spawn outside a model run")
+    };
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let rt_for_thread = Arc::clone(&handle);
+    let tid = rt::spawn_model_thread(
+        &handle,
+        move || {
+            let value = f();
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+        },
+        rt_for_thread,
+    );
+    JoinHandle {
+        rt: handle,
+        tid,
+        result,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Park until the thread finishes; `Err` means it panicked (the model
+    /// will fail anyway — the panic was recorded as the execution's
+    /// failure).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        rt::yield_point();
+        let Some((_, me)) = rt::current() else {
+            panic!("loom JoinHandle::join outside a model run")
+        };
+        while !rt::is_finished(&self.rt, self.tid) {
+            // Token-atomic with the check above: no other model thread ran
+            // in between, so the finish transition cannot be missed.
+            rt::block_on(&self.rt, me, rt::join_resource(self.tid));
+        }
+        match self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom model thread panicked")),
+        }
+    }
+}
+
+/// A bare scheduling point: any runnable thread (including the caller) may
+/// run next.
+pub fn yield_now() {
+    rt::yield_point();
+}

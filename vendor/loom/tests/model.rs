@@ -1,0 +1,152 @@
+//! The model checker checking itself: known-racy programs must fail with a
+//! schedule, correct ones must pass while exploring every interleaving.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+/// A classic lost update (load + store, not fetch_add) must be found.
+#[test]
+fn detects_lost_update() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::clone(&a);
+            let t = loom::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap_or_else(|_| panic!("child panicked"));
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+    });
+    assert!(result.is_err(), "the interleaved lost update was not found");
+}
+
+/// The same increment under a mutex is correct in every interleaving, and
+/// two threads with two operations each must explore more than one
+/// schedule.
+#[test]
+fn mutex_protects_the_update() {
+    let report = loom::model(|| {
+        let a = Arc::new(Mutex::new(0usize));
+        let b = Arc::clone(&a);
+        let t = loom::thread::spawn(move || *b.lock() += 1);
+        *a.lock() += 1;
+        t.join().unwrap_or_else(|_| panic!("child panicked"));
+        assert_eq!(*a.lock(), 2);
+    });
+    assert!(
+        report.complete,
+        "exploration must exhaust the schedule tree"
+    );
+    assert!(
+        report.executions > 1,
+        "expected multiple interleavings, got {}",
+        report.executions
+    );
+}
+
+/// Opposite lock orders deadlock in some schedule; the checker must say so
+/// rather than hang.
+#[test]
+fn detects_ab_ba_deadlock() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = loom::thread::spawn(move || {
+                let _g1 = b2.lock();
+                let _g2 = a2.lock();
+            });
+            let _g1 = a.lock();
+            let _g2 = b.lock();
+            drop(_g2);
+            drop(_g1);
+            let _ = t.join();
+        });
+    });
+    assert!(result.is_err(), "the AB-BA deadlock was not found");
+}
+
+/// Condvar handoff: a consumer waiting for a produced value must see it in
+/// every schedule — including the one where the producer notifies before
+/// the consumer ever waits (the predicate re-check covers it).
+#[test]
+fn condvar_handoff_is_correct() {
+    let report = loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = Arc::clone(&pair);
+        let t = loom::thread::spawn(move || {
+            *producer.0.lock() = true;
+            producer.1.notify_all();
+        });
+        let mut ready = pair.0.lock();
+        while !*ready {
+            ready = pair.1.wait(ready);
+        }
+        drop(ready);
+        t.join().unwrap_or_else(|_| panic!("producer panicked"));
+    });
+    assert!(report.complete && report.executions > 1);
+}
+
+/// A waiter that can never be notified is a deadlock, not a hang.
+#[test]
+fn detects_missed_wakeup() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let flag = Arc::clone(&pair);
+            // Mutant protocol: set the flag without holding the mutex and
+            // notify before the waiter necessarily waits — in the schedule
+            // where the notify lands first *and* the waiter misses the
+            // flag... impossible here; instead: never notify at all.
+            let t = loom::thread::spawn(move || {
+                let _ = &flag; // producer forgets to notify
+            });
+            let mut ready = pair.0.lock();
+            while !*ready {
+                ready = pair.1.wait(ready);
+            }
+            drop(ready);
+            let _ = t.join();
+        });
+    });
+    assert!(result.is_err(), "the missed wakeup was not found");
+}
+
+/// The preemption bound caps exploration; unbounded explores strictly
+/// more.
+#[test]
+fn preemption_bound_prunes() {
+    fn body() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::clone(&a);
+            let t = loom::thread::spawn(move || {
+                b.fetch_add(1, Ordering::SeqCst);
+                b.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            a.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap_or_else(|_| panic!("child panicked"));
+            assert_eq!(a.load(Ordering::SeqCst), 4);
+        }
+    }
+    let unbounded = loom::Builder::new().check(body());
+    let bounded = loom::Builder {
+        preemption_bound: Some(1),
+        max_executions: 250_000,
+    }
+    .check(body());
+    assert!(unbounded.complete && bounded.complete);
+    assert!(
+        bounded.executions < unbounded.executions,
+        "bound {} !< unbounded {}",
+        bounded.executions,
+        unbounded.executions
+    );
+}
