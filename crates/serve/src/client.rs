@@ -85,6 +85,10 @@ struct ClientShared {
     /// Set once the reader has exited (connection gone): new submits fail
     /// fast instead of queueing onto a dead socket.
     closed: AtomicBool,
+    /// Reply/STATS_OK frames whose id matched nothing pending. A nonzero
+    /// count means id bookkeeping broke somewhere (client or server) —
+    /// previously these were silently dropped, hiding the bug.
+    unmatched: AtomicU64,
 }
 
 impl ClientShared {
@@ -150,6 +154,7 @@ impl TealClient {
             pending: Mutex::new(HashMap::new()),
             stats_pending: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
+            unmatched: AtomicU64::new(0),
         });
         let reader = {
             let shared = Arc::clone(&shared);
@@ -268,6 +273,13 @@ impl TealClient {
         }
         Ok(slot)
     }
+
+    /// How many REPLY/STATS_OK frames arrived whose request id matched no
+    /// pending submission. Always `0` in a healthy deployment; nonzero
+    /// means id bookkeeping broke on one side of the connection.
+    pub fn unmatched_replies(&self) -> u64 {
+        self.shared.unmatched.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for TealClient {
@@ -295,8 +307,14 @@ fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
                     break;
                 };
                 let slot = shared.pending.lock().remove(&id);
-                if let Some(slot) = slot {
-                    slot.fulfill(result);
+                match slot {
+                    Some(slot) => slot.fulfill(result),
+                    // An unsolicited reply id: count it instead of
+                    // silently dropping the frame (the count is the
+                    // debugging breadcrumb for broken id bookkeeping).
+                    None => {
+                        shared.unmatched.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             Ok(wire::Kind::StatsOk) => {
@@ -304,8 +322,11 @@ fn reader_loop(mut stream: TcpStream, shared: &ClientShared) {
                     break;
                 };
                 let slot = shared.stats_pending.lock().remove(&id);
-                if let Some(slot) = slot {
-                    slot.fulfill(Ok(snap));
+                match slot {
+                    Some(slot) => slot.fulfill(Ok(snap)),
+                    None => {
+                        shared.unmatched.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             _ => break, // protocol violation: treat as a dead connection

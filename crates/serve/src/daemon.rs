@@ -159,6 +159,14 @@ pub struct ServeConfig {
     /// maximum — typically 5 — otherwise). Downgrades are counted in
     /// [`crate::AdmmStats::budget_downgrades`].
     pub pressured_budget: usize,
+    /// Front-end mode for [`crate::TealServer`]: `true` (default) drives
+    /// all connections from one epoll event-loop thread (`crate::net`);
+    /// `false` falls back to the previous thread-per-connection front end
+    /// (two OS threads per connection), retained for one release as the
+    /// A/B baseline — the `connection_scale` bench compares the arms in
+    /// the same run. Ignored by in-process callers and on non-Linux
+    /// targets (which always get the threaded front end).
+    pub event_loop: bool,
 }
 
 impl Default for ServeConfig {
@@ -171,6 +179,7 @@ impl Default for ServeConfig {
             drain_order: DrainOrder::EarliestDeadlineFirst,
             tenant_weights: Vec::new(),
             pressured_budget: 2,
+            event_loop: true,
         }
     }
 }
@@ -207,7 +216,10 @@ struct Inner<M: PolicyModel> {
     /// never across compute.
     shards: Mutex<HashMap<String, ShardHandle>>,
     shutdown: AtomicBool,
-    telemetry: Telemetry,
+    /// `Arc` so wire front ends (connection writer threads, the event
+    /// loop) can record wire-level events against the same counters the
+    /// serving core feeds.
+    telemetry: Arc<Telemetry>,
     /// Per-tenant DRR window arbiter; armed iff `cfg.shard_threads` is set
     /// (shards sharing one thread budget contend; independent shards
     /// don't).
@@ -235,7 +247,7 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
                 cfg,
                 shards: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
-                telemetry: Telemetry::default(),
+                telemetry: Arc::new(Telemetry::default()),
                 wfq,
             }),
         }
@@ -254,6 +266,18 @@ impl<M: PolicyModel + Send + Sync + 'static> ServeDaemon<M> {
     /// A consistent copy of the serving statistics.
     pub fn stats(&self) -> TelemetrySnapshot {
         self.inner.telemetry.snapshot()
+    }
+
+    /// The tuning configuration this daemon was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// The live telemetry counters — shared with wire front ends so they
+    /// can record wire-level events (e.g. unmatched replies) alongside the
+    /// serving core's own.
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
     }
 
     /// The shard for `topology`, creating it (and its dispatcher thread) on

@@ -13,13 +13,29 @@
 //! ```text
 //!   wire clients                     server front end        serving core
 //!   ────────────                     ────────────────        ────────────────────
-//!   TealClient ── REQUEST frames ──► TealServer
-//!     │  (pipelined, id-tagged,        conn reader ──┐
-//!     │   tenant-tagged since v3)      completions   │ submit(SubmitRequest)
-//!     │ ── STATS frame ─► snapshot ──►   (scrape)    │
-//!   in-process clients                               ▼
-//!   ──────────────────            ┌──── admission control ────┐
-//!   submit(SubmitRequest) ───────►│ shed: queue full+deadline │──► shed ctr
+//!   TealClient ── REQUEST frames ──► TealServer (one of two, by
+//!     │  (pipelined, id-tagged,      ServeConfig::event_loop)
+//!     │   tenant-tagged since v3)
+//!     │ ── STATS frame ─► snapshot   ┌ epoll event loop (default) ──────┐
+//!     │                              │ one thread, N conns:             │
+//!     │                              │  epoll_wait ─► accept burst      │
+//!     │                              │   · per-conn FrameDecoder        │
+//!     │                              │     (resumes mid-frame)          │
+//!     │                              │   · per-conn WriteQueue          │
+//!     │                              │     (pooled encode, one flush,   │
+//!     │                              │      EPOLLOUT while backlogged)  │
+//!     │                              │  completion ─► waker ─► eventfd  │
+//!     │                              │  doorbell ─► drain + flush       │
+//!     │                              │  slot map w/ generation tokens   │
+//!     │                              └──────────────┬───────────────────┘
+//!     │                              ┌ threaded (A/B baseline) ─────────┐
+//!     │                              │  accept ► reader+writer threads  │
+//!     │                              │  per conn · completions (scrape) │
+//!     │                              └──────────────┬───────────────────┘
+//!   in-process clients                              │ submit(SubmitRequest)
+//!   ──────────────────                              ▼
+//!   submit(SubmitRequest) ───────►┌──── admission control ────┐
+//!                                 │ shed: queue full+deadline │──► shed ctr
 //!        │                        │ shed: budget already gone │
 //!        │                        └──────────┬────────────────┘
 //!        │                 Trace ⊕ enqueue   │  route by topology
@@ -54,15 +70,15 @@
 //!        ▼                                   ▼
 //!   Ticket::wait /                 per-request response slots
 //!   Ticket::wait_timeout ◄──────── (completion queue notifies the
-//!   conn writer ◄───────────────── wire writer; REPLY and STATS_OK
+//!   front end ◄──────────────────── wire front end; REPLY and STATS_OK
 //!     REPLY frames, any order)     frames drain out of order by id)
 //!
 //!   observability taps (⊕ = Trace stamp):
 //!   ServeDaemon::stats() / TealClient::stats() ──► TelemetrySnapshot
 //!     per-topology e2e + queue-wait/solve/write p50/p99 · AdmmStats
 //!     (budgeted iters, downgrades, windows-by-budget) · per-tenant
-//!     request/window counts · deadline inversions · teal_nn pool gauges ·
-//!     slow exemplars ──► to_prometheus() text
+//!     request/window counts · deadline inversions · unmatched replies ·
+//!     teal_nn pool gauges · slow exemplars ──► to_prometheus() text
 //! ```
 //!
 //! Layered deliberately:
@@ -105,12 +121,16 @@
 //!   threads do.
 //! * **Wire front end** ([`wire`], [`TealServer`], [`TealClient`]) —
 //!   std-only TCP (no async runtime): a length-prefixed, versioned binary
-//!   codec; a server whose per-connection reader feeds the core and whose
-//!   writer drains tickets **out of order by request id** off a completion
-//!   queue; and a blocking client with pipelined submits returning the
-//!   same [`Ticket`] handle in-process callers use. Protocol version 3
-//!   (v3 adds the optional tenant tag to REQUEST and the budget/tenant
-//!   telemetry to STATS_OK; v2 peers are refused at HELLO):
+//!   codec; a server multiplexing every connection on **one epoll
+//!   event-loop thread** (incremental frame decode, pooled write queues,
+//!   eventfd completion doorbell — the thread-per-connection baseline
+//!   stays selectable via [`ServeConfig::event_loop`] for A/B runs and
+//!   non-Linux builds), draining tickets **out of order by request id**
+//!   off per-connection completion queues; and a blocking client with
+//!   pipelined submits returning the same [`Ticket`] handle in-process
+//!   callers use. Protocol version 4 (v4 adds the unmatched-reply counter
+//!   to STATS_OK; v3 added the optional tenant tag to REQUEST and the
+//!   budget/tenant telemetry; older peers are refused at HELLO):
 //!
 //!   | frame (kind)    | direction       | payload                            |
 //!   |-----------------|-----------------|------------------------------------|
@@ -119,7 +139,7 @@
 //!   | REQUEST (3)     | client → server | id · topology · matrix · deadline? · tenant? · failed links |
 //!   | REPLY (4)       | server → client | id · allocation ⊕ stage timings, or a [`ServeError`] |
 //!   | STATS (5)       | client → server | id (scrape trigger, no body)       |
-//!   | STATS_OK (6)    | server → client | id · full [`TelemetrySnapshot`] (incl. per-budget window counts, per-tenant counters, deadline inversions) |
+//!   | STATS_OK (6)    | server → client | id · full [`TelemetrySnapshot`] (incl. per-budget window counts, per-tenant counters, deadline inversions, unmatched replies) |
 //! * **Topology/model registry with hot swap** ([`ModelRegistry`]) and
 //!   **serving telemetry** ([`Telemetry`] / [`TelemetrySnapshot`]). Every
 //!   request carries a fixed-size [`telemetry::Trace`] stamped at enqueue,
@@ -192,13 +212,21 @@
 //! swap loop, and the `serve_latency` bench in `teal-bench` for the
 //! daemon-vs-sequential-vs-socket comparison (`BENCH_serve.json`).
 
-// This crate performs no raw-pointer or FFI work; everything unsafe in the
-// workspace lives behind the audited kernels in `teal-nn`/`teal-lp` (see
-// the unsafe inventory in the root crate's docs).
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single allowed override is
+// `net/sys.rs`, the hand-rolled epoll/eventfd FFI bindings (the crates
+// registry is unreachable, so no `libc`), which opts back in with its own
+// `#![allow(unsafe_code)]` and per-site SAFETY comments. `cargo xtask
+// lint` additionally confines `extern` declarations and `std::os` fd
+// plumbing to that one file.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod daemon;
+/// The epoll event-loop front end (Linux only; the loom model-check build
+/// also skips it — blocking syscall I/O is out of the checker's scope,
+/// same as `server`).
+#[cfg(all(target_os = "linux", not(teal_loom)))]
+pub(crate) mod net;
 pub mod registry;
 pub mod server;
 pub mod telemetry;

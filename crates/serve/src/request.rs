@@ -169,9 +169,19 @@ pub struct ServeReply {
 /// [`ResponseSlot::with_notify`] push their tag here when fulfilled, so a
 /// wire writer can block on *any* reply becoming ready instead of polling
 /// tickets in submission order.
+///
+/// Two consumption disciplines share this type: the thread-per-connection
+/// writer **blocks** in [`Completions::pop_wait`], while the epoll event
+/// loop builds the queue with [`Completions::with_waker`] and **drains**
+/// via [`Completions::try_pop`] — each push then also fires the waker
+/// (outside the queue lock), which rings the loop's eventfd doorbell so a
+/// shard dispatcher never touches a socket.
 pub struct Completions {
     ready: Mutex<VecDeque<u64>>,
     cv: Condvar,
+    /// Fired after each push, outside the queue lock. `None` for the
+    /// blocking-writer discipline.
+    waker: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl Completions {
@@ -179,6 +189,17 @@ impl Completions {
         Arc::new(Completions {
             ready: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
+            waker: None,
+        })
+    }
+
+    /// A queue whose pushes additionally fire `waker` — the event loop's
+    /// completion → eventfd bridge.
+    pub fn with_waker(waker: Box<dyn Fn() + Send + Sync>) -> Arc<Self> {
+        Arc::new(Completions {
+            ready: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            waker: Some(waker),
         })
     }
 
@@ -188,6 +209,9 @@ impl Completions {
     pub fn push(&self, tag: u64) {
         self.ready.lock().push_back(tag);
         self.cv.notify_all();
+        if let Some(waker) = &self.waker {
+            waker();
+        }
     }
 
     /// Wake all waiters so they can re-check their exit condition.
@@ -208,6 +232,11 @@ impl Completions {
             }
             q = self.cv.wait(q);
         }
+    }
+
+    /// Next ready tag without blocking — the event loop's drain primitive.
+    pub fn try_pop(&self) -> Option<u64> {
+        self.ready.lock().pop_front()
     }
 }
 

@@ -3,8 +3,20 @@
 //! runtime (the registry is unreachable in this environment, and the
 //! blocking-thread model matches the rest of the daemon).
 //!
-//! One accept-loop thread turns each connection into a **reader** and a
-//! **writer** thread:
+//! Two interchangeable front ends sit behind [`TealServer::bind`], chosen
+//! by [`crate::ServeConfig::event_loop`]:
+//!
+//! * the **epoll event loop** (default on Linux) — one thread multiplexing
+//!   every connection through readiness notifications; see [`crate::net`];
+//! * the **thread-per-connection** baseline below — two OS threads per
+//!   socket, kept as the A/B comparison arm and the non-Linux fallback.
+//!
+//! Both speak the same wire protocol against the same daemon, so tests and
+//! benches can run identical traffic through either by flipping the config
+//! bit.
+//!
+//! In the threaded baseline, one accept-loop thread turns each connection
+//! into a **reader** and a **writer** thread:
 //!
 //! * The reader performs the versioned handshake, then decodes pipelined
 //!   [`crate::wire`] REQUEST frames and feeds them straight into
@@ -55,7 +67,7 @@ fn spawn_named<F: FnOnce() + Send + 'static>(name: &str, f: F) -> JoinHandle<()>
     }
 }
 use crate::request::{Completions, ResponseSlot, Ticket};
-use crate::telemetry::TelemetrySnapshot;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::wire;
 
 /// Connection-level shared state between its reader and writer threads.
@@ -91,20 +103,49 @@ struct ServerShared {
     conns: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
 }
 
+/// Which connection-handling machinery backs this server (see module
+/// docs).
+enum Front {
+    /// Thread-per-connection baseline: accept thread + reader/writer pair
+    /// per socket.
+    Threaded {
+        shared: Arc<ServerShared>,
+        accept: Option<JoinHandle<()>>,
+    },
+    /// One epoll thread multiplexing every connection.
+    #[cfg(all(target_os = "linux", not(teal_loom)))]
+    Event(crate::net::EventLoopHandle),
+}
+
 /// The TCP serving front end (see module docs).
 pub struct TealServer<M: PolicyModel + Send + Sync + 'static> {
     daemon: Arc<ServeDaemon<M>>,
     addr: SocketAddr,
-    shared: Arc<ServerShared>,
-    accept: Option<JoinHandle<()>>,
+    front: Front,
+    /// `shutdown()` already ran (it must shut the daemon down exactly
+    /// once, and also runs on drop).
+    finished: bool,
 }
 
 impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
     /// and start accepting connections that submit into `daemon`.
+    ///
+    /// [`crate::ServeConfig::event_loop`] picks the front end; the
+    /// threaded baseline is used off Linux regardless.
     pub fn bind(daemon: Arc<ServeDaemon<M>>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        #[cfg(all(target_os = "linux", not(teal_loom)))]
+        if daemon.config().event_loop {
+            let handle = crate::net::spawn_event_loop(Arc::clone(&daemon), listener)?;
+            return Ok(TealServer {
+                daemon,
+                addr,
+                front: Front::Event(handle),
+                finished: false,
+            });
+        }
         let shared = Arc::new(ServerShared {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
@@ -119,8 +160,11 @@ impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
         Ok(TealServer {
             daemon,
             addr,
-            shared,
-            accept: Some(accept),
+            front: Front::Threaded {
+                shared,
+                accept: Some(accept),
+            },
+            finished: false,
         })
     }
 
@@ -134,35 +178,49 @@ impl<M: PolicyModel + Send + Sync + 'static> TealServer<M> {
         &self.daemon
     }
 
-    /// Stop accepting connections, unblock and join every connection
-    /// thread, then shut the serving core down (queued requests are still
+    /// Stop accepting connections, unblock and join the front end's
+    /// threads, then shut the serving core down (queued requests are still
     /// served; see [`ServeDaemon::shutdown`]). Idempotent; also runs on
     /// drop.
     pub fn shutdown(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+        if self.finished {
             return;
         }
-        // Unblock the accept loop: `TcpListener::incoming` has no native
-        // cancellation in std, so poke it with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            // Shutdown also runs on drop; a panicked accept loop must not
-            // abort it (connections below still get joined and unblocked).
-            let _ = h.join();
-        }
-        // Unblock connection readers parked in read_exact, then join.
-        let conns: Vec<(JoinHandle<()>, TcpStream)> =
-            locked(&self.shared.conns).drain(..).collect();
-        // Read half only: the parked readers wake with EOF and stop
-        // accepting frames, but each connection's writer still flushes the
-        // replies for requests already in the daemon's shard queues (the
-        // daemon below keeps serving until those queues drain) — a client
-        // caught mid-pipeline by shutdown gets its answers, not a hangup.
-        for (_, stream) in &conns {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        for (handle, _) in conns {
-            let _ = handle.join();
+        self.finished = true;
+        match &mut self.front {
+            Front::Threaded { shared, accept } => {
+                shared.shutdown.store(true, Ordering::Release);
+                // Unblock the accept loop: `TcpListener::incoming` has no
+                // native cancellation in std, so poke it with a throwaway
+                // connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(h) = accept.take() {
+                    // Shutdown also runs on drop; a panicked accept loop
+                    // must not abort it (connections below still get
+                    // joined and unblocked).
+                    let _ = h.join();
+                }
+                // Unblock connection readers parked in read_exact, then
+                // join.
+                let conns: Vec<(JoinHandle<()>, TcpStream)> =
+                    locked(&shared.conns).drain(..).collect();
+                // Read half only: the parked readers wake with EOF and
+                // stop accepting frames, but each connection's writer
+                // still flushes the replies for requests already in the
+                // daemon's shard queues (the daemon below keeps serving
+                // until those queues drain) — a client caught mid-pipeline
+                // by shutdown gets its answers, not a hangup.
+                for (_, stream) in &conns {
+                    let _ = stream.shutdown(Shutdown::Read);
+                }
+                for (handle, _) in conns {
+                    let _ = handle.join();
+                }
+            }
+            // Same contract: stop reading, flush what is owed (shards keep
+            // fulfilling until the daemon shutdown *below*), join the loop.
+            #[cfg(all(target_os = "linux", not(teal_loom)))]
+            Front::Event(handle) => handle.shutdown(),
         }
         self.daemon.shutdown();
     }
@@ -244,11 +302,14 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
     });
     let writer = {
         let conn = Arc::clone(&conn);
+        let telemetry = Arc::clone(daemon.telemetry());
         let stream = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
         };
-        spawn_named("teal-serve-conn-writer", move || writer_loop(stream, &conn))
+        spawn_named("teal-serve-conn-writer", move || {
+            writer_loop(stream, &conn, &telemetry)
+        })
     };
 
     // Reader loop: decode pipelined requests, register the slot, submit.
@@ -308,7 +369,7 @@ fn serve_connection<M: PolicyModel + Send + Sync + 'static>(
 
 /// Drain replies out of order as tickets fulfill, until the reader is done
 /// and nothing is pending.
-fn writer_loop(stream: TcpStream, conn: &Conn) {
+fn writer_loop(stream: TcpStream, conn: &Conn, telemetry: &Telemetry) {
     let mut stream = stream;
     let mut out = Vec::new();
     loop {
@@ -324,7 +385,10 @@ fn writer_loop(stream: TcpStream, conn: &Conn) {
         } else if let Some(snap) = locked(&conn.stats).remove(&id) {
             wire::encode_stats_reply(&mut out, id, &snap);
         } else {
-            continue; // already drained (duplicate-id hangup path)
+            // A completion whose id matches nothing registered: count it —
+            // this is the id-bookkeeping bug counter, not a crash.
+            telemetry.on_unmatched_reply();
+            continue;
         }
         if wire::write_frame(&mut stream, &out).is_err() {
             // Client went away: keep consuming completions so the shard's

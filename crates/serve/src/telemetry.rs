@@ -493,6 +493,10 @@ pub struct Telemetry {
     /// within one drain (the EDF invariant, as a counter: 0 under the
     /// default EDF drain, > 0 only under `DrainOrder::Fifo` churn).
     deadline_inversions: AtomicU64,
+    /// Reply/scrape completions whose id matched no registered slot on the
+    /// announcing connection (wire front ends report these; a nonzero
+    /// value flags an id-bookkeeping bug rather than load).
+    unmatched_replies: AtomicU64,
     /// Tenant id → served totals. Touched once per chunk (not per
     /// request), so the shared lock stays off the per-request path.
     tenants: Mutex<HashMap<String, TenantAccum>>,
@@ -578,6 +582,12 @@ impl Telemetry {
         }
     }
 
+    /// Count one reply frame (or completion tag) that matched no
+    /// registered slot — the wire front ends' "reply with no home" event.
+    pub(crate) fn on_unmatched_reply(&self) {
+        self.unmatched_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Credit `requests` served requests and `windows` solver windows to
     /// `tenant` (a chunk charges its window to the dominant tenant; request
     /// counts go to each request's own tenant).
@@ -648,6 +658,7 @@ impl Telemetry {
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             deadline_inversions: self.deadline_inversions.load(Ordering::Relaxed),
+            unmatched_replies: self.unmatched_replies.load(Ordering::Relaxed),
             pool: teal_nn::pool::stats(),
             slow,
         }
@@ -685,6 +696,12 @@ pub struct TelemetrySnapshot {
     /// `deadline_inversions == 0`; a FIFO drain under deadline churn
     /// accumulates them.
     pub deadline_inversions: u64,
+    /// Reply frames (or completion-queue tags) whose request id matched no
+    /// registered slot on their connection. The server counts tags with no
+    /// pending ticket; [`crate::TealClient`] keeps its own local twin
+    /// ([`crate::TealClient::unmatched_replies`]). Zero in a correct
+    /// deployment — nonzero means an id-bookkeeping bug, not load.
+    pub unmatched_replies: u64,
     /// `teal_nn` worker-pool counters (process-global, sampled at snapshot
     /// time): jobs submitted, chunks run by callers vs stolen by helper
     /// workers, and capped-out queue skips.
@@ -876,6 +893,11 @@ impl TelemetrySnapshot {
                 "Deadline'd requests served out of deadline order within a drain.",
                 self.deadline_inversions,
             ),
+            (
+                "teal_serve_unmatched_replies_total",
+                "Reply frames whose request id matched no registered slot.",
+                self.unmatched_replies,
+            ),
         ] {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -997,6 +1019,21 @@ pub struct TopoSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unmatched_replies_reach_snapshot_and_prometheus() {
+        let t = Telemetry::default();
+        assert_eq!(t.snapshot().unmatched_replies, 0);
+        t.on_unmatched_reply();
+        t.on_unmatched_reply();
+        let snap = t.snapshot();
+        assert_eq!(snap.unmatched_replies, 2);
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains("teal_serve_unmatched_replies_total 2"),
+            "missing/incorrect counter line in:\n{text}"
+        );
+    }
 
     #[test]
     fn quantiles_are_ordered_and_bounded() {

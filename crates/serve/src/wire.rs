@@ -16,6 +16,19 @@
 //! [`ServeError`] variant) is property-tested in
 //! `crates/serve/tests/wire_roundtrip.rs`.
 //!
+//! Two decoding/encoding shapes share the layouts above:
+//!
+//! * the **blocking** pair ([`read_frame`]/[`write_frame`]), used by the
+//!   thread-per-connection front end and the client, and
+//! * the **incremental** pair ([`FrameDecoder`]/[`WriteQueue`]), used by
+//!   the epoll event loop: the decoder resumes across arbitrary partial
+//!   reads (a frame split anywhere — even mid-length-prefix — decodes
+//!   identically to the one-shot path; see
+//!   `crates/serve/tests/decoder_resume.rs`), and the write queue encodes
+//!   replies *appended* into one pooled per-connection buffer so a
+//!   steady-state flush path allocates nothing once warm
+//!   (`crates/serve/tests/write_path_alloc.rs`).
+//!
 //! Layouts (after the kind byte):
 //!
 //! ```text
@@ -45,7 +58,7 @@
 //!            · batch sizes (u32 count, each: size u32 · n u64)
 //!            · queue_depth u64 · max_queue_depth u64
 //!            · completed u64 · shed u64 · expired u64
-//!            · deadline_inversions u64
+//!            · deadline_inversions u64 · unmatched_replies u64
 //!            · pool jobs/caller_chunks/helper_chunks/capped_skips u64 × 4
 //!            · slow exemplars (u32 count, each: topology str
 //!              · latency u64 ns · stage ns u64 × 3 · batch_size u32)
@@ -73,7 +86,8 @@ pub const MAGIC: &[u8; 4] = b"TEAL";
 /// v3: REQUEST gained the flag-gated tenant tag; STATS_OK gained per-budget
 /// window counts / budget downgrades, the deadline-inversion counter, and
 /// the per-tenant section.
-pub const VERSION: u16 = 3;
+/// v4: STATS_OK gained the unmatched-replies counter.
+pub const VERSION: u16 = 4;
 /// Upper bound on a single frame (guards the length prefix against a
 /// corrupt or hostile peer asking us to allocate gigabytes).
 pub const MAX_FRAME: u32 = 64 << 20;
@@ -188,6 +202,12 @@ pub fn encode_hello(buf: &mut Vec<u8>) {
 /// Encode the server half of the handshake.
 pub fn encode_hello_ok(buf: &mut Vec<u8>) {
     buf.clear();
+    put_hello_ok(buf);
+}
+
+/// Append a HELLO_OK payload (shared by the clearing encoder above and
+/// [`WriteQueue::push_hello_ok`]).
+fn put_hello_ok(buf: &mut Vec<u8>) {
     buf.push(Kind::HelloOk as u8);
     buf.extend_from_slice(&VERSION.to_le_bytes());
 }
@@ -239,6 +259,12 @@ fn error_code(e: &ServeError) -> u8 {
 /// Encode one reply (success or typed error) under its request id.
 pub fn encode_reply(buf: &mut Vec<u8>, id: u64, reply: &Result<ServeReply, ServeError>) {
     buf.clear();
+    put_reply(buf, id, reply);
+}
+
+/// Append a REPLY payload (shared by the clearing encoder above and
+/// [`WriteQueue::push_reply`]).
+fn put_reply(buf: &mut Vec<u8>, id: u64, reply: &Result<ServeReply, ServeError>) {
     buf.push(Kind::Reply as u8);
     buf.extend_from_slice(&id.to_le_bytes());
     match reply {
@@ -282,6 +308,12 @@ pub fn encode_stats_request(buf: &mut Vec<u8>, id: u64) {
 /// Encode a full telemetry snapshot as the reply to scrape `id`.
 pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) {
     buf.clear();
+    put_stats_reply(buf, id, snap);
+}
+
+/// Append a STATS_OK payload (shared by the clearing encoder above and
+/// [`WriteQueue::push_stats_reply`]).
+fn put_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) {
     buf.push(Kind::StatsOk as u8);
     buf.extend_from_slice(&id.to_le_bytes());
     buf.extend_from_slice(&(snap.per_topology.len() as u32).to_le_bytes());
@@ -344,6 +376,7 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, snap: &TelemetrySnapshot) 
         snap.shed,
         snap.expired,
         snap.deadline_inversions,
+        snap.unmatched_replies,
         snap.pool.jobs,
         snap.pool.caller_chunks,
         snap.pool.helper_chunks,
@@ -721,6 +754,7 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), Wi
     let shed = r.u64()?;
     let expired = r.u64()?;
     let deadline_inversions = r.u64()?;
+    let unmatched_replies = r.u64()?;
     let pool = PoolStats {
         jobs: r.u64()?,
         caller_chunks: r.u64()?,
@@ -774,8 +808,216 @@ pub fn decode_stats_reply(payload: &[u8]) -> Result<(u64, TelemetrySnapshot), Wi
             shed,
             expired,
             deadline_inversions,
+            unmatched_replies,
             pool,
             slow,
         },
     ))
+}
+
+// ---------------------------------------------- incremental (event loop)
+
+/// Incremental frame decoder for nonblocking readers: feed whatever bytes
+/// the socket produced, then pull complete frame payloads as they
+/// materialize. A frame split at *any* byte boundary — including inside
+/// the 4-byte length prefix — decodes identically to [`read_frame`]'s
+/// one-shot path.
+///
+/// The [`MAX_FRAME`] guard fires as soon as a hostile length prefix
+/// becomes visible, **before** any buffer growth driven by it: the decoder
+/// only ever buffers bytes the peer actually sent, never
+/// `with_capacity(attacker_len)`.
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Raw received bytes not yet returned as frames: `pending[pos..]` is
+    /// live, `pending[..pos]` is consumed and reclaimed by compaction.
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// The length prefix of the frame at the parse cursor, if fully
+    /// visible.
+    fn peek_len(&self) -> Option<u32> {
+        let avail = &self.pending[self.pos..];
+        if avail.len() < 4 {
+            return None;
+        }
+        let mut len = [0u8; 4];
+        len.copy_from_slice(&avail[..4]);
+        Some(u32::from_le_bytes(len))
+    }
+
+    /// Reject a visible hostile length prefix before buffering anything
+    /// more behind it.
+    fn check_len(&self) -> Result<(), WireError> {
+        match self.peek_len() {
+            Some(len) if len > MAX_FRAME => Err(WireError::Protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Buffer `bytes` as received from the socket. Errors as soon as the
+    /// current frame's length prefix is visible and exceeds [`MAX_FRAME`].
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.check_len()?;
+        // Compact before growing: once the consumed prefix dominates the
+        // buffer (or everything is consumed), reclaim it in place so a
+        // long-lived connection's buffer stays at its high-water mark
+        // instead of growing without bound.
+        if self.pos == self.pending.len() {
+            self.pending.clear();
+            self.pos = 0;
+        } else if self.pos >= (64 << 10) && self.pos * 2 >= self.pending.len() {
+            self.pending.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.pending.extend_from_slice(bytes);
+        self.check_len()
+    }
+
+    /// The next complete frame payload, or `None` until more bytes arrive.
+    /// The returned slice is valid until the next `feed`/`next_frame`
+    /// call.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let Some(len) = self.peek_len() else {
+            return Ok(None);
+        };
+        if len > MAX_FRAME {
+            return Err(WireError::Protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        let len = len as usize;
+        if self.pending.len() - self.pos < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        self.pos = start + len;
+        Ok(Some(&self.pending[start..start + len]))
+    }
+
+    /// Bytes buffered but not yet returned as a complete frame (a clean
+    /// EOF with `residue() > 0` means the peer died mid-frame).
+    pub fn residue(&self) -> usize {
+        self.pending.len() - self.pos
+    }
+}
+
+/// Per-connection pooled write queue for the event loop: replies are
+/// encoded **appended** onto one persistent buffer (each frame's length
+/// prefix is reserved up front and patched after the body lands), and
+/// [`WriteQueue::flush`] pushes as much backlog as the socket will take in
+/// one `writev`-style burst, tracking a head cursor across
+/// `EWOULDBLOCK` partial writes so frames are never corrupted, reordered
+/// or resent.
+///
+/// Fully-drained flushes rewind the buffer (`clear` keeps capacity), and a
+/// persistent backlog is compacted in place, so the steady-state
+/// encode/flush path performs **zero heap allocations** once the buffer
+/// has grown to its high-water mark (`tests/write_path_alloc.rs` proves
+/// this under a counting allocator).
+#[derive(Default)]
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    head: usize,
+}
+
+impl WriteQueue {
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// No bytes are waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Bytes encoded but not yet accepted by the socket.
+    pub fn backlog(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Reserve a frame's length prefix; returns its offset for
+    /// [`WriteQueue::end_frame`].
+    fn begin_frame(&mut self) -> usize {
+        if self.head == self.buf.len() {
+            // Everything flushed: rewind and reuse the capacity.
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= (64 << 10) && self.head * 2 >= self.buf.len() {
+            // A slow reader left a persistent backlog: compact in place
+            // (memmove, no allocation) once the dead prefix dominates.
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        at
+    }
+
+    /// Patch the length prefix reserved at `at` now that the body landed.
+    fn end_frame(&mut self, at: usize) {
+        let len = (self.buf.len() - at - 4) as u32;
+        self.buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Queue the server half of the handshake.
+    pub fn push_hello_ok(&mut self) {
+        let at = self.begin_frame();
+        put_hello_ok(&mut self.buf);
+        self.end_frame(at);
+    }
+
+    /// Queue one REPLY frame.
+    pub fn push_reply(&mut self, id: u64, reply: &Result<ServeReply, ServeError>) {
+        let at = self.begin_frame();
+        put_reply(&mut self.buf, id, reply);
+        self.end_frame(at);
+    }
+
+    /// Queue one STATS_OK frame.
+    pub fn push_stats_reply(&mut self, id: u64, snap: &TelemetrySnapshot) {
+        let at = self.begin_frame();
+        put_stats_reply(&mut self.buf, id, snap);
+        self.end_frame(at);
+    }
+
+    /// Write backlog through `write` (typically `|b| stream.write(b)`)
+    /// until drained or the socket pushes back. Returns `Ok(true)` once
+    /// the queue is empty, `Ok(false)` on `EWOULDBLOCK` (re-arm `EPOLLOUT`
+    /// and retry on writability). The head cursor means a partial write
+    /// resumes mid-frame exactly where the socket stopped.
+    pub fn flush(&mut self, mut write: impl FnMut(&[u8]) -> io::Result<usize>) -> io::Result<bool> {
+        while self.head < self.buf.len() {
+            match write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.head += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.head = 0;
+        Ok(true)
+    }
+
+    /// Drop all queued bytes (dead socket: stop encoding for it).
+    pub fn abandon(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
 }

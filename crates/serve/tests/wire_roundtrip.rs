@@ -203,6 +203,7 @@ fn synth_snapshot(seed: u64, ntopo: usize, nsizes: usize, nslow: usize) -> Telem
         shed: next() % 1_000_000,
         expired: next() % 1_000_000,
         deadline_inversions: next() % 1_000_000,
+        unmatched_replies: next() % 1_000,
         tenants: (0..(next() % 4))
             .map(|i| TenantSnapshot {
                 tenant: format!("tenant-{i}"),

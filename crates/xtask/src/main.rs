@@ -1,7 +1,7 @@
 //! `cargo xtask lint` — the workspace's offline repo-invariant checker.
 //!
 //! This is a *source-level* pass (no rustc, no syn): a small line lexer
-//! strips comments and string literals, and five rules run over the
+//! strips comments and string literals, and six rules run over the
 //! stripped code of every first-party source file (`src/` of the root
 //! crate and of each `crates/*` member; `vendor/`, `tests/`, `examples/`
 //! and generated artifacts are out of scope):
@@ -24,6 +24,10 @@
 //!   `RwLock`, `Condvar`, `Arc`, `atomic`, `mpsc` — and, in serve
 //!   modules, direct `std::thread::` spawning). Primitives the facade
 //!   does not model (`OnceLock`, `PoisonError`, ...) stay legal.
+//! * **ffi-confined** — raw FFI (`extern` declarations, `std::os::*` fd
+//!   plumbing) lives in exactly one audited file, the serve crate's
+//!   `net/sys.rs` epoll bindings; everywhere else must go through its
+//!   safe wrappers.
 //! * **forbid-unsafe** — a crate whose sources contain zero `unsafe`
 //!   must say so: its crate root needs `#![forbid(unsafe_code)]`.
 //!
@@ -405,6 +409,10 @@ fn has_safety_comment(lines: &[LineView], at: usize) -> bool {
 
 const SERVE_SRC: &str = "crates/serve/src/";
 const CHECKED_SYNC_MARKER: &str = "teal-lint: checked-sync";
+/// The one file allowed to declare raw FFI (`extern` blocks) and touch
+/// `std::os::*` fd plumbing: the serve crate's hand-rolled epoll/eventfd
+/// bindings. Everything else must go through its safe wrappers.
+const FFI_HOME: &str = "crates/serve/src/net/sys.rs";
 
 /// std::sync items the checked-sync facade shadows; importing them in an
 /// opted-in module bypasses the model checker.
@@ -500,6 +508,24 @@ fn lint_file(path: &str, text: &str, out: &mut Vec<Finding>) {
                         .to_string(),
                 });
             }
+        }
+
+        // Raw FFI stays in one audited file. The lexer drops string
+        // contents, so `extern "C"` in real code still matches the bare
+        // `extern` keyword while prose/string mentions don't.
+        if path != FFI_HOME
+            && !in_test[idx]
+            && (contains_word(code, "extern") || code.contains("std::os::"))
+        {
+            out.push(Finding {
+                file: path.to_string(),
+                line: lineno,
+                rule: "ffi-confined",
+                message: format!(
+                    "raw FFI (`extern` declarations, `std::os::*` fd plumbing) is confined \
+                     to {FFI_HOME}; call its safe wrappers instead"
+                ),
+            });
         }
 
         if checked_sync && !in_test[idx] && references_shadowed_std_sync(code, is_serve) {
@@ -698,6 +724,33 @@ mod tests {
         let prose = "//! Carry the `// teal-lint: checked-sync` marker to opt in.\n\
                      use std::sync::Mutex;\n";
         assert!(findings("crates/serve/src/sync.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn ffi_rule_confines_extern_and_std_os_to_sys() {
+        // The one audited home may declare FFI and use std::os fd types.
+        let ffi = "// SAFETY: signatures transcribed from the kernel ABI\n\
+                   extern \"C\" { fn close(fd: i32) -> i32; }\n\
+                   use std::os::fd::AsRawFd;\n";
+        assert!(findings("crates/serve/src/net/sys.rs", ffi).is_empty());
+
+        // Anywhere else, both the extern block and the fd import fire.
+        let f = findings("crates/serve/src/net/mod.rs", ffi);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "ffi-confined"));
+        assert_eq!(findings("crates/nn/src/pool.rs", ffi).len(), 2);
+
+        // Prose and string mentions are not declarations.
+        let prose = "//! Raw FFI (`extern \"C\"`) is confined to sys.rs.\n\
+                     let s = \"no extern here, no std::os:: either\";\n";
+        assert!(findings("crates/serve/src/server.rs", prose).is_empty());
+
+        // Test modules may exercise the wrappers however they like.
+        let in_tests = "#[cfg(test)]\n\
+                        mod tests {\n\
+                            use std::os::fd::AsRawFd;\n\
+                        }\n";
+        assert!(findings("crates/serve/src/daemon.rs", in_tests).is_empty());
     }
 
     #[test]
